@@ -1,0 +1,66 @@
+//! Figure 5 bench: regenerating the asymptotic-speedup curve family, and
+//! the cost of single model evaluations (the model is meant to be cheap
+//! enough to sit inside a run-time scheduler's decision loop).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hprc_model::params::{ModelParams, NormalizedTimes};
+use hprc_model::speedup::{asymptotic_speedup, speedup};
+use hprc_model::sweep::{figure5_family, Axis};
+
+fn bench_single_evaluation(c: &mut Criterion) {
+    let p = ModelParams::new(NormalizedTimes::ideal(0.0118, 0.0118), 0.0, 1_000).unwrap();
+    c.bench_function("model/speedup_eq6", |b| {
+        b.iter(|| speedup(black_box(&p)))
+    });
+    c.bench_function("model/asymptotic_speedup_eq7", |b| {
+        b.iter(|| asymptotic_speedup(black_box(&p)))
+    });
+}
+
+fn bench_figure5_family(c: &mut Criterion) {
+    let hit_ratios = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let x_prtrs = [0.012, 0.1, 0.17, 0.37];
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(20);
+    g.bench_function("family_20_curves_x_600_points", |b| {
+        b.iter(|| {
+            figure5_family(
+                NormalizedTimes::ideal(1.0, 0.1),
+                black_box(&hit_ratios),
+                black_box(&x_prtrs),
+                Axis::Log {
+                    lo: 1e-3,
+                    hi: 100.0,
+                    points: 600,
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_supremum_search(c: &mut Criterion) {
+    let base = ModelParams::new(
+        NormalizedTimes {
+            x_task: 0.1,
+            x_control: 0.001,
+            x_decision: 0.002,
+            x_prtr: 0.0118,
+        },
+        0.0,
+        1,
+    )
+    .unwrap();
+    c.bench_function("model/numeric_supremum", |b| {
+        b.iter(|| hprc_model::bounds::numeric_supremum(black_box(&base), 1e-4, 10.0, 2000))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_evaluation,
+    bench_figure5_family,
+    bench_supremum_search
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E7/E11 bench: the FPGA service layers — bitstream compression,
+//! relocation, and allocation/defragmentation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hprc_fpga::allocator::WindowAllocator;
+use hprc_fpga::bitstream::Bitstream;
+use hprc_fpga::compress::{compress, decompress};
+use hprc_fpga::device::Device;
+use hprc_fpga::floorplan::Floorplan;
+use hprc_fpga::frames::ConfigMemory;
+use hprc_fpga::relocation::relocate;
+
+fn prr_bitstream(fill_cols: usize) -> (Floorplan, Bitstream) {
+    let fp = Floorplan::xd1_dual_prr();
+    let cols = fp.prrs[0].region.column_indices();
+    let mut mem = ConfigMemory::blank(&fp.device);
+    if fill_cols > 0 {
+        mem.fill_region_pattern(&cols[..fill_cols.min(cols.len())], 7)
+            .unwrap();
+    }
+    let bs = Bitstream::partial_module_based(&fp.device, &mem, &cols).unwrap();
+    (fp, bs)
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress/404kB_partial");
+    for (name, fill) in [("sparse", 3usize), ("dense", 14)] {
+        let (_, bs) = prr_bitstream(fill);
+        g.throughput(Throughput::Bytes(bs.size_bytes()));
+        g.bench_function(BenchmarkId::new("compress", name), |b| {
+            b.iter(|| compress(black_box(&bs)))
+        });
+        let cbs = compress(&bs);
+        g.bench_function(BenchmarkId::new("decompress", name), |b| {
+            b.iter(|| decompress(black_box(&cbs), &bs).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_relocation(c: &mut Criterion) {
+    let (fp, bs) = prr_bitstream(14);
+    c.bench_function("relocate/prr0_to_prr1", |b| {
+        b.iter(|| {
+            relocate(
+                black_box(&fp.device),
+                black_box(&bs),
+                &fp.prrs[0].region,
+                &fp.prrs[1].region,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_allocator_churn(c: &mut Criterion) {
+    let device = Device::xc2vp50();
+    let ncols = device.columns.len();
+    let window = (ncols - 15)..(ncols - 2);
+    c.bench_function("allocator/churn_and_defrag", |b| {
+        b.iter(|| {
+            let mut a = WindowAllocator::new(&device, window.clone()).unwrap();
+            for round in 0..8u32 {
+                let w = 2 + (round % 3) as usize;
+                let name = format!("m{round}");
+                if a.allocate(&name, w).is_ok() && round % 2 == 0 {
+                    a.free(&name).unwrap();
+                }
+            }
+            black_box(a.defragment())
+        })
+    });
+}
+
+criterion_group!(benches, bench_compression, bench_relocation, bench_allocator_churn);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Workload-kernel bench: the software models of the hardware functions —
+//! sequential vs parallel, per filter. (The hardware cores run at a fixed
+//! 200 MB/s; these numbers are about the test/verification substrate.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hprc_kernels::{FilterKind, Image, Pipeline};
+
+fn bench_filters(c: &mut Criterion) {
+    let img = Image::random(512, 512, 42);
+    let mut g = c.benchmark_group("kernels/filters_512x512");
+    g.throughput(Throughput::Bytes(img.len_bytes() as u64));
+    g.sample_size(20);
+    for kind in [FilterKind::Median, FilterKind::Sobel, FilterKind::Smoothing] {
+        g.bench_with_input(
+            BenchmarkId::new("sequential", format!("{kind:?}")),
+            &kind,
+            |b, k| b.iter(|| k.apply(black_box(&img))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let img = Image::random(512, 512, 42);
+    let mut g = c.benchmark_group("kernels/median_parallel_scaling");
+    g.throughput(Throughput::Bytes(img.len_bytes() as u64));
+    g.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| FilterKind::Median.apply_parallel(black_box(&img), t))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let img = Image::random(256, 256, 1);
+    let mut g = c.benchmark_group("kernels/pipeline_256x256");
+    g.sample_size(20);
+    g.bench_function("denoise_edges_seq", |b| {
+        b.iter(|| Pipeline::denoise_edges().run(black_box(&img)))
+    });
+    g.bench_function("denoise_edges_par4", |b| {
+        b.iter(|| Pipeline::denoise_edges().run_parallel(black_box(&img), 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_filters, bench_parallel_scaling, bench_pipeline);
+criterion_main!(benches);

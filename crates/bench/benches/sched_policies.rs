@@ -1,0 +1,69 @@
+//! E1 bench: configuration-caching policy simulation throughput across
+//! policies and workload shapes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hprc_sched::policies::{AlwaysMiss, Belady, Fifo, Lfu, Lru, Markov, RandomPolicy};
+use hprc_sched::policy::Policy;
+use hprc_sched::simulate::simulate;
+use hprc_sched::traces::TraceSpec;
+
+fn bench_policies(c: &mut Criterion) {
+    let trace = TraceSpec::Zipf {
+        n_tasks: 7,
+        alpha: 1.2,
+        len: 10_000,
+    }
+    .generate(1);
+    let mut g = c.benchmark_group("sched/policy_10k_calls");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn Policy>>;
+    let mk: Vec<(&str, PolicyFactory)> = vec![
+        ("always-miss", Box::new(|| Box::new(AlwaysMiss::new()))),
+        ("fifo", Box::new(|| Box::new(Fifo::new()))),
+        ("lru", Box::new(|| Box::new(Lru::new()))),
+        ("lfu", Box::new(|| Box::new(Lfu::new()))),
+        ("random", Box::new(|| Box::new(RandomPolicy::new(3)))),
+        ("belady", Box::new(|| Box::new(Belady::new()))),
+        ("markov+prefetch", Box::new(|| Box::new(Markov::new()))),
+    ];
+    for (name, make) in mk {
+        let prefetch = name.contains("prefetch");
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut p = make();
+                simulate(black_box(&trace), 2, p.as_mut(), prefetch)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched/trace_gen_10k");
+    g.throughput(Throughput::Elements(10_000));
+    for spec in [
+        TraceSpec::Uniform {
+            n_tasks: 7,
+            len: 10_000,
+        },
+        TraceSpec::Zipf {
+            n_tasks: 7,
+            alpha: 1.2,
+            len: 10_000,
+        },
+        TraceSpec::Phased {
+            n_tasks: 7,
+            working_set: 2,
+            phase_len: 64,
+            len: 10_000,
+        },
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
+            b.iter(|| black_box(&spec).generate(9))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Table 1 / Table 2 bench: the FPGA substrate's costs — bitstream
+//! generation (full, module-based, difference-based), frame application,
+//! and placement checks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hprc_fpga::bitstream::{difference_based_inventory, module_based_inventory, Bitstream};
+use hprc_fpga::device::Device;
+use hprc_fpga::floorplan::Floorplan;
+use hprc_fpga::frames::ConfigMemory;
+use hprc_fpga::module::ModuleLibrary;
+use hprc_fpga::placement::place_in_prr;
+
+fn bench_bitstream_generation(c: &mut Criterion) {
+    let device = Device::xc2vp50();
+    let fp = Floorplan::xd1_dual_prr();
+    let cols = fp.prrs[0].region.column_indices();
+    let mut mem = ConfigMemory::blank(&device);
+    mem.fill_region_pattern(&cols, 7).unwrap();
+
+    let mut g = c.benchmark_group("table2/bitstream");
+    g.sample_size(20);
+    g.bench_function("full_2_38MB", |b| {
+        b.iter(|| Bitstream::full(black_box(&device), black_box(&mem)).unwrap())
+    });
+    g.bench_function("partial_module_based_404kB", |b| {
+        b.iter(|| {
+            Bitstream::partial_module_based(black_box(&device), black_box(&mem), &cols).unwrap()
+        })
+    });
+    let bs = Bitstream::partial_module_based(&device, &mem, &cols).unwrap();
+    g.bench_function("apply_partial_404kB", |b| {
+        b.iter_batched(
+            || ConfigMemory::blank(&device),
+            |mut target| bs.apply(&mut target).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_flow_inventories(c: &mut Criterion) {
+    // Use the smaller XC2VP30 with columns of its own geometry (the
+    // XD1 floorplan indexes the larger XC2VP50).
+    let device = Device::xc2vp30();
+    let cols: Vec<usize> = vec![2, 3, 4];
+    let seeds: Vec<u64> = (0..4).collect();
+    let mut g = c.benchmark_group("ext_flows");
+    g.sample_size(10);
+    g.bench_function("module_based_n4", |b| {
+        b.iter(|| module_based_inventory(black_box(&device), &cols, &seeds).unwrap())
+    });
+    g.bench_function("difference_based_n4", |b| {
+        b.iter(|| difference_based_inventory(black_box(&device), &cols, &seeds).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let fp = Floorplan::xd1_dual_prr();
+    let lib = ModuleLibrary::paper_table1();
+    let median = lib.get("Median Filter").unwrap();
+    c.bench_function("table1/place_in_prr", |b| {
+        b.iter(|| place_in_prr(black_box(&fp), 0, black_box(median), 200.0).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bitstream_generation,
+    bench_flow_inventories,
+    bench_placement
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E8 bench: the multi-tasking runtime — event-queue throughput and the
+//! FRTR/PRTR scheduling modes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hprc_fpga::floorplan::Floorplan;
+use hprc_sim::node::NodeConfig;
+use hprc_virt::app::App;
+use hprc_virt::runtime::{run, RuntimeConfig};
+
+fn apps(n_apps: usize, calls: usize) -> Vec<App> {
+    let cores = ["Median Filter", "Sobel Filter", "Smoothing Filter"];
+    (0..n_apps)
+        .map(|i| App::cycling(i, format!("app{i}"), &cores, calls, 0.004, 0.0))
+        .collect()
+}
+
+fn bench_runtime_modes(c: &mut Criterion) {
+    let node = NodeConfig::xd1_measured(&Floorplan::xd1_quad_prr());
+    let workload = apps(4, 100);
+    let total_calls = 4 * 100;
+    let mut g = c.benchmark_group("virt/4_apps_x_100_calls");
+    g.throughput(Throughput::Elements(total_calls as u64));
+    for (name, cfg) in [
+        ("frtr", RuntimeConfig::frtr()),
+        ("prtr_demand", RuntimeConfig::prtr_demand()),
+        ("prtr_overlapped", RuntimeConfig::prtr_overlapped()),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| run(black_box(&node), black_box(&workload), &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling_in_apps(c: &mut Criterion) {
+    let node = NodeConfig::xd1_measured(&Floorplan::xd1_quad_prr());
+    let mut g = c.benchmark_group("virt/scaling");
+    g.sample_size(20);
+    for n_apps in [1usize, 4, 16, 64] {
+        let workload = apps(n_apps, 50);
+        g.throughput(Throughput::Elements((n_apps * 50) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n_apps), &workload, |b, w| {
+            b.iter(|| run(black_box(&node), black_box(w), &RuntimeConfig::prtr_overlapped()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime_modes, bench_scaling_in_apps);
+criterion_main!(benches);

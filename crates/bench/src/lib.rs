@@ -1,0 +1,18 @@
+//! # hprc-bench
+//!
+//! Criterion benchmarks regenerating the paper's tables and figures plus
+//! the DESIGN.md ablations. Bench targets:
+//!
+//! * `fig5_model_sweep` — model evaluation and the Figure 5 curve family;
+//! * `fig9_simulator` — FRTR/PRTR executor runs and Figure 9 sweep points;
+//! * `table1_table2_substrate` — bitstream generation/application, flow
+//!   inventories, placement (Tables 1-2, E3);
+//! * `kernels` — the image-filter workload substrate, sequential vs
+//!   parallel scaling;
+//! * `sched_policies` — caching-policy simulation throughput (E1);
+//! * `icap_ablation` — ICAP-path variants (E6);
+//! * `virt_runtime` — multi-tasking runtime modes and scaling (E8);
+//! * `fpga_services` — compression, relocation, allocation/defrag
+//!   (E7/E11).
+//!
+//! Run with `cargo bench -p hprc-bench` (or `cargo bench --workspace`).

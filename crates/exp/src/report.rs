@@ -1,0 +1,101 @@
+//! Experiment reports: a rendered text body plus a machine-readable JSON
+//! payload persisted under `results/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// One regenerated table/figure.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. `"table2"`, `"fig9b"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Rendered text body (tables, plots, notes).
+    pub body: String,
+    /// Machine-readable payload.
+    pub json: serde_json::Value,
+}
+
+impl Report {
+    /// Builds a report, serializing `payload` to JSON.
+    pub fn new<T: Serialize>(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        body: String,
+        payload: &T,
+    ) -> Report {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            body,
+            json: serde_json::to_value(payload).expect("payload serializes"),
+        }
+    }
+
+    /// Full text rendering (title banner + body).
+    pub fn render(&self) -> String {
+        let bar = "=".repeat(self.title.len().min(78));
+        format!("{}\n{}\n\n{}", self.title, bar, self.body)
+    }
+
+    /// Writes `<dir>/<id>.json` (creating `dir`) and returns the path.
+    pub fn write_json(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        fs::write(&path, serde_json::to_string_pretty(&self.json)?)?;
+        Ok(path)
+    }
+}
+
+/// Writes `(x, y)` series as a CSV file `<dir>/<id>.csv` with one column
+/// per labelled curve (long format: `label,x,y`).
+pub fn write_series_csv(
+    dir: &Path,
+    id: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.csv"));
+    let mut out = String::from("label,x,y\n");
+    for (label, points) in series {
+        for (x, y) in points {
+            out.push_str(&format!("{label},{x},{y}\n"));
+        }
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_banner() {
+        let r = Report::new("t", "Title Here", "body\n".into(), &serde_json::json!({"k": 1}));
+        let s = r.render();
+        assert!(s.starts_with("Title Here\n=========="));
+        assert!(s.contains("body"));
+    }
+
+    #[test]
+    fn writes_json_and_csv() {
+        let dir = std::env::temp_dir().join(format!("hprc-exp-test-{}", std::process::id()));
+        let r = Report::new("demo", "Demo", String::new(), &serde_json::json!([1, 2, 3]));
+        let p = r.write_json(&dir).unwrap();
+        assert!(p.exists());
+        let csv = write_series_csv(
+            &dir,
+            "curves",
+            &[("a".into(), vec![(1.0, 2.0), (3.0, 4.0)])],
+        )
+        .unwrap();
+        let content = fs::read_to_string(csv).unwrap();
+        assert!(content.contains("a,1,2"));
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,172 @@
+//! Glue between the substrates: builds executable PRTR scenarios by running
+//! a workload trace through the configuration cache (`hprc-sched`), turning
+//! the per-call outcomes into simulator calls (`hprc-sim`), and lining up
+//! the equivalent analytical parameters (`hprc-model`).
+
+use hprc_model::params::{ModelParams, NormalizedTimes};
+use hprc_sched::cache::TaskId;
+use hprc_sched::policy::Policy;
+use hprc_sched::simulate::{simulate, CallOutcome, SimulationOutcome};
+use hprc_sched::traces::TraceSpec;
+use hprc_sim::executor::{run_frtr, run_prtr};
+use hprc_sim::node::NodeConfig;
+use hprc_sim::task::{PrtrCall, TaskCall};
+use serde::{Deserialize, Serialize};
+
+/// Names the three Table 1 application cores cyclically.
+pub fn core_name(task: TaskId) -> &'static str {
+    const NAMES: [&str; 3] = ["Median Filter", "Sobel Filter", "Smoothing Filter"];
+    NAMES[task.0 % NAMES.len()]
+}
+
+/// Converts a cache-simulation outcome into simulator calls, with every
+/// task sized to `t_task` seconds.
+pub fn prtr_calls(
+    node: &NodeConfig,
+    trace: &[TaskId],
+    outcome: &SimulationOutcome,
+    t_task: f64,
+) -> Vec<PrtrCall> {
+    trace
+        .iter()
+        .zip(&outcome.outcomes)
+        .map(|(&task, out)| {
+            let (hit, slot) = match *out {
+                CallOutcome::Hit { slot } => (true, slot),
+                CallOutcome::Miss { slot, .. } => (false, slot),
+            };
+            PrtrCall {
+                task: TaskCall::with_task_time(core_name(task), node, t_task),
+                hit,
+                slot,
+            }
+        })
+        .collect()
+}
+
+/// Model parameters equivalent to a node + task time + hit ratio.
+pub fn model_params_for(node: &NodeConfig, t_task: f64, hit_ratio: f64, n: u64) -> ModelParams {
+    let t_frtr = node.t_frtr_s();
+    ModelParams::new(
+        NormalizedTimes {
+            x_task: t_task / t_frtr,
+            x_control: node.control_overhead_s / t_frtr,
+            x_decision: node.decision_latency_s / t_frtr,
+            x_prtr: node.t_prtr_s() / t_frtr,
+        },
+        hit_ratio,
+        n,
+    )
+    .expect("node parameters are valid")
+}
+
+/// One measured sweep point: simulator and model speedups at one `X_task`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Normalized task time.
+    pub x_task: f64,
+    /// Task time, seconds.
+    pub t_task_s: f64,
+    /// Measured hit ratio of the caching policy.
+    pub hit_ratio: f64,
+    /// Speedup measured on the simulator (FRTR total / PRTR total).
+    pub speedup_sim: f64,
+    /// Speedup predicted by equation (6).
+    pub speedup_model: f64,
+}
+
+/// Runs one sweep point: generates the workload, simulates the cache with
+/// `policy`, executes both FRTR and PRTR on the node simulator, and
+/// evaluates the model at the *measured* hit ratio.
+pub fn run_point(
+    node: &NodeConfig,
+    trace_spec: &TraceSpec,
+    seed: u64,
+    policy: &mut dyn Policy,
+    prefetch: bool,
+    t_task: f64,
+) -> SweepPoint {
+    let trace = trace_spec.generate(seed);
+    let outcome = simulate(&trace, node.n_prrs, policy, prefetch);
+    let calls = prtr_calls(node, &trace, &outcome, t_task);
+    let t_task_actual = calls[0].task.task_time_s(node);
+    let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+    let frtr = run_frtr(node, &frtr_calls).expect("FRTR run");
+    let prtr = run_prtr(node, &calls).expect("PRTR run");
+    let params = model_params_for(node, t_task_actual, outcome.hit_ratio(), trace.len() as u64);
+    SweepPoint {
+        x_task: t_task_actual / node.t_frtr_s(),
+        t_task_s: t_task_actual,
+        hit_ratio: outcome.hit_ratio(),
+        speedup_sim: frtr.total_s() / prtr.total_s(),
+        speedup_model: hprc_model::speedup::speedup(&params),
+    }
+}
+
+/// The paper's Figure 9 workload: the three image filters cycling through
+/// the PRRs, no prefetching (H = 0) — `n` calls at each task time.
+pub fn figure9_point(node: &NodeConfig, t_task: f64, n: usize) -> SweepPoint {
+    let spec = TraceSpec::Looping {
+        stages: 3,
+        n_tasks: 3,
+        noise: 0.0,
+        len: n,
+    };
+    let mut policy = hprc_sched::policies::AlwaysMiss::new();
+    run_point(node, &spec, 1, &mut policy, false, t_task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprc_fpga::floorplan::Floorplan;
+    use hprc_sched::policies::{AlwaysMiss, Markov};
+
+    #[test]
+    fn figure9_point_matches_model_closely() {
+        let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
+        let p = figure9_point(&node, node.t_prtr_s(), 400);
+        assert_eq!(p.hit_ratio, 0.0);
+        let rel = (p.speedup_sim - p.speedup_model).abs() / p.speedup_model;
+        assert!(rel < 0.01, "sim {} vs model {}", p.speedup_sim, p.speedup_model);
+        assert!(p.speedup_sim > 80.0);
+    }
+
+    #[test]
+    fn run_point_uses_measured_hit_ratio() {
+        let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
+        let spec = TraceSpec::Looping {
+            stages: 2,
+            n_tasks: 2,
+            noise: 0.0,
+            len: 200,
+        };
+        // Two tasks, two PRRs, LRU: everything hits after warmup.
+        let mut lru = hprc_sched::policies::Lru::new();
+        let p = run_point(&node, &spec, 3, &mut lru, false, 0.05);
+        assert!(p.hit_ratio > 0.95, "H = {}", p.hit_ratio);
+        assert!(p.speedup_sim > 1.0);
+    }
+
+    #[test]
+    fn prefetching_point_beats_always_miss() {
+        let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
+        let spec = TraceSpec::Looping {
+            stages: 3,
+            n_tasks: 3,
+            noise: 0.0,
+            len: 300,
+        };
+        let t_task = 0.2 * node.t_prtr_s(); // config-bound regime
+        let base = run_point(&node, &spec, 5, &mut AlwaysMiss::new(), false, t_task);
+        let pf = run_point(&node, &spec, 5, &mut Markov::new(), true, t_task);
+        assert!(pf.hit_ratio > base.hit_ratio);
+        assert!(pf.speedup_sim > base.speedup_sim);
+    }
+
+    #[test]
+    fn core_names_cycle() {
+        assert_eq!(core_name(TaskId(0)), "Median Filter");
+        assert_eq!(core_name(TaskId(4)), "Sobel Filter");
+    }
+}

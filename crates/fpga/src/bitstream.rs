@@ -1,0 +1,343 @@
+//! Bitstream generation: full, module-based partial, and difference-based
+//! partial flows (section 2.2 of the paper).
+//!
+//! *Module-based* flow: one partial bitstream per module, each containing
+//! **all** frames of the reconfigurable area ("not just the ones that change
+//! from one design to another"), so for `n` modules there are `n` bitstreams
+//! of identical size.
+//!
+//! *Difference-based* flow: a bitstream contains only the frames that differ
+//! between the currently-loaded design and the new one, so `n` modules need
+//! `n(n-1)` bitstreams of varying size — one per ordered pair.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::Device;
+use crate::error::FpgaError;
+use crate::frames::{ConfigMemory, FrameAddress};
+
+/// What part of the device a bitstream covers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BitstreamKind {
+    /// A full-device bitstream (resets the whole configuration).
+    Full,
+    /// A partial bitstream targeting the listed columns.
+    Partial {
+        /// Columns whose frames the bitstream carries.
+        columns: Vec<usize>,
+    },
+}
+
+/// A generated bitstream: addressed frame payloads plus fixed overhead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bitstream {
+    /// Device the bitstream was generated for.
+    pub device_name: String,
+    /// Coverage kind.
+    pub kind: BitstreamKind,
+    /// `(address, frame payload)` pairs in address order.
+    pub frames: Vec<(FrameAddress, Vec<u8>)>,
+    /// Fixed command/header overhead bytes.
+    pub overhead_bytes: u32,
+}
+
+impl Bitstream {
+    /// Total size in bytes: frame payloads plus fixed overhead.
+    pub fn size_bytes(&self) -> u64 {
+        self.frames
+            .iter()
+            .map(|(_, data)| data.len() as u64)
+            .sum::<u64>()
+            + self.overhead_bytes as u64
+    }
+
+    /// Whether this is a partial bitstream.
+    pub fn is_partial(&self) -> bool {
+        matches!(self.kind, BitstreamKind::Partial { .. })
+    }
+
+    /// Generates a **full** bitstream snapshotting the entire configuration
+    /// memory.
+    pub fn full(device: &Device, memory: &ConfigMemory) -> Result<Bitstream, FpgaError> {
+        check_device(device, memory)?;
+        let all: Vec<usize> = (0..device.columns.len()).collect();
+        let frames = collect_frames(memory, &all)?;
+        Ok(Bitstream {
+            device_name: device.name.clone(),
+            kind: BitstreamKind::Full,
+            frames,
+            overhead_bytes: device.full_overhead_bytes,
+        })
+    }
+
+    /// Generates a **module-based partial** bitstream: every frame of the
+    /// given columns, whether changed or not.
+    pub fn partial_module_based(
+        device: &Device,
+        memory: &ConfigMemory,
+        columns: &[usize],
+    ) -> Result<Bitstream, FpgaError> {
+        check_device(device, memory)?;
+        let frames = collect_frames(memory, columns)?;
+        Ok(Bitstream {
+            device_name: device.name.clone(),
+            kind: BitstreamKind::Partial {
+                columns: columns.to_vec(),
+            },
+            frames,
+            overhead_bytes: device.partial_overhead_bytes,
+        })
+    }
+
+    /// Generates a **difference-based partial** bitstream: only the frames
+    /// of `columns` where `target` differs from `current`.
+    pub fn partial_difference_based(
+        device: &Device,
+        current: &ConfigMemory,
+        target: &ConfigMemory,
+        columns: &[usize],
+    ) -> Result<Bitstream, FpgaError> {
+        check_device(device, current)?;
+        check_device(device, target)?;
+        let addrs = current.diff_in_columns(target, columns)?;
+        let frames = addrs
+            .into_iter()
+            .map(|a| Ok((a, target.read_frame(a)?.to_vec())))
+            .collect::<Result<Vec<_>, FpgaError>>()?;
+        Ok(Bitstream {
+            device_name: device.name.clone(),
+            kind: BitstreamKind::Partial {
+                columns: columns.to_vec(),
+            },
+            frames,
+            overhead_bytes: device.partial_overhead_bytes,
+        })
+    }
+
+    /// Applies the bitstream to a configuration memory, returning the total
+    /// number of bits toggled (zero-toggle frames are glitch-free).
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::BitstreamMismatch`] when the bitstream targets a
+    /// different device.
+    pub fn apply(&self, memory: &mut ConfigMemory) -> Result<u64, FpgaError> {
+        if memory.device_name() != self.device_name {
+            return Err(FpgaError::BitstreamMismatch(format!(
+                "bitstream for {} applied to {}",
+                self.device_name,
+                memory.device_name()
+            )));
+        }
+        let mut toggled = 0;
+        for (addr, data) in &self.frames {
+            toggled += memory.write_frame(*addr, data)?.bits_toggled;
+        }
+        Ok(toggled)
+    }
+}
+
+fn check_device(device: &Device, memory: &ConfigMemory) -> Result<(), FpgaError> {
+    if memory.device_name() != device.name {
+        return Err(FpgaError::BitstreamMismatch(format!(
+            "memory belongs to {}, not {}",
+            memory.device_name(),
+            device.name
+        )));
+    }
+    Ok(())
+}
+
+fn collect_frames(
+    memory: &ConfigMemory,
+    columns: &[usize],
+) -> Result<Vec<(FrameAddress, Vec<u8>)>, FpgaError> {
+    memory
+        .addresses_in_columns(columns)?
+        .into_iter()
+        .map(|a| Ok((a, memory.read_frame(a)?.to_vec())))
+        .collect()
+}
+
+/// Summary of a design flow's bitstream inventory for `n` modules sharing
+/// one reconfigurable region — the paper's `n` vs `n(n-1)` comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowInventory {
+    /// Flow name (`"module-based"` / `"difference-based"`).
+    pub flow: String,
+    /// Number of bitstreams that must be generated and stored.
+    pub bitstream_count: usize,
+    /// Individual bitstream sizes in bytes.
+    pub sizes: Vec<u64>,
+    /// Total storage in bytes.
+    pub total_bytes: u64,
+}
+
+/// Builds the module-based inventory for `module_seeds.len()` modules in
+/// `columns`: `n` bitstreams, all the same size.
+pub fn module_based_inventory(
+    device: &Device,
+    columns: &[usize],
+    module_seeds: &[u64],
+) -> Result<FlowInventory, FpgaError> {
+    let mut sizes = Vec::with_capacity(module_seeds.len());
+    for &seed in module_seeds {
+        let mut mem = ConfigMemory::blank(device);
+        mem.fill_region_pattern(columns, seed)?;
+        sizes.push(Bitstream::partial_module_based(device, &mem, columns)?.size_bytes());
+    }
+    Ok(FlowInventory {
+        flow: "module-based".into(),
+        bitstream_count: sizes.len(),
+        total_bytes: sizes.iter().sum(),
+        sizes,
+    })
+}
+
+/// Builds the difference-based inventory: one bitstream per **ordered pair**
+/// of distinct modules — `n(n-1)` bitstreams whose sizes vary with how much
+/// the two configurations differ.
+pub fn difference_based_inventory(
+    device: &Device,
+    columns: &[usize],
+    module_seeds: &[u64],
+) -> Result<FlowInventory, FpgaError> {
+    let configs: Vec<ConfigMemory> = module_seeds
+        .iter()
+        .map(|&seed| {
+            let mut mem = ConfigMemory::blank(device);
+            mem.fill_region_pattern(columns, seed)?;
+            Ok(mem)
+        })
+        .collect::<Result<_, FpgaError>>()?;
+    let mut sizes = Vec::new();
+    for (i, from) in configs.iter().enumerate() {
+        for (j, to) in configs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            sizes.push(
+                Bitstream::partial_difference_based(device, from, to, columns)?.size_bytes(),
+            );
+        }
+    }
+    Ok(FlowInventory {
+        flow: "difference-based".into(),
+        bitstream_count: sizes.len(),
+        total_bytes: sizes.iter().sum(),
+        sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dual_prr_columns(device: &Device) -> Vec<usize> {
+        // 13 CLB columns + 1 BRAM column, taken from the right side.
+        let clbs = device.clb_column_indices();
+        let brams = device.bram_column_indices();
+        let mut cols: Vec<usize> = clbs[clbs.len() - 13..].to_vec();
+        cols.push(*brams.last().unwrap());
+        cols.sort_unstable();
+        cols
+    }
+
+    #[test]
+    fn full_bitstream_size_matches_device_formula() {
+        let d = Device::xc2vp50();
+        let m = ConfigMemory::blank(&d);
+        let b = Bitstream::full(&d, &m).unwrap();
+        assert_eq!(b.size_bytes(), d.full_bitstream_bytes());
+        assert_eq!(b.size_bytes(), 2_381_764);
+    }
+
+    #[test]
+    fn dual_prr_partial_matches_table2() {
+        let d = Device::xc2vp50();
+        let m = ConfigMemory::blank(&d);
+        let cols = dual_prr_columns(&d);
+        let b = Bitstream::partial_module_based(&d, &m, &cols).unwrap();
+        assert_eq!(b.size_bytes(), 404_168);
+        assert!(b.is_partial());
+    }
+
+    #[test]
+    fn module_based_bitstreams_have_fixed_size() {
+        let d = Device::xc2vp50();
+        let cols = dual_prr_columns(&d);
+        let inv = module_based_inventory(&d, &cols, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(inv.bitstream_count, 4);
+        assert!(inv.sizes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn difference_based_count_is_n_times_n_minus_1() {
+        let d = Device::xc2vp30();
+        let cols = dual_prr_columns(&d);
+        let inv = difference_based_inventory(&d, &cols, &[1, 2, 3]).unwrap();
+        assert_eq!(inv.bitstream_count, 3 * 2);
+        // Random patterns differ in essentially every frame, so sizes are
+        // bounded by the module-based size.
+        let module = module_based_inventory(&d, &cols, &[1]).unwrap().sizes[0];
+        assert!(inv.sizes.iter().all(|&s| s <= module));
+    }
+
+    #[test]
+    fn difference_between_identical_configs_is_overhead_only() {
+        let d = Device::xc2vp30();
+        let cols = dual_prr_columns(&d);
+        let mut a = ConfigMemory::blank(&d);
+        a.fill_region_pattern(&cols, 5).unwrap();
+        let b = a.clone();
+        let bs = Bitstream::partial_difference_based(&d, &a, &b, &cols).unwrap();
+        assert_eq!(bs.size_bytes(), d.partial_overhead_bytes as u64);
+        assert!(bs.frames.is_empty());
+    }
+
+    #[test]
+    fn apply_roundtrip_restores_target_configuration() {
+        let d = Device::xc2vp30();
+        let cols = dual_prr_columns(&d);
+        let mut current = ConfigMemory::blank(&d);
+        current.fill_region_pattern(&cols, 10).unwrap();
+        let mut target = ConfigMemory::blank(&d);
+        target.fill_region_pattern(&cols, 20).unwrap();
+
+        // Module-based apply.
+        let bs = Bitstream::partial_module_based(&d, &target, &cols).unwrap();
+        let mut mem = current.clone();
+        bs.apply(&mut mem).unwrap();
+        assert!(mem.diff_in_columns(&target, &cols).unwrap().is_empty());
+
+        // Difference-based apply gives the identical end state.
+        let bs = Bitstream::partial_difference_based(&d, &current, &target, &cols).unwrap();
+        let mut mem = current.clone();
+        bs.apply(&mut mem).unwrap();
+        assert!(mem.diff_in_columns(&target, &cols).unwrap().is_empty());
+    }
+
+    #[test]
+    fn apply_to_wrong_device_is_rejected() {
+        let d50 = Device::xc2vp50();
+        let d30 = Device::xc2vp30();
+        let m50 = ConfigMemory::blank(&d50);
+        let b = Bitstream::full(&d50, &m50).unwrap();
+        let mut m30 = ConfigMemory::blank(&d30);
+        assert!(b.apply(&mut m30).is_err());
+    }
+
+    #[test]
+    fn reapplying_same_bitstream_toggles_zero_bits() {
+        let d = Device::xc2vp30();
+        let cols = dual_prr_columns(&d);
+        let mut target = ConfigMemory::blank(&d);
+        target.fill_region_pattern(&cols, 3).unwrap();
+        let bs = Bitstream::partial_module_based(&d, &target, &cols).unwrap();
+        let mut mem = ConfigMemory::blank(&d);
+        let first = bs.apply(&mut mem).unwrap();
+        assert!(first > 0);
+        let second = bs.apply(&mut mem).unwrap();
+        assert_eq!(second, 0, "glitch-free guarantee: identical rewrite");
+    }
+}

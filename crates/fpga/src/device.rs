@@ -1,0 +1,460 @@
+//! FPGA device model: column-oriented configuration geometry of the
+//! Virtex-II Pro class, calibrated to the XC2VP50 used in the paper's
+//! Cray XD1 experiments.
+//!
+//! Virtex-II (Pro) configuration memory is organized in vertical **frames**
+//! that span the full height of the device — the paper's reason why PRRs
+//! must occupy whole columns ("a frame includes a whole column of logic
+//! resources"). We model the device as an ordered list of columns, each
+//! owning a fixed number of frames, plus per-column fabric resources.
+//!
+//! Calibration targets (paper, Table 2): the XC2VP50 model below yields a
+//! full bitstream of exactly 2,381,764 bytes and a dual-PRR partial
+//! bitstream of exactly 404,168 bytes; the single-PRR partial comes out at
+//! 889,648 bytes vs the paper's 887,784 (+0.21 %), the residual being the
+//! non-uniform frame overheads of the real device.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FpgaError;
+use crate::resources::Resources;
+
+/// Kind of a configuration column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnKind {
+    /// CLB (logic) column. `ppc_shadow` marks columns crossing a PowerPC
+    /// hard-core hole, which removes some CLB rows (the paper notes the two
+    /// PPC405 cores "occupy a fair amount of the FPGA fabric resources").
+    Clb {
+        /// Whether a PowerPC hole shadows part of this column.
+        ppc_shadow: bool,
+    },
+    /// Block-RAM column (content + interconnect frames).
+    Bram,
+    /// I/O block column.
+    Iob,
+    /// Global clock column.
+    Clock,
+}
+
+/// One configuration column: its kind and its frame count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Fabric kind.
+    pub kind: ColumnKind,
+    /// Number of configuration frames in this column.
+    pub frames: u32,
+}
+
+/// Number of CLB rows a PowerPC hole removes from a shadowed column.
+const PPC_HOLE_ROWS: u32 = 16;
+/// LUTs (and FFs) per CLB: 4 slices × 2 LUTs on Virtex-II Pro.
+const LUTS_PER_CLB: u32 = 8;
+
+/// A modeled FPGA device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Part name (e.g. `"XC2VP50"`).
+    pub name: String,
+    /// CLB rows (device height).
+    pub rows: u32,
+    /// Ordered columns, left to right.
+    pub columns: Vec<Column>,
+    /// Bytes per configuration frame (uniform in this model).
+    pub frame_bytes: u32,
+    /// Fixed bytes of header/sync/CRC/startup commands in a full bitstream.
+    pub full_overhead_bytes: u32,
+    /// Fixed bytes of addressing/pad-frame/command overhead in a partial
+    /// bitstream.
+    pub partial_overhead_bytes: u32,
+    /// BRAM blocks per BRAM column.
+    pub brams_per_column: u32,
+}
+
+impl Device {
+    /// The Xilinx Virtex-II Pro **XC2VP50** (speed grade -7) as found in the
+    /// Cray XD1 Application Acceleration Processor.
+    ///
+    /// 70 CLB columns (16 of them shadowed by the two PPC405 holes), 8 BRAM
+    /// columns of 29 blocks, 2 IOB columns, 1 clock column; 88 CLB rows.
+    /// Fabric capacity: 47,232 LUTs, 47,232 FFs, 232 BRAMs — matching the
+    /// utilization percentages of Table 1.
+    pub fn xc2vp50() -> Device {
+        let mut columns = Vec::with_capacity(81);
+        columns.push(Column {
+            kind: ColumnKind::Iob,
+            frames: 4,
+        });
+        // One BRAM column on the left edge, then CLB groups each followed by
+        // a BRAM column. The two 13-wide groups on the right host the PRRs:
+        // a contiguous [13 CLB + 1 BRAM] window is one dual-layout PRR, and
+        // the contiguous [1 BRAM + 13 CLB + 1 BRAM + 13 CLB + 1 BRAM] window
+        // is the single-PRR layout. The two PPC holes shadow 8 columns each
+        // inside the left (static) half.
+        columns.push(Column {
+            kind: ColumnKind::Bram,
+            frames: 86,
+        });
+        let groups: [(u32, bool); 7] = [
+            (9, false),
+            (9, true), // PPC hole 1 shadows 8 of these
+            (9, true), // PPC hole 2
+            (8, false),
+            (9, false),
+            (13, false), // PRR A in the dual layout
+            (13, false), // PRR B in the dual layout
+        ];
+        let mut clb_emitted = 0u32;
+        for (i, &(count, holes)) in groups.iter().enumerate() {
+            for k in 0..count {
+                // Each PPC hole shadows exactly 8 columns of its group.
+                let shadow = holes && k < 8;
+                columns.push(Column {
+                    kind: ColumnKind::Clb { ppc_shadow: shadow },
+                    frames: 22,
+                });
+                clb_emitted += 1;
+            }
+            if i == 3 {
+                columns.push(Column {
+                    kind: ColumnKind::Clock,
+                    frames: 4,
+                });
+            }
+            // A BRAM column after every CLB group (7 here + 1 left edge).
+            columns.push(Column {
+                kind: ColumnKind::Bram,
+                frames: 86,
+            });
+        }
+        debug_assert_eq!(clb_emitted, 70);
+        columns.push(Column {
+            kind: ColumnKind::Iob,
+            frames: 4,
+        });
+        Device {
+            name: "XC2VP50".into(),
+            rows: 88,
+            columns,
+            frame_bytes: 1060,
+            full_overhead_bytes: 7_364,
+            partial_overhead_bytes: 9_848,
+            brams_per_column: 29,
+        }
+    }
+
+    /// A smaller Virtex-II Pro (**XC2VP30**-class) for tests and examples:
+    /// 46 CLB columns, 8 BRAM columns of 17 blocks, 80 rows; capacity
+    /// 27,392 LUTs / 27,392 FFs / 136 BRAMs.
+    pub fn xc2vp30() -> Device {
+        let mut columns = Vec::new();
+        columns.push(Column {
+            kind: ColumnKind::Iob,
+            frames: 4,
+        });
+        let mut shadowed = 0;
+        for g in 0..8u32 {
+            let count = if g < 6 { 6 } else { 5 };
+            for _ in 0..count {
+                let shadow = (1..=3).contains(&g) && shadowed < 16;
+                if shadow {
+                    shadowed += 1;
+                }
+                columns.push(Column {
+                    kind: ColumnKind::Clb { ppc_shadow: shadow },
+                    frames: 22,
+                });
+            }
+            if g == 3 {
+                columns.push(Column {
+                    kind: ColumnKind::Clock,
+                    frames: 4,
+                });
+            }
+            columns.push(Column {
+                kind: ColumnKind::Bram,
+                frames: 86,
+            });
+        }
+        columns.push(Column {
+            kind: ColumnKind::Iob,
+            frames: 4,
+        });
+        Device {
+            name: "XC2VP30".into(),
+            rows: 80,
+            columns,
+            frame_bytes: 964,
+            full_overhead_bytes: 7_364,
+            partial_overhead_bytes: 9_848,
+            brams_per_column: 17,
+        }
+    }
+
+    /// The Xilinx Virtex-II **XC2V6000** found in SRC-6 nodes (no PPC
+    /// hard cores): 88 CLB columns × 96 rows (67,584 LUTs/FFs), 6 BRAM
+    /// columns of 24 (144 BRAMs); full bitstream ≈ 3.28 MB (the real part
+    /// configures from ~3.27 MB).
+    pub fn xc2v6000() -> Device {
+        let mut columns = Vec::new();
+        columns.push(Column {
+            kind: ColumnKind::Iob,
+            frames: 4,
+        });
+        for g in 0..6u32 {
+            let count = if g < 4 { 15 } else { 14 };
+            for _ in 0..count {
+                columns.push(Column {
+                    kind: ColumnKind::Clb { ppc_shadow: false },
+                    frames: 22,
+                });
+            }
+            if g == 2 {
+                columns.push(Column {
+                    kind: ColumnKind::Clock,
+                    frames: 4,
+                });
+            }
+            columns.push(Column {
+                kind: ColumnKind::Bram,
+                frames: 86,
+            });
+        }
+        columns.push(Column {
+            kind: ColumnKind::Iob,
+            frames: 4,
+        });
+        Device {
+            name: "XC2V6000".into(),
+            rows: 96,
+            columns,
+            frame_bytes: 1328,
+            full_overhead_bytes: 7_364,
+            partial_overhead_bytes: 9_848,
+            brams_per_column: 24,
+        }
+    }
+
+    /// A Virtex-4 **XC4VLX200-class** device (SGI RASC RC100 blades):
+    /// 116 CLB columns × 192 rows (178,176 LUTs/FFs), 14 BRAM columns of
+    /// 24 (336 BRAMs); full bitstream ≈ 6.4 MB. Virtex-4 frames are short
+    /// fixed-size tiles, which this column model approximates with many
+    /// small frames per column — partial bitstreams scale accordingly.
+    pub fn xc4vlx200_class() -> Device {
+        let mut columns = Vec::new();
+        columns.push(Column {
+            kind: ColumnKind::Iob,
+            frames: 30,
+        });
+        for g in 0..14u32 {
+            let count = if g < 4 { 9 } else { 8 };
+            for _ in 0..count {
+                columns.push(Column {
+                    kind: ColumnKind::Clb { ppc_shadow: false },
+                    // 192 rows = 12 vertical tiles; the 1-D column model
+                    // folds the tile dimension into the frame count.
+                    frames: 276,
+                });
+            }
+            if g == 6 {
+                columns.push(Column {
+                    kind: ColumnKind::Clock,
+                    frames: 30,
+                });
+            }
+            columns.push(Column {
+                kind: ColumnKind::Bram,
+                frames: 480,
+            });
+        }
+        columns.push(Column {
+            kind: ColumnKind::Iob,
+            frames: 30,
+        });
+        Device {
+            name: "XC4VLX200".into(),
+            rows: 192,
+            columns,
+            frame_bytes: 164, // the fixed 41-word Virtex-4 frame
+            full_overhead_bytes: 7_364,
+            partial_overhead_bytes: 9_848,
+            brams_per_column: 24,
+        }
+    }
+
+    /// Total number of configuration frames on the device.
+    pub fn total_frames(&self) -> u32 {
+        self.columns.iter().map(|c| c.frames).sum()
+    }
+
+    /// Size in bytes of a full-device bitstream.
+    pub fn full_bitstream_bytes(&self) -> u64 {
+        self.total_frames() as u64 * self.frame_bytes as u64 + self.full_overhead_bytes as u64
+    }
+
+    /// Size in bytes of a partial bitstream covering the given columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::ColumnOutOfRange`] for out-of-range indices.
+    pub fn partial_bitstream_bytes(&self, column_indices: &[usize]) -> Result<u64, FpgaError> {
+        let frames = self.frames_in_columns(column_indices)?;
+        Ok(frames as u64 * self.frame_bytes as u64 + self.partial_overhead_bytes as u64)
+    }
+
+    /// Number of frames in the given columns.
+    pub fn frames_in_columns(&self, column_indices: &[usize]) -> Result<u32, FpgaError> {
+        let mut total = 0;
+        for &i in column_indices {
+            let col = self.columns.get(i).ok_or(FpgaError::ColumnOutOfRange {
+                column: i,
+                device_columns: self.columns.len(),
+            })?;
+            total += col.frames;
+        }
+        Ok(total)
+    }
+
+    /// Fabric resources of one column.
+    pub fn column_resources(&self, index: usize) -> Result<Resources, FpgaError> {
+        let col = self
+            .columns
+            .get(index)
+            .ok_or(FpgaError::ColumnOutOfRange {
+                column: index,
+                device_columns: self.columns.len(),
+            })?;
+        Ok(match col.kind {
+            ColumnKind::Clb { ppc_shadow } => {
+                let rows = if ppc_shadow {
+                    self.rows - PPC_HOLE_ROWS
+                } else {
+                    self.rows
+                };
+                Resources {
+                    luts: rows * LUTS_PER_CLB,
+                    ffs: rows * LUTS_PER_CLB,
+                    brams: 0,
+                    mults: 0,
+                }
+            }
+            ColumnKind::Bram => Resources {
+                luts: 0,
+                ffs: 0,
+                brams: self.brams_per_column,
+                mults: self.brams_per_column,
+            },
+            ColumnKind::Iob | ColumnKind::Clock => Resources::default(),
+        })
+    }
+
+    /// Total fabric capacity of the device.
+    pub fn capacity(&self) -> Resources {
+        (0..self.columns.len()).fold(Resources::default(), |acc, i| {
+            acc + self.column_resources(i).expect("index in range")
+        })
+    }
+
+    /// Indices of all CLB columns, left to right.
+    pub fn clb_column_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c.kind, ColumnKind::Clb { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all BRAM columns, left to right.
+    pub fn bram_column_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind == ColumnKind::Bram)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xc2vp50_geometry_counts() {
+        let d = Device::xc2vp50();
+        assert_eq!(d.clb_column_indices().len(), 70);
+        assert_eq!(d.bram_column_indices().len(), 8);
+        assert_eq!(d.total_frames(), 2240);
+    }
+
+    #[test]
+    fn xc2vp50_full_bitstream_matches_table2_exactly() {
+        let d = Device::xc2vp50();
+        assert_eq!(d.full_bitstream_bytes(), 2_381_764);
+    }
+
+    #[test]
+    fn xc2vp50_capacity_matches_datasheet() {
+        let cap = Device::xc2vp50().capacity();
+        assert_eq!(cap.luts, 47_232);
+        assert_eq!(cap.ffs, 47_232);
+        assert_eq!(cap.brams, 232);
+    }
+
+    #[test]
+    fn ppc_holes_shadow_sixteen_columns() {
+        let d = Device::xc2vp50();
+        let shadowed = d
+            .columns
+            .iter()
+            .filter(|c| matches!(c.kind, ColumnKind::Clb { ppc_shadow: true }))
+            .count();
+        assert_eq!(shadowed, 16);
+    }
+
+    #[test]
+    fn xc2vp30_capacity() {
+        let cap = Device::xc2vp30().capacity();
+        assert_eq!(cap.luts, 27_392);
+        assert_eq!(cap.brams, 136);
+    }
+
+    #[test]
+    fn partial_bitstream_scales_with_columns() {
+        let d = Device::xc2vp50();
+        let clbs = d.clb_column_indices();
+        let one = d.partial_bitstream_bytes(&clbs[..1]).unwrap();
+        let two = d.partial_bitstream_bytes(&clbs[..2]).unwrap();
+        assert_eq!(
+            two - one,
+            22 * d.frame_bytes as u64,
+            "each extra CLB column adds 22 frames"
+        );
+    }
+
+    #[test]
+    fn out_of_range_column_is_an_error() {
+        let d = Device::xc2vp50();
+        assert!(d.partial_bitstream_bytes(&[9999]).is_err());
+        assert!(d.column_resources(9999).is_err());
+    }
+
+    #[test]
+    fn column_resources_distinguish_shadowed_columns() {
+        let d = Device::xc2vp50();
+        let mut normal = None;
+        let mut shadowed = None;
+        for (i, c) in d.columns.iter().enumerate() {
+            match c.kind {
+                ColumnKind::Clb { ppc_shadow: false } if normal.is_none() => normal = Some(i),
+                ColumnKind::Clb { ppc_shadow: true } if shadowed.is_none() => shadowed = Some(i),
+                _ => {}
+            }
+        }
+        let n = d.column_resources(normal.unwrap()).unwrap();
+        let s = d.column_resources(shadowed.unwrap()).unwrap();
+        assert_eq!(n.luts, 88 * 8);
+        assert_eq!(s.luts, (88 - 16) * 8);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the FPGA substrate.
+
+use std::fmt;
+
+/// Errors from device modeling, floorplanning, bitstream generation, and
+/// placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpgaError {
+    /// A column index is outside the device.
+    ColumnOutOfRange {
+        /// Offending column index.
+        column: usize,
+        /// Number of columns in the device.
+        device_columns: usize,
+    },
+    /// Two regions claim the same column.
+    OverlappingRegions {
+        /// Column claimed twice.
+        column: usize,
+    },
+    /// A frame address does not exist on the device.
+    BadFrameAddress(String),
+    /// A bitstream does not target this device or region.
+    BitstreamMismatch(String),
+    /// A module does not fit the region (resources or clocking).
+    PlacementFailed(String),
+    /// A floorplan violates a device constraint.
+    InvalidFloorplan(String),
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::ColumnOutOfRange {
+                column,
+                device_columns,
+            } => write!(
+                f,
+                "column {column} out of range (device has {device_columns} columns)"
+            ),
+            FpgaError::OverlappingRegions { column } => {
+                write!(f, "regions overlap at column {column}")
+            }
+            FpgaError::BadFrameAddress(msg) => write!(f, "bad frame address: {msg}"),
+            FpgaError::BitstreamMismatch(msg) => write!(f, "bitstream mismatch: {msg}"),
+            FpgaError::PlacementFailed(msg) => write!(f, "placement failed: {msg}"),
+            FpgaError::InvalidFloorplan(msg) => write!(f, "invalid floorplan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FpgaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_specifics() {
+        let e = FpgaError::ColumnOutOfRange {
+            column: 99,
+            device_columns: 70,
+        };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("70"));
+    }
+}

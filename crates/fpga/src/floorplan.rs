@@ -1,0 +1,395 @@
+//! Floorplans: static region + Partially Reconfigurable Regions (PRRs).
+//!
+//! Virtex-II frames span a whole column, so PRRs are full-height,
+//! **contiguous** column ranges (section 4.2: "a frame includes a whole
+//! column of logic resources"). The Cray XD1 layouts of Figure 8 are
+//! provided as constructors: a single-PRR layout (all four memory banks
+//! available to the PRR) and a dual-PRR layout (two banks each).
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use crate::busmacro::BusMacroSet;
+use crate::device::Device;
+use crate::error::FpgaError;
+use crate::resources::Resources;
+
+/// A named, contiguous, full-height region of the device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Region name (e.g. `"static"`, `"PRR0"`).
+    pub name: String,
+    /// Contiguous column index range (half-open).
+    pub columns: Range<usize>,
+}
+
+impl Region {
+    /// Creates a region after bounds-checking against the device.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Range<usize>,
+        device: &Device,
+    ) -> Result<Region, FpgaError> {
+        if columns.end > device.columns.len() || columns.start >= columns.end {
+            return Err(FpgaError::ColumnOutOfRange {
+                column: columns.end.max(columns.start),
+                device_columns: device.columns.len(),
+            });
+        }
+        Ok(Region {
+            name: name.into(),
+            columns,
+        })
+    }
+
+    /// The column indices of the region as a vector (for frame/bitstream
+    /// APIs that take index slices).
+    pub fn column_indices(&self) -> Vec<usize> {
+        self.columns.clone().collect()
+    }
+
+    /// Fabric resources inside the region.
+    pub fn resources(&self, device: &Device) -> Result<Resources, FpgaError> {
+        let mut total = Resources::default();
+        for i in self.columns.clone() {
+            total += device.column_resources(i)?;
+        }
+        Ok(total)
+    }
+
+    /// Configuration frames inside the region.
+    pub fn frames(&self, device: &Device) -> Result<u32, FpgaError> {
+        device.frames_in_columns(&self.column_indices())
+    }
+
+    /// Size in bytes of a module-based partial bitstream for this region.
+    pub fn partial_bitstream_bytes(&self, device: &Device) -> Result<u64, FpgaError> {
+        device.partial_bitstream_bytes(&self.column_indices())
+    }
+
+    /// Whether this region overlaps another.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.columns.start < other.columns.end && other.columns.start < self.columns.end
+    }
+}
+
+/// One PRR: its region, the local memory banks wired to it, and the bus
+/// macros bridging it to the static region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prr {
+    /// The reconfigurable region.
+    pub region: Region,
+    /// Indices (0..4 on Cray XD1) of the QDR-II memory banks assigned to
+    /// this PRR.
+    pub memory_banks: Vec<u8>,
+    /// Fixed bus macros bridging this PRR to the static region.
+    pub bus_macros: BusMacroSet,
+}
+
+impl Prr {
+    /// Resources usable by a module placed here: the region's fabric minus
+    /// the LUTs consumed by the PRR-side halves of the bus macros.
+    pub fn usable_resources(&self, device: &Device) -> Result<Resources, FpgaError> {
+        let raw = self.region.resources(device)?;
+        Ok(raw.saturating_sub(&Resources::new(self.bus_macros.luts_per_side(), 0, 0)))
+    }
+}
+
+/// A complete FPGA layout: the static region plus zero or more PRRs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// The device this floorplan targets.
+    pub device: Device,
+    /// The static region (services block / RT core, reconfiguration
+    /// controller, FIFOs — section 4.2).
+    pub static_region: Region,
+    /// The partially reconfigurable regions.
+    pub prrs: Vec<Prr>,
+}
+
+/// Number of memory banks on the Cray XD1 FPGA daughter card.
+pub const XD1_MEMORY_BANKS: u8 = 4;
+
+impl Floorplan {
+    /// Validates and builds a floorplan.
+    ///
+    /// Checks: regions within the device; static/PRR regions pairwise
+    /// disjoint; memory banks valid (`< 4`), disjoint across PRRs, and at
+    /// least one per PRR; every PRR has bus macros (it must talk to the
+    /// static region through fixed routing bridges).
+    pub fn new(
+        device: Device,
+        static_region: Region,
+        prrs: Vec<Prr>,
+    ) -> Result<Floorplan, FpgaError> {
+        let ncols = device.columns.len();
+        let mut regions: Vec<&Region> = vec![&static_region];
+        regions.extend(prrs.iter().map(|p| &p.region));
+        for r in &regions {
+            if r.columns.end > ncols {
+                return Err(FpgaError::ColumnOutOfRange {
+                    column: r.columns.end,
+                    device_columns: ncols,
+                });
+            }
+        }
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                if a.overlaps(b) {
+                    return Err(FpgaError::OverlappingRegions {
+                        column: a.columns.start.max(b.columns.start),
+                    });
+                }
+            }
+        }
+        let mut seen_banks = [false; XD1_MEMORY_BANKS as usize];
+        for prr in &prrs {
+            if prr.memory_banks.is_empty() {
+                return Err(FpgaError::InvalidFloorplan(format!(
+                    "PRR {} has no memory bank",
+                    prr.region.name
+                )));
+            }
+            for &b in &prr.memory_banks {
+                if b >= XD1_MEMORY_BANKS {
+                    return Err(FpgaError::InvalidFloorplan(format!(
+                        "memory bank {b} does not exist"
+                    )));
+                }
+                if seen_banks[b as usize] {
+                    return Err(FpgaError::InvalidFloorplan(format!(
+                        "memory bank {b} assigned to more than one PRR"
+                    )));
+                }
+                seen_banks[b as usize] = true;
+            }
+            if prr.bus_macros.count == 0 {
+                return Err(FpgaError::InvalidFloorplan(format!(
+                    "PRR {} has no bus macros to cross its boundary",
+                    prr.region.name
+                )));
+            }
+        }
+        Ok(Floorplan {
+            device,
+            static_region,
+            prrs,
+        })
+    }
+
+    /// The Cray XD1 **single-PRR** layout (Figure 8, left variant): the
+    /// rightmost contiguous `[BRAM, 13 CLB, BRAM, 13 CLB, BRAM]` window is
+    /// one PRR with all four memory banks; everything to its left (minus
+    /// the IOB edge) is static.
+    pub fn xd1_single_prr() -> Floorplan {
+        let device = Device::xc2vp50();
+        let ncols = device.columns.len();
+        // Last column is IOB; the PRR is the 29-column window before it.
+        let prr_range = (ncols - 1 - 29)..(ncols - 1);
+        let static_region = Region {
+            name: "static".into(),
+            columns: 0..(ncols - 1 - 29),
+        };
+        let prr = Prr {
+            region: Region {
+                name: "PRR0".into(),
+                columns: prr_range,
+            },
+            memory_banks: vec![0, 1, 2, 3],
+            bus_macros: BusMacroSet::xd1_prr_interface(),
+        };
+        Floorplan::new(device, static_region, vec![prr]).expect("built-in layout is valid")
+    }
+
+    /// The Cray XD1 **dual-PRR** layout (Figure 8): two contiguous
+    /// `[13 CLB + 1 BRAM]` windows on the right, two memory banks each.
+    pub fn xd1_dual_prr() -> Floorplan {
+        let device = Device::xc2vp50();
+        let ncols = device.columns.len();
+        // Rightmost window: 13 CLB + BRAM just before the IOB edge.
+        let prr_b = (ncols - 1 - 14)..(ncols - 1);
+        let prr_a = (ncols - 1 - 28)..(ncols - 1 - 14);
+        let static_region = Region {
+            name: "static".into(),
+            columns: 0..(ncols - 1 - 28),
+        };
+        let mk = |name: &str, range: Range<usize>, banks: Vec<u8>| Prr {
+            region: Region {
+                name: name.into(),
+                columns: range,
+            },
+            memory_banks: banks,
+            bus_macros: BusMacroSet::xd1_prr_interface(),
+        };
+        Floorplan::new(
+            device,
+            static_region,
+            vec![
+                mk("PRR0", prr_a, vec![0, 1]),
+                mk("PRR1", prr_b, vec![2, 3]),
+            ],
+        )
+        .expect("built-in layout is valid")
+    }
+
+    /// A hypothetical **quad-PRR** refinement of the XD1 layout (the
+    /// "finer-grained partitions" direction of section 5): the same
+    /// 29-column reconfigurable window split into four contiguous PRRs,
+    /// one memory bank each. Smaller regions mean smaller partial
+    /// bitstreams, pushing `X_PRTR` (and the peak speedup point) down.
+    pub fn xd1_quad_prr() -> Floorplan {
+        let device = Device::xc2vp50();
+        let ncols = device.columns.len();
+        let window_start = ncols - 1 - 29;
+        // Split [B,13C,B,13C,B] into contiguous quarters: 7+7+7+8 columns.
+        let bounds = [0usize, 7, 14, 21, 29];
+        let static_region = Region {
+            name: "static".into(),
+            columns: 0..window_start,
+        };
+        let prrs = (0..4)
+            .map(|i| Prr {
+                region: Region {
+                    name: format!("PRR{i}"),
+                    columns: (window_start + bounds[i])..(window_start + bounds[i + 1]),
+                },
+                memory_banks: vec![i as u8],
+                bus_macros: BusMacroSet::xd1_prr_interface(),
+            })
+            .collect();
+        Floorplan::new(device, static_region, prrs).expect("built-in layout is valid")
+    }
+
+    /// Average partial-bitstream size over the PRRs, in bytes.
+    pub fn mean_prr_bitstream_bytes(&self) -> Result<f64, FpgaError> {
+        if self.prrs.is_empty() {
+            return Ok(0.0);
+        }
+        let mut total = 0u64;
+        for prr in &self.prrs {
+            total += prr.region.partial_bitstream_bytes(&self.device)?;
+        }
+        Ok(total as f64 / self.prrs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::ColumnKind;
+
+    #[test]
+    fn dual_prr_layout_matches_table2_sizes() {
+        let fp = Floorplan::xd1_dual_prr();
+        assert_eq!(fp.prrs.len(), 2);
+        for prr in &fp.prrs {
+            assert_eq!(
+                prr.region.partial_bitstream_bytes(&fp.device).unwrap(),
+                404_168,
+                "PRR {} size",
+                prr.region.name
+            );
+            assert_eq!(prr.region.frames(&fp.device).unwrap(), 372);
+        }
+    }
+
+    #[test]
+    fn single_prr_layout_is_close_to_table2() {
+        let fp = Floorplan::xd1_single_prr();
+        assert_eq!(fp.prrs.len(), 1);
+        let size = fp.prrs[0]
+            .region
+            .partial_bitstream_bytes(&fp.device)
+            .unwrap();
+        // Paper: 887,784 bytes. Uniform-frame calibration yields 889,648
+        // (+0.21 %).
+        let rel = (size as f64 - 887_784.0).abs() / 887_784.0;
+        assert!(rel < 0.005, "size = {size}, rel err = {rel}");
+    }
+
+    #[test]
+    fn dual_prr_window_composition() {
+        let fp = Floorplan::xd1_dual_prr();
+        for prr in &fp.prrs {
+            let mut clb = 0;
+            let mut bram = 0;
+            for i in prr.region.columns.clone() {
+                match fp.device.columns[i].kind {
+                    ColumnKind::Clb { .. } => clb += 1,
+                    ColumnKind::Bram => bram += 1,
+                    other => panic!("unexpected column {other:?} in PRR"),
+                }
+            }
+            assert_eq!((clb, bram), (13, 1));
+        }
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_banks_partitioned() {
+        let fp = Floorplan::xd1_dual_prr();
+        assert!(!fp.prrs[0].region.overlaps(&fp.prrs[1].region));
+        assert!(!fp.static_region.overlaps(&fp.prrs[0].region));
+        let mut banks: Vec<u8> = fp.prrs.iter().flat_map(|p| p.memory_banks.clone()).collect();
+        banks.sort_unstable();
+        assert_eq!(banks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn overlapping_floorplan_rejected() {
+        let device = Device::xc2vp50();
+        let s = Region::new("static", 0..40, &device).unwrap();
+        let p = Prr {
+            region: Region::new("PRR0", 39..50, &device).unwrap(),
+            memory_banks: vec![0],
+            bus_macros: BusMacroSet::xd1_prr_interface(),
+        };
+        assert!(matches!(
+            Floorplan::new(device, s, vec![p]),
+            Err(FpgaError::OverlappingRegions { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_bank_rejected() {
+        let device = Device::xc2vp50();
+        let s = Region::new("static", 0..40, &device).unwrap();
+        let mk = |name: &str, r: Range<usize>| Prr {
+            region: Region::new(name, r, &device).unwrap(),
+            memory_banks: vec![0],
+            bus_macros: BusMacroSet::xd1_prr_interface(),
+        };
+        let prrs = vec![mk("a", 41..45), mk("b", 46..50)];
+        let result = Floorplan::new(device, s, prrs);
+        assert!(matches!(result, Err(FpgaError::InvalidFloorplan(_))));
+    }
+
+    #[test]
+    fn bankless_prr_rejected() {
+        let device = Device::xc2vp50();
+        let s = Region::new("static", 0..40, &device).unwrap();
+        let p = Prr {
+            region: Region::new("PRR0", 41..45, &device).unwrap(),
+            memory_banks: vec![],
+            bus_macros: BusMacroSet::xd1_prr_interface(),
+        };
+        assert!(Floorplan::new(device, s, vec![p]).is_err());
+    }
+
+    #[test]
+    fn usable_resources_subtract_bus_macros() {
+        let fp = Floorplan::xd1_dual_prr();
+        let prr = &fp.prrs[0];
+        let raw = prr.region.resources(&fp.device).unwrap();
+        let usable = prr.usable_resources(&fp.device).unwrap();
+        assert_eq!(raw.luts - usable.luts, prr.bus_macros.luts_per_side());
+        assert_eq!(raw.ffs, usable.ffs);
+    }
+
+    #[test]
+    fn empty_region_rejected() {
+        let device = Device::xc2vp50();
+        assert!(Region::new("empty", 5..5, &device).is_err());
+        assert!(Region::new("oob", 0..10_000, &device).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Configuration frames and the device's configuration memory.
+//!
+//! The frame is "the smallest addressable segment of the configuration
+//! memory space" (section 2.2). Virtex-II guarantees glitch-free writes for
+//! bits whose value does not change — which is what makes *difference-based*
+//! partial reconfiguration safe. [`ConfigMemory`] models the full
+//! configuration state and reports, per write, how many bits actually
+//! toggled.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::Device;
+use crate::error::FpgaError;
+
+/// Address of one configuration frame: a column and a minor index within
+/// that column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FrameAddress {
+    /// Column index (device order, left to right).
+    pub column: usize,
+    /// Frame index within the column.
+    pub minor: u32,
+}
+
+/// Result of writing one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameWriteReport {
+    /// Number of bits whose value changed. Unchanged bits are guaranteed
+    /// glitch-free by the device, so `bits_toggled == 0` means the write was
+    /// a no-op for the running logic.
+    pub bits_toggled: u64,
+}
+
+/// The device's configuration memory: every frame's current contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigMemory {
+    device_name: String,
+    frame_bytes: usize,
+    /// Per column, per minor frame, the frame contents.
+    frames: Vec<Vec<Vec<u8>>>,
+}
+
+impl ConfigMemory {
+    /// Blank (all-zero) configuration memory for a device — the state after
+    /// power-up, before any bitstream is loaded.
+    pub fn blank(device: &Device) -> Self {
+        ConfigMemory {
+            device_name: device.name.clone(),
+            frame_bytes: device.frame_bytes as usize,
+            frames: device
+                .columns
+                .iter()
+                .map(|c| vec![vec![0u8; device.frame_bytes as usize]; c.frames as usize])
+                .collect(),
+        }
+    }
+
+    /// Name of the device this memory belongs to.
+    pub fn device_name(&self) -> &str {
+        &self.device_name
+    }
+
+    /// Bytes per frame.
+    pub fn frame_bytes(&self) -> usize {
+        self.frame_bytes
+    }
+
+    /// Number of columns.
+    pub fn columns(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of frames in a column.
+    pub fn frames_in_column(&self, column: usize) -> Result<usize, FpgaError> {
+        self.frames
+            .get(column)
+            .map(|c| c.len())
+            .ok_or(FpgaError::ColumnOutOfRange {
+                column,
+                device_columns: self.frames.len(),
+            })
+    }
+
+    /// Reads a frame.
+    pub fn read_frame(&self, addr: FrameAddress) -> Result<&[u8], FpgaError> {
+        self.frames
+            .get(addr.column)
+            .and_then(|c| c.get(addr.minor as usize))
+            .map(|f| f.as_slice())
+            .ok_or_else(|| FpgaError::BadFrameAddress(format!("{addr:?}")))
+    }
+
+    /// Writes a frame, returning how many bits toggled.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::BadFrameAddress`] for unknown addresses or wrong-length
+    /// data.
+    pub fn write_frame(
+        &mut self,
+        addr: FrameAddress,
+        data: &[u8],
+    ) -> Result<FrameWriteReport, FpgaError> {
+        if data.len() != self.frame_bytes {
+            return Err(FpgaError::BadFrameAddress(format!(
+                "frame data length {} != frame size {}",
+                data.len(),
+                self.frame_bytes
+            )));
+        }
+        let frame = self
+            .frames
+            .get_mut(addr.column)
+            .and_then(|c| c.get_mut(addr.minor as usize))
+            .ok_or_else(|| FpgaError::BadFrameAddress(format!("{addr:?}")))?;
+        let mut toggled = 0u64;
+        for (dst, &src) in frame.iter_mut().zip(data) {
+            toggled += (*dst ^ src).count_ones() as u64;
+            *dst = src;
+        }
+        Ok(FrameWriteReport {
+            bits_toggled: toggled,
+        })
+    }
+
+    /// All frame addresses in the given columns, in address order.
+    pub fn addresses_in_columns(
+        &self,
+        columns: &[usize],
+    ) -> Result<Vec<FrameAddress>, FpgaError> {
+        let mut out = Vec::new();
+        for &column in columns {
+            let n = self.frames_in_column(column)?;
+            out.extend((0..n as u32).map(|minor| FrameAddress { column, minor }));
+        }
+        Ok(out)
+    }
+
+    /// Addresses of frames that differ between `self` and `other`
+    /// (restricted to `columns`). This is the *difference-based* flow's
+    /// frame set.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::BitstreamMismatch`] when the two memories belong to
+    /// different devices.
+    pub fn diff_in_columns(
+        &self,
+        other: &ConfigMemory,
+        columns: &[usize],
+    ) -> Result<Vec<FrameAddress>, FpgaError> {
+        if self.device_name != other.device_name || self.frame_bytes != other.frame_bytes {
+            return Err(FpgaError::BitstreamMismatch(format!(
+                "cannot diff {} against {}",
+                self.device_name, other.device_name
+            )));
+        }
+        let mut out = Vec::new();
+        for addr in self.addresses_in_columns(columns)? {
+            if self.read_frame(addr)? != other.read_frame(addr)? {
+                out.push(addr);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deterministically fills the frames of the given columns with a
+    /// pattern derived from `seed` — a stand-in for the configuration data
+    /// of one synthesized module occupying those columns.
+    pub fn fill_region_pattern(&mut self, columns: &[usize], seed: u64) -> Result<(), FpgaError> {
+        // SplitMix64: tiny, deterministic, and good enough for distinct
+        // per-module patterns; no RNG dependency needed in the library.
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for addr in self.addresses_in_columns(columns)? {
+            let frame = &mut self.frames[addr.column][addr.minor as usize];
+            for chunk in frame.chunks_mut(8) {
+                let bytes = next().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+
+    #[test]
+    fn blank_memory_is_all_zero() {
+        let d = Device::xc2vp50();
+        let m = ConfigMemory::blank(&d);
+        let addr = FrameAddress {
+            column: 1,
+            minor: 0,
+        };
+        assert!(m.read_frame(addr).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(m.columns(), d.columns.len());
+    }
+
+    #[test]
+    fn write_reports_toggled_bits() {
+        let d = Device::xc2vp50();
+        let mut m = ConfigMemory::blank(&d);
+        let addr = FrameAddress {
+            column: 1,
+            minor: 3,
+        };
+        let mut data = vec![0u8; d.frame_bytes as usize];
+        data[0] = 0b1010_1010;
+        let r = m.write_frame(addr, &data).unwrap();
+        assert_eq!(r.bits_toggled, 4);
+        // Re-writing identical data toggles nothing (glitch-free guarantee).
+        let r2 = m.write_frame(addr, &data).unwrap();
+        assert_eq!(r2.bits_toggled, 0);
+    }
+
+    #[test]
+    fn wrong_length_write_rejected() {
+        let d = Device::xc2vp50();
+        let mut m = ConfigMemory::blank(&d);
+        let addr = FrameAddress {
+            column: 1,
+            minor: 0,
+        };
+        assert!(m.write_frame(addr, &[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn bad_address_rejected() {
+        let d = Device::xc2vp50();
+        let m = ConfigMemory::blank(&d);
+        assert!(m
+            .read_frame(FrameAddress {
+                column: 0,
+                minor: 9999,
+            })
+            .is_err());
+        assert!(m
+            .read_frame(FrameAddress {
+                column: 9999,
+                minor: 0,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn diff_finds_exactly_the_changed_frames() {
+        let d = Device::xc2vp50();
+        let a = ConfigMemory::blank(&d);
+        let mut b = ConfigMemory::blank(&d);
+        let cols = vec![1usize, 2];
+        b.fill_region_pattern(&[2], 42).unwrap();
+        let diff = a.diff_in_columns(&b, &cols).unwrap();
+        assert!(!diff.is_empty());
+        assert!(diff.iter().all(|f| f.column == 2));
+        assert_eq!(diff.len(), d.columns[2].frames as usize);
+    }
+
+    #[test]
+    fn diff_across_devices_is_an_error() {
+        let a = ConfigMemory::blank(&Device::xc2vp50());
+        let b = ConfigMemory::blank(&Device::xc2vp30());
+        assert!(a.diff_in_columns(&b, &[1]).is_err());
+    }
+
+    #[test]
+    fn fill_is_deterministic_and_seed_sensitive() {
+        let d = Device::xc2vp50();
+        let mut a = ConfigMemory::blank(&d);
+        let mut b = ConfigMemory::blank(&d);
+        let mut c = ConfigMemory::blank(&d);
+        a.fill_region_pattern(&[3], 7).unwrap();
+        b.fill_region_pattern(&[3], 7).unwrap();
+        c.fill_region_pattern(&[3], 8).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.diff_in_columns(&b, &[3]).unwrap().iter().any(|_| true));
+        assert!(!a.diff_in_columns(&c, &[3]).unwrap().is_empty());
+    }
+}

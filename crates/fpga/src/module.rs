@@ -1,0 +1,190 @@
+//! Hardware module library — the "common hardware library" of section 3.1
+//! and the cores of Table 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::resources::Resources;
+
+/// Functional class of a hardware module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModuleClass {
+    /// Infrastructure living in the static region (RT core, FIFOs, ...).
+    Infrastructure,
+    /// The partial-reconfiguration controller (ICAP feeder).
+    PrController,
+    /// An application (image-processing) core that lives in a PRR.
+    Application,
+}
+
+/// A synthesized hardware module: name, resources, and achievable clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwModule {
+    /// Module name as in Table 1.
+    pub name: String,
+    /// Functional class.
+    pub class: ModuleClass,
+    /// Post-synthesis resource requirements.
+    pub resources: Resources,
+    /// Maximum clock frequency in MHz.
+    pub freq_mhz: f64,
+    /// Pixels (or data words) processed per clock once the pipeline is
+    /// full — 1 for the fully pipelined filters of section 4.3.
+    pub throughput_per_clock: f64,
+    /// Pipeline fill latency in clocks (rows of context the window filter
+    /// must buffer before the first output).
+    pub pipeline_latency_clocks: u32,
+}
+
+impl HwModule {
+    /// Sustained processing throughput in bytes per second (1 byte/pixel).
+    pub fn throughput_bytes_per_sec(&self) -> f64 {
+        self.freq_mhz * 1e6 * self.throughput_per_clock
+    }
+}
+
+/// The library of modules used in the paper's experiments (Table 1), plus a
+/// few extra application cores for larger workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleLibrary {
+    /// All modules, lookup by name via [`ModuleLibrary::get`].
+    pub modules: Vec<HwModule>,
+}
+
+impl ModuleLibrary {
+    /// Exactly the five rows of Table 1.
+    pub fn paper_table1() -> ModuleLibrary {
+        let m = |name: &str, class, luts, ffs, brams, freq| HwModule {
+            name: name.into(),
+            class,
+            resources: Resources::new(luts, ffs, brams),
+            freq_mhz: freq,
+            throughput_per_clock: 1.0,
+            pipeline_latency_clocks: 1024,
+        };
+        ModuleLibrary {
+            modules: vec![
+                HwModule {
+                    // The services block is not a streaming core.
+                    throughput_per_clock: 0.0,
+                    pipeline_latency_clocks: 0,
+                    ..m(
+                        "Static Region",
+                        ModuleClass::Infrastructure,
+                        3_372,
+                        5_503,
+                        25,
+                        200.0,
+                    )
+                },
+                HwModule {
+                    throughput_per_clock: 0.0,
+                    pipeline_latency_clocks: 0,
+                    ..m("PR Controller", ModuleClass::PrController, 418, 432, 8, 66.0)
+                },
+                m(
+                    "Median Filter",
+                    ModuleClass::Application,
+                    3_141,
+                    3_270,
+                    0,
+                    200.0,
+                ),
+                m(
+                    "Sobel Filter",
+                    ModuleClass::Application,
+                    1_159,
+                    1_060,
+                    0,
+                    200.0,
+                ),
+                m(
+                    "Smoothing Filter",
+                    ModuleClass::Application,
+                    2_053,
+                    1_601,
+                    0,
+                    200.0,
+                ),
+            ],
+        }
+    }
+
+    /// Table 1 plus additional application cores (used by the extension
+    /// experiments where more than three tasks rotate through the PRRs).
+    pub fn extended() -> ModuleLibrary {
+        let mut lib = Self::paper_table1();
+        let m = |name: &str, luts, ffs, freq| HwModule {
+            name: name.into(),
+            class: ModuleClass::Application,
+            resources: Resources::new(luts, ffs, 0),
+            freq_mhz: freq,
+            throughput_per_clock: 1.0,
+            pipeline_latency_clocks: 1024,
+        };
+        lib.modules.extend([
+            m("Laplacian Filter", 1_420, 1_215, 200.0),
+            m("Erosion Filter", 980, 890, 200.0),
+            m("Dilation Filter", 985, 902, 200.0),
+            m("Threshold", 310, 280, 200.0),
+        ]);
+        lib
+    }
+
+    /// Finds a module by name.
+    pub fn get(&self, name: &str) -> Option<&HwModule> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// The application cores only (the tasks that rotate through PRRs).
+    pub fn application_cores(&self) -> Vec<&HwModule> {
+        self.modules
+            .iter()
+            .filter(|m| m.class == ModuleClass::Application)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_five_rows() {
+        let lib = ModuleLibrary::paper_table1();
+        assert_eq!(lib.modules.len(), 5);
+        assert_eq!(lib.application_cores().len(), 3);
+    }
+
+    #[test]
+    fn table1_values_match_paper() {
+        let lib = ModuleLibrary::paper_table1();
+        let median = lib.get("Median Filter").unwrap();
+        assert_eq!(median.resources, Resources::new(3_141, 3_270, 0));
+        assert_eq!(median.freq_mhz, 200.0);
+        let prc = lib.get("PR Controller").unwrap();
+        assert_eq!(prc.resources.brams, 8);
+        assert_eq!(prc.freq_mhz, 66.0);
+        let static_region = lib.get("Static Region").unwrap();
+        assert_eq!(static_region.resources, Resources::new(3_372, 5_503, 25));
+    }
+
+    #[test]
+    fn application_core_throughput_is_one_pixel_per_clock() {
+        let lib = ModuleLibrary::paper_table1();
+        let sobel = lib.get("Sobel Filter").unwrap();
+        assert!((sobel.throughput_bytes_per_sec() - 200e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn extended_library_superset() {
+        let lib = ModuleLibrary::extended();
+        assert!(lib.modules.len() > 5);
+        assert!(lib.get("Laplacian Filter").is_some());
+        assert!(lib.get("Median Filter").is_some());
+    }
+
+    #[test]
+    fn unknown_module_is_none() {
+        assert!(ModuleLibrary::paper_table1().get("FFT").is_none());
+    }
+}

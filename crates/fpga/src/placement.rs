@@ -1,0 +1,172 @@
+//! Module placement: fitting hardware modules into PRRs and the static
+//! region, with resource and clock checks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FpgaError;
+use crate::floorplan::Floorplan;
+use crate::module::{HwModule, ModuleClass};
+use crate::resources::{Resources, Utilization};
+
+/// A placement decision: which module occupies which PRR slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// PRR index in the floorplan.
+    pub prr_index: usize,
+    /// Module name.
+    pub module: String,
+    /// Utilization of the PRR's usable resources.
+    pub utilization: Utilization,
+}
+
+/// Checks that `module` fits into PRR `prr_index` of `floorplan`.
+///
+/// A module fits when its resources fit the PRR's usable resources (region
+/// fabric minus bus-macro LUTs) and its clock does not exceed the fabric's
+/// design clock for the layout.
+pub fn place_in_prr(
+    floorplan: &Floorplan,
+    prr_index: usize,
+    module: &HwModule,
+    fabric_clock_mhz: f64,
+) -> Result<Placement, FpgaError> {
+    let prr = floorplan
+        .prrs
+        .get(prr_index)
+        .ok_or_else(|| FpgaError::PlacementFailed(format!("no PRR #{prr_index}")))?;
+    if module.class != ModuleClass::Application {
+        return Err(FpgaError::PlacementFailed(format!(
+            "module {} is not an application core; it belongs in the static region",
+            module.name
+        )));
+    }
+    let usable = prr.usable_resources(&floorplan.device)?;
+    if !module.resources.fits_in(&usable) {
+        return Err(FpgaError::PlacementFailed(format!(
+            "module {} needs {:?} but PRR {} offers {:?}",
+            module.name, module.resources, prr.region.name, usable
+        )));
+    }
+    if module.freq_mhz < fabric_clock_mhz {
+        return Err(FpgaError::PlacementFailed(format!(
+            "module {} tops out at {} MHz below the {} MHz fabric clock",
+            module.name, module.freq_mhz, fabric_clock_mhz
+        )));
+    }
+    Ok(Placement {
+        prr_index,
+        module: module.name.clone(),
+        utilization: module.resources.utilization(&usable),
+    })
+}
+
+/// Checks that all infrastructure modules fit into the static region
+/// together, returning the aggregate utilization.
+pub fn place_static(
+    floorplan: &Floorplan,
+    modules: &[&HwModule],
+) -> Result<Utilization, FpgaError> {
+    let capacity = floorplan.static_region.resources(&floorplan.device)?;
+    let mut total = Resources::default();
+    for m in modules {
+        if m.class == ModuleClass::Application {
+            return Err(FpgaError::PlacementFailed(format!(
+                "application core {} cannot live in the static region",
+                m.name
+            )));
+        }
+        total += m.resources;
+    }
+    if !total.fits_in(&capacity) {
+        return Err(FpgaError::PlacementFailed(format!(
+            "static modules need {total:?} but the static region offers {capacity:?}"
+        )));
+    }
+    Ok(total.utilization(&capacity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::module::ModuleLibrary;
+
+    #[test]
+    fn paper_cores_fit_the_dual_prr_layout() {
+        let fp = Floorplan::xd1_dual_prr();
+        let lib = ModuleLibrary::paper_table1();
+        for core in lib.application_cores() {
+            for prr in 0..2 {
+                let p = place_in_prr(&fp, prr, core, 200.0).unwrap();
+                assert_eq!(p.module, core.name);
+                assert!(p.utilization.luts <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn infrastructure_fits_the_static_region() {
+        let fp = Floorplan::xd1_dual_prr();
+        let lib = ModuleLibrary::paper_table1();
+        let infra: Vec<_> = lib
+            .modules
+            .iter()
+            .filter(|m| m.class != ModuleClass::Application)
+            .collect();
+        let u = place_static(&fp, &infra).unwrap();
+        assert!(u.luts > 0.0 && u.luts < 1.0);
+        assert!(u.brams > 0.0 && u.brams < 1.0);
+    }
+
+    #[test]
+    fn oversized_module_rejected() {
+        let fp = Floorplan::xd1_dual_prr();
+        let huge = HwModule {
+            name: "Huge".into(),
+            class: ModuleClass::Application,
+            resources: Resources::new(1_000_000, 10, 0),
+            freq_mhz: 200.0,
+            throughput_per_clock: 1.0,
+            pipeline_latency_clocks: 0,
+        };
+        assert!(place_in_prr(&fp, 0, &huge, 200.0).is_err());
+    }
+
+    #[test]
+    fn slow_module_rejected() {
+        let fp = Floorplan::xd1_dual_prr();
+        let slow = HwModule {
+            name: "Slow".into(),
+            class: ModuleClass::Application,
+            resources: Resources::new(100, 100, 0),
+            freq_mhz: 50.0,
+            throughput_per_clock: 1.0,
+            pipeline_latency_clocks: 0,
+        };
+        assert!(place_in_prr(&fp, 0, &slow, 200.0).is_err());
+    }
+
+    #[test]
+    fn infrastructure_cannot_enter_a_prr() {
+        let fp = Floorplan::xd1_dual_prr();
+        let lib = ModuleLibrary::paper_table1();
+        let prc = lib.get("PR Controller").unwrap();
+        assert!(place_in_prr(&fp, 0, prc, 66.0).is_err());
+    }
+
+    #[test]
+    fn application_core_cannot_enter_static_region() {
+        let fp = Floorplan::xd1_dual_prr();
+        let lib = ModuleLibrary::paper_table1();
+        let median = lib.get("Median Filter").unwrap();
+        assert!(place_static(&fp, &[median]).is_err());
+    }
+
+    #[test]
+    fn missing_prr_index_rejected() {
+        let fp = Floorplan::xd1_dual_prr();
+        let lib = ModuleLibrary::paper_table1();
+        let sobel = lib.get("Sobel Filter").unwrap();
+        assert!(place_in_prr(&fp, 7, sobel, 200.0).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! FPGA fabric resources (LUTs, flip-flops, block RAMs, multipliers) and
+//! utilization accounting, as reported in the paper's Table 1.
+
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A bundle of fabric resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Resources {
+    /// 4-input look-up tables.
+    pub luts: u32,
+    /// Flip-flops (registers).
+    pub ffs: u32,
+    /// 18 Kbit block RAMs.
+    pub brams: u32,
+    /// 18×18 embedded multipliers.
+    pub mults: u32,
+}
+
+impl Resources {
+    /// A resource bundle with only the given LUT/FF/BRAM counts (the columns
+    /// of Table 1).
+    pub const fn new(luts: u32, ffs: u32, brams: u32) -> Self {
+        Self {
+            luts,
+            ffs,
+            brams,
+            mults: 0,
+        }
+    }
+
+    /// Whether `self` fits within `capacity` (component-wise `<=`).
+    pub fn fits_in(&self, capacity: &Resources) -> bool {
+        self.luts <= capacity.luts
+            && self.ffs <= capacity.ffs
+            && self.brams <= capacity.brams
+            && self.mults <= capacity.mults
+    }
+
+    /// Component-wise saturating subtraction (remaining capacity).
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            luts: self.luts.saturating_sub(other.luts),
+            ffs: self.ffs.saturating_sub(other.ffs),
+            brams: self.brams.saturating_sub(other.brams),
+            mults: self.mults.saturating_sub(other.mults),
+        }
+    }
+
+    /// Utilization of each resource as a fraction of `capacity`
+    /// (`None` components of capacity that are zero yield 0.0).
+    pub fn utilization(&self, capacity: &Resources) -> Utilization {
+        fn frac(used: u32, cap: u32) -> f64 {
+            if cap == 0 {
+                0.0
+            } else {
+                used as f64 / cap as f64
+            }
+        }
+        Utilization {
+            luts: frac(self.luts, capacity.luts),
+            ffs: frac(self.ffs, capacity.ffs),
+            brams: frac(self.brams, capacity.brams),
+            mults: frac(self.mults, capacity.mults),
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            brams: self.brams + rhs.brams,
+            mults: self.mults + rhs.mults,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts - rhs.luts,
+            ffs: self.ffs - rhs.ffs,
+            brams: self.brams - rhs.brams,
+            mults: self.mults - rhs.mults,
+        }
+    }
+}
+
+/// Fractional utilization per resource class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// LUT fraction in `[0, 1]` (may exceed 1 for over-subscription).
+    pub luts: f64,
+    /// FF fraction.
+    pub ffs: f64,
+    /// BRAM fraction.
+    pub brams: f64,
+    /// Multiplier fraction.
+    pub mults: f64,
+}
+
+impl Utilization {
+    /// Truncated integer percentage, matching the paper's Table 1 rendering
+    /// (e.g. `5503/47232 = 11.65% -> "11%"`).
+    pub fn percent_truncated(fraction: f64) -> u32 {
+        (fraction * 100.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Resources::new(100, 200, 3);
+        let b = Resources::new(40, 60, 1);
+        assert_eq!(a + b - b, a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn fits_is_component_wise() {
+        let cap = Resources::new(100, 100, 10);
+        assert!(Resources::new(100, 100, 10).fits_in(&cap));
+        assert!(!Resources::new(101, 1, 1).fits_in(&cap));
+        assert!(!Resources::new(1, 101, 1).fits_in(&cap));
+        assert!(!Resources::new(1, 1, 11).fits_in(&cap));
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows() {
+        let a = Resources::new(5, 5, 5);
+        let b = Resources::new(10, 1, 10);
+        let r = a.saturating_sub(&b);
+        assert_eq!(r, Resources::new(0, 4, 0));
+    }
+
+    #[test]
+    fn table1_percentages_match_paper_rounding() {
+        // Static region on XC2VP50: 3,372 LUT (7%), 5,503 FF (11%), 25 BRAM (10%).
+        let cap = Resources {
+            luts: 47_232,
+            ffs: 47_232,
+            brams: 232,
+            mults: 232,
+        };
+        let static_region = Resources::new(3_372, 5_503, 25);
+        let u = static_region.utilization(&cap);
+        assert_eq!(Utilization::percent_truncated(u.luts), 7);
+        assert_eq!(Utilization::percent_truncated(u.ffs), 11);
+        assert_eq!(Utilization::percent_truncated(u.brams), 10);
+        // PR controller: 418 (0%), 432 (0%), 8 BRAM (3%).
+        let prc = Resources::new(418, 432, 8);
+        let u = prc.utilization(&cap);
+        assert_eq!(Utilization::percent_truncated(u.luts), 0);
+        assert_eq!(Utilization::percent_truncated(u.ffs), 0);
+        assert_eq!(Utilization::percent_truncated(u.brams), 3);
+    }
+
+    #[test]
+    fn zero_capacity_reports_zero_utilization() {
+        let u = Resources::new(1, 1, 1).utilization(&Resources::default());
+        assert_eq!(u.luts, 0.0);
+        assert_eq!(u.brams, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the FPGA substrate invariants.
+
+use hprc_fpga::bitstream::{
+    difference_based_inventory, module_based_inventory, Bitstream,
+};
+use hprc_fpga::device::Device;
+use hprc_fpga::frames::ConfigMemory;
+use proptest::prelude::*;
+
+fn arb_columns(device: &Device) -> impl Strategy<Value = Vec<usize>> {
+    let ncols = device.columns.len();
+    proptest::collection::btree_set(0..ncols, 1..6).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A module-based partial bitstream applied to any starting state
+    /// always reproduces the source configuration in the covered columns.
+    #[test]
+    fn module_based_apply_is_idempotent_and_exact(
+        cols in arb_columns(&Device::xc2vp30()),
+        src_seed in any::<u64>(),
+        dst_seed in any::<u64>(),
+    ) {
+        let d = Device::xc2vp30();
+        let mut src = ConfigMemory::blank(&d);
+        src.fill_region_pattern(&cols, src_seed).unwrap();
+        let bs = Bitstream::partial_module_based(&d, &src, &cols).unwrap();
+
+        let mut dst = ConfigMemory::blank(&d);
+        dst.fill_region_pattern(&cols, dst_seed).unwrap();
+        bs.apply(&mut dst).unwrap();
+        prop_assert!(dst.diff_in_columns(&src, &cols).unwrap().is_empty());
+
+        // Second application toggles zero bits.
+        let toggled = bs.apply(&mut dst).unwrap();
+        prop_assert_eq!(toggled, 0u64);
+    }
+
+    /// Difference-based and module-based flows reach the identical end
+    /// state, and the difference-based bitstream is never larger.
+    #[test]
+    fn flows_agree_and_difference_is_smaller(
+        cols in arb_columns(&Device::xc2vp30()),
+        a_seed in any::<u64>(),
+        b_seed in any::<u64>(),
+    ) {
+        let d = Device::xc2vp30();
+        let mut a = ConfigMemory::blank(&d);
+        a.fill_region_pattern(&cols, a_seed).unwrap();
+        let mut b = ConfigMemory::blank(&d);
+        b.fill_region_pattern(&cols, b_seed).unwrap();
+
+        let module = Bitstream::partial_module_based(&d, &b, &cols).unwrap();
+        let diff = Bitstream::partial_difference_based(&d, &a, &b, &cols).unwrap();
+        prop_assert!(diff.size_bytes() <= module.size_bytes());
+
+        let mut via_module = a.clone();
+        module.apply(&mut via_module).unwrap();
+        let mut via_diff = a.clone();
+        diff.apply(&mut via_diff).unwrap();
+        prop_assert!(via_module.diff_in_columns(&via_diff, &cols).unwrap().is_empty());
+    }
+
+    /// Partial bitstream size is exactly frames x frame_bytes + overhead.
+    #[test]
+    fn partial_size_formula(cols in arb_columns(&Device::xc2vp50()), seed in any::<u64>()) {
+        let d = Device::xc2vp50();
+        let mut m = ConfigMemory::blank(&d);
+        m.fill_region_pattern(&cols, seed).unwrap();
+        let bs = Bitstream::partial_module_based(&d, &m, &cols).unwrap();
+        let frames = d.frames_in_columns(&cols).unwrap() as u64;
+        prop_assert_eq!(
+            bs.size_bytes(),
+            frames * d.frame_bytes as u64 + d.partial_overhead_bytes as u64
+        );
+        prop_assert_eq!(bs.size_bytes(), d.partial_bitstream_bytes(&cols).unwrap());
+    }
+
+    /// Inventory counts: module-based = n, difference-based = n(n-1);
+    /// module-based sizes are uniform.
+    #[test]
+    fn inventory_counts(n in 2usize..5, seed0 in any::<u64>()) {
+        let d = Device::xc2vp30();
+        let cols: Vec<usize> = vec![2, 3];
+        let seeds: Vec<u64> = (0..n as u64).map(|i| seed0.wrapping_add(i)).collect();
+        let mb = module_based_inventory(&d, &cols, &seeds).unwrap();
+        let db = difference_based_inventory(&d, &cols, &seeds).unwrap();
+        prop_assert_eq!(mb.bitstream_count, n);
+        prop_assert_eq!(db.bitstream_count, n * (n - 1));
+        prop_assert!(mb.sizes.windows(2).all(|w| w[0] == w[1]));
+    }
+}

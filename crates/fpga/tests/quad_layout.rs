@@ -1,0 +1,59 @@
+//! Tests of the quad-PRR refinement layout.
+
+use hprc_fpga::floorplan::Floorplan;
+
+#[test]
+fn quad_layout_has_four_disjoint_prrs() {
+    let fp = Floorplan::xd1_quad_prr();
+    assert_eq!(fp.prrs.len(), 4);
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            assert!(!fp.prrs[i].region.overlaps(&fp.prrs[j].region));
+        }
+        assert!(!fp.static_region.overlaps(&fp.prrs[i].region));
+        assert_eq!(fp.prrs[i].memory_banks, vec![i as u8]);
+    }
+}
+
+#[test]
+fn quad_prrs_cover_the_dual_window() {
+    let dual = Floorplan::xd1_dual_prr();
+    let quad = Floorplan::xd1_quad_prr();
+    // The quad layout refines a window that includes both dual PRRs plus
+    // the extra leading BRAM column of the single-PRR window.
+    let quad_cols: usize = quad.prrs.iter().map(|p| p.region.columns.len()).sum();
+    assert_eq!(quad_cols, 29);
+    let dual_cols: usize = dual.prrs.iter().map(|p| p.region.columns.len()).sum();
+    assert_eq!(dual_cols, 28);
+}
+
+#[test]
+fn finer_partitions_shrink_mean_bitstreams() {
+    let single = Floorplan::xd1_single_prr().mean_prr_bitstream_bytes().unwrap();
+    let dual = Floorplan::xd1_dual_prr().mean_prr_bitstream_bytes().unwrap();
+    let quad = Floorplan::xd1_quad_prr().mean_prr_bitstream_bytes().unwrap();
+    assert!(single > dual && dual > quad, "{single} > {dual} > {quad}");
+}
+
+#[test]
+fn cross_platform_devices_have_expected_capacity() {
+    use hprc_fpga::device::Device;
+    let v2_6000 = Device::xc2v6000();
+    assert_eq!(v2_6000.capacity().luts, 67_584);
+    assert_eq!(v2_6000.capacity().brams, 144);
+    // ~3.28 MB full bitstream (real part: ~3.27 MB).
+    let mb = v2_6000.full_bitstream_bytes() as f64 / 1e6;
+    assert!((3.2..3.4).contains(&mb), "{mb} MB");
+
+    let v4 = Device::xc4vlx200_class();
+    assert_eq!(v4.capacity().luts, 178_176);
+    assert_eq!(v4.capacity().brams, 336);
+    let mb = v4.full_bitstream_bytes() as f64 / 1e6;
+    assert!((6.2..6.6).contains(&mb), "{mb} MB");
+    // Virtex-4 frames are much finer: a single column reconfigures with a
+    // far smaller bitstream fraction than on Virtex-II.
+    let v4_col = v4.partial_bitstream_bytes(&[2]).unwrap() as f64 / v4.full_bitstream_bytes() as f64;
+    let v2_col = v2_6000.partial_bitstream_bytes(&[2]).unwrap() as f64
+        / v2_6000.full_bitstream_bytes() as f64;
+    assert!(v4_col < v2_col, "v4 {v4_col} vs v2 {v2_col}");
+}

@@ -1,0 +1,296 @@
+//! The filter abstraction: every hardware function of the module library
+//! has a functional software model here, with sequential and parallel
+//! (crossbeam scoped-thread) execution paths.
+
+use serde::{Deserialize, Serialize};
+
+use crate::image::Image;
+
+/// The image-processing kernels of the (extended) module library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FilterKind {
+    /// 3×3 median filter (Table 1's "Median Filter").
+    Median,
+    /// 3×3 Sobel edge detector (Table 1's "Sobel Filter").
+    Sobel,
+    /// 3×3 Gaussian smoothing (Table 1's "Smoothing Filter").
+    Smoothing,
+    /// 4-neighbor Laplacian (extension core).
+    Laplacian,
+    /// 3×3 grayscale erosion: neighborhood minimum (extension core).
+    Erosion,
+    /// 3×3 grayscale dilation: neighborhood maximum (extension core).
+    Dilation,
+    /// Binary threshold at 128 (extension core).
+    Threshold,
+}
+
+impl FilterKind {
+    /// All kernels.
+    pub const ALL: [FilterKind; 7] = [
+        FilterKind::Median,
+        FilterKind::Sobel,
+        FilterKind::Smoothing,
+        FilterKind::Laplacian,
+        FilterKind::Erosion,
+        FilterKind::Dilation,
+        FilterKind::Threshold,
+    ];
+
+    /// The module-library name of this kernel (Table 1 naming).
+    pub fn module_name(&self) -> &'static str {
+        match self {
+            FilterKind::Median => "Median Filter",
+            FilterKind::Sobel => "Sobel Filter",
+            FilterKind::Smoothing => "Smoothing Filter",
+            FilterKind::Laplacian => "Laplacian Filter",
+            FilterKind::Erosion => "Erosion Filter",
+            FilterKind::Dilation => "Dilation Filter",
+            FilterKind::Threshold => "Threshold",
+        }
+    }
+
+    /// Looks a kernel up by its module-library name.
+    pub fn from_module_name(name: &str) -> Option<FilterKind> {
+        Self::ALL.iter().copied().find(|k| k.module_name() == name)
+    }
+
+    /// Computes one output pixel at `(x, y)`.
+    #[inline]
+    pub fn pixel(&self, input: &Image, x: usize, y: usize) -> u8 {
+        let xi = x as isize;
+        let yi = y as isize;
+        match self {
+            FilterKind::Median => {
+                let mut w = window3x3(input, xi, yi);
+                median9(&mut w)
+            }
+            FilterKind::Sobel => {
+                let w = window3x3(input, xi, yi);
+                let p = |i: usize| w[i] as i32;
+                // Gx = [-1 0 1; -2 0 2; -1 0 1], Gy = transpose.
+                let gx = -p(0) + p(2) - 2 * p(3) + 2 * p(5) - p(6) + p(8);
+                let gy = -p(0) - 2 * p(1) - p(2) + p(6) + 2 * p(7) + p(8);
+                (gx.abs() + gy.abs()).min(255) as u8
+            }
+            FilterKind::Smoothing => {
+                let w = window3x3(input, xi, yi);
+                let p = |i: usize| w[i] as u32;
+                // Gaussian [1 2 1; 2 4 2; 1 2 1] / 16, rounded.
+                let sum = p(0)
+                    + 2 * p(1)
+                    + p(2)
+                    + 2 * p(3)
+                    + 4 * p(4)
+                    + 2 * p(5)
+                    + p(6)
+                    + 2 * p(7)
+                    + p(8);
+                ((sum + 8) / 16) as u8
+            }
+            FilterKind::Laplacian => {
+                let c = input.get_clamped(xi, yi) as i32;
+                let n = input.get_clamped(xi, yi - 1) as i32;
+                let s = input.get_clamped(xi, yi + 1) as i32;
+                let e = input.get_clamped(xi + 1, yi) as i32;
+                let w = input.get_clamped(xi - 1, yi) as i32;
+                (4 * c - n - s - e - w).unsigned_abs().min(255) as u8
+            }
+            FilterKind::Erosion => *window3x3(input, xi, yi).iter().min().expect("9 elements"),
+            FilterKind::Dilation => *window3x3(input, xi, yi).iter().max().expect("9 elements"),
+            FilterKind::Threshold => {
+                if input.get(x, y) >= 128 {
+                    255
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Applies the filter sequentially.
+    pub fn apply(&self, input: &Image) -> Image {
+        Image::from_fn(input.width(), input.height(), |x, y| self.pixel(input, x, y))
+    }
+
+    /// Applies the filter with `threads` crossbeam scoped threads, each
+    /// computing a horizontal band of output rows. Produces bit-identical
+    /// results to [`FilterKind::apply`].
+    pub fn apply_parallel(&self, input: &Image, threads: usize) -> Image {
+        let width = input.width();
+        let height = input.height();
+        let mut output = Image::zeros(width, height);
+        let bands = output.row_bands_mut(threads.max(1));
+        crossbeam::thread::scope(|s| {
+            for (start_row, band) in bands {
+                s.spawn(move |_| {
+                    for (offset, px) in band.iter_mut().enumerate() {
+                        let y = start_row + offset / width;
+                        let x = offset % width;
+                        *px = self.pixel(input, x, y);
+                    }
+                });
+            }
+        })
+        .expect("filter worker panicked");
+        output
+    }
+}
+
+/// The 3×3 neighborhood of `(x, y)` with edge replication, row-major.
+#[inline]
+fn window3x3(img: &Image, x: isize, y: isize) -> [u8; 9] {
+    [
+        img.get_clamped(x - 1, y - 1),
+        img.get_clamped(x, y - 1),
+        img.get_clamped(x + 1, y - 1),
+        img.get_clamped(x - 1, y),
+        img.get_clamped(x, y),
+        img.get_clamped(x + 1, y),
+        img.get_clamped(x - 1, y + 1),
+        img.get_clamped(x, y + 1),
+        img.get_clamped(x + 1, y + 1),
+    ]
+}
+
+/// Median of 9 via the 19-compare-exchange optimal network — the same
+/// structure the hardware core's sorting network uses.
+#[inline]
+fn median9(v: &mut [u8; 9]) -> u8 {
+    #[inline]
+    fn ce(v: &mut [u8; 9], a: usize, b: usize) {
+        if v[a] > v[b] {
+            v.swap(a, b);
+        }
+    }
+    // Paeth's 19-exchange median-of-9 network.
+    ce(v, 1, 2);
+    ce(v, 4, 5);
+    ce(v, 7, 8);
+    ce(v, 0, 1);
+    ce(v, 3, 4);
+    ce(v, 6, 7);
+    ce(v, 1, 2);
+    ce(v, 4, 5);
+    ce(v, 7, 8);
+    ce(v, 0, 3);
+    ce(v, 5, 8);
+    ce(v, 4, 7);
+    ce(v, 3, 6);
+    ce(v, 1, 4);
+    ce(v, 2, 5);
+    ce(v, 4, 7);
+    ce(v, 4, 2);
+    ce(v, 6, 4);
+    ce(v, 4, 2);
+    v[4]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median9_matches_sort() {
+        let cases: [[u8; 9]; 4] = [
+            [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            [9, 8, 7, 6, 5, 4, 3, 2, 1],
+            [5, 5, 5, 1, 9, 5, 3, 7, 5],
+            [0, 255, 0, 255, 128, 255, 0, 255, 0],
+        ];
+        for c in cases {
+            let mut a = c;
+            let got = median9(&mut a);
+            let mut sorted = c;
+            sorted.sort_unstable();
+            assert_eq!(got, sorted[4], "case {c:?}");
+        }
+    }
+
+    #[test]
+    fn median_preserves_constant_images() {
+        let img = Image::constant(16, 16, 77);
+        assert_eq!(FilterKind::Median.apply(&img), img);
+    }
+
+    #[test]
+    fn smoothing_preserves_constant_images() {
+        let img = Image::constant(16, 16, 201);
+        assert_eq!(FilterKind::Smoothing.apply(&img), img);
+    }
+
+    #[test]
+    fn sobel_is_zero_on_constant_images() {
+        let img = Image::constant(16, 16, 123);
+        let out = FilterKind::Sobel.apply(&img);
+        assert!(out.pixels().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn sobel_detects_a_vertical_edge() {
+        let img = Image::from_fn(8, 8, |x, _| if x < 4 { 0 } else { 255 });
+        let out = FilterKind::Sobel.apply(&img);
+        // The edge column saturates; far-from-edge columns are zero.
+        assert_eq!(out.get(3, 4), 255);
+        assert_eq!(out.get(4, 4), 255);
+        assert_eq!(out.get(0, 4), 0);
+        assert_eq!(out.get(7, 4), 0);
+    }
+
+    #[test]
+    fn median_removes_salt_and_pepper_speck() {
+        let mut img = Image::constant(9, 9, 100);
+        img.set(4, 4, 255); // a single hot pixel
+        let out = FilterKind::Median.apply(&img);
+        assert_eq!(out.get(4, 4), 100);
+    }
+
+    #[test]
+    fn erosion_dilation_order() {
+        let img = Image::random(32, 32, 7);
+        let eroded = FilterKind::Erosion.apply(&img);
+        let dilated = FilterKind::Dilation.apply(&img);
+        for (e, d) in eroded.pixels().iter().zip(dilated.pixels()) {
+            assert!(e <= d);
+        }
+    }
+
+    #[test]
+    fn laplacian_zero_on_linear_ramp_interior() {
+        let img = Image::from_fn(16, 16, |x, _| (x * 10) as u8);
+        let out = FilterKind::Laplacian.apply(&img);
+        // Interior of a linear ramp has zero second derivative.
+        for y in 1..15 {
+            for x in 1..15 {
+                assert_eq!(out.get(x, y), 0, "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_is_binary() {
+        let img = Image::random(16, 16, 3);
+        let out = FilterKind::Threshold.apply(&img);
+        assert!(out.pixels().iter().all(|&p| p == 0 || p == 255));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_kernels() {
+        let img = Image::random(33, 41, 11); // odd sizes stress banding
+        for kind in FilterKind::ALL {
+            let seq = kind.apply(&img);
+            for threads in [1, 2, 3, 8] {
+                let par = kind.apply_parallel(&img, threads);
+                assert_eq!(seq, par, "{kind:?} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn module_name_roundtrip() {
+        for kind in FilterKind::ALL {
+            assert_eq!(FilterKind::from_module_name(kind.module_name()), Some(kind));
+        }
+        assert_eq!(FilterKind::from_module_name("FFT"), None);
+    }
+}

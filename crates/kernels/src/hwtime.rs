@@ -1,0 +1,166 @@
+//! Hardware task-time model: how long a hardware function "call" takes on
+//! the HPRC node as a function of the data it processes.
+//!
+//! Section 4.3: "The task time requirement was varied by changing the amount
+//! of data transferred to/from and processed by the task", with the XD1's
+//! I/O bandwidth quoted at 1400 MB/s and the cores running fully pipelined
+//! at 200 MHz (1 pixel/clock). The paper lumps I/O and compute into a single
+//! `T_task`; this module computes that lump from first principles so the
+//! Figure 9 sweep can drive task time via data size, exactly like the
+//! experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing model of one streaming hardware task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskTimeModel {
+    /// Host↔FPGA I/O bandwidth in bytes/second (1.4 GB/s on Cray XD1).
+    pub io_bytes_per_sec: f64,
+    /// Core clock in Hz (200 MHz for the Table 1 filters).
+    pub clock_hz: f64,
+    /// Data words (bytes, for 8-bit pixels) consumed per clock when the
+    /// pipeline is full.
+    pub bytes_per_clock: f64,
+    /// Pipeline fill latency in clocks before the first output.
+    pub pipeline_latency_clocks: u32,
+    /// Whether input transfer, compute, and output transfer are overlapped
+    /// (streaming through FIFOs — section 4.2) or serialized
+    /// (store-and-forward through the memory banks).
+    pub overlapped: bool,
+}
+
+impl TaskTimeModel {
+    /// The Cray XD1 model for a Table 1 filter core: 1.4 GB/s I/O, 200 MHz,
+    /// 1 byte/clock, streaming FIFOs (overlapped I/O and compute).
+    pub fn xd1_filter() -> TaskTimeModel {
+        TaskTimeModel {
+            io_bytes_per_sec: 1.4e9,
+            clock_hz: 200e6,
+            bytes_per_clock: 1.0,
+            pipeline_latency_clocks: 1024,
+            overlapped: true,
+        }
+    }
+
+    /// Compute-side time for `bytes` of data, seconds.
+    pub fn compute_time_s(&self, bytes: u64) -> f64 {
+        (bytes as f64 / self.bytes_per_clock + self.pipeline_latency_clocks as f64)
+            / self.clock_hz
+    }
+
+    /// One-way transfer time for `bytes`, seconds.
+    pub fn io_time_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.io_bytes_per_sec
+    }
+
+    /// Total task time `T_task` for a call that reads `bytes_in`, processes
+    /// them, and writes `bytes_out`.
+    ///
+    /// Overlapped (streaming) mode: the pipeline is rate-limited by the
+    /// slowest stage, so `T ≈ max(in, compute, out) + fill`. Serialized
+    /// mode: the three phases add up.
+    pub fn task_time_s(&self, bytes_in: u64, bytes_out: u64) -> f64 {
+        let t_in = self.io_time_s(bytes_in);
+        let t_out = self.io_time_s(bytes_out);
+        if self.overlapped {
+            // Streaming: every stage processes concurrently at its own rate;
+            // the pipeline drains at the slowest stage, plus one fill.
+            let t_stream = bytes_in as f64 / (self.clock_hz * self.bytes_per_clock);
+            let fill = self.pipeline_latency_clocks as f64 / self.clock_hz;
+            t_in.max(t_stream).max(t_out) + fill
+        } else {
+            t_in + self.compute_time_s(bytes_in) + t_out
+        }
+    }
+
+    /// Inverse of [`TaskTimeModel::task_time_s`] for the symmetric
+    /// (`bytes_in == bytes_out`) streaming case: the number of bytes a task
+    /// must process so that its time equals `t_task` seconds. Used by the
+    /// Figure 9 sweep to translate a target `X_task` into a workload size.
+    pub fn bytes_for_task_time(&self, t_task: f64) -> u64 {
+        let fill = self.pipeline_latency_clocks as f64 / self.clock_hz;
+        let effective = (t_task - if self.overlapped { fill } else { 0.0 }).max(0.0);
+        // Rate-limited by the slowest of I/O (each direction at io rate) and
+        // compute.
+        let bottleneck = if self.overlapped {
+            self.io_bytes_per_sec.min(self.clock_hz * self.bytes_per_clock)
+        } else {
+            // Serialized: t = 2*b/io + b/(clk*bpc).
+            let per_byte = 2.0 / self.io_bytes_per_sec
+                + 1.0 / (self.clock_hz * self.bytes_per_clock);
+            return (effective / per_byte) as u64;
+        };
+        (effective * bottleneck) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xd1_filter_is_compute_bound() {
+        // 200 MB/s compute < 1400 MB/s I/O, so compute is the bottleneck.
+        let m = TaskTimeModel::xd1_filter();
+        let bytes = 10_000_000u64;
+        let t = m.task_time_s(bytes, bytes);
+        let t_compute = m.compute_time_s(bytes);
+        assert!((t - t_compute).abs() / t_compute < 1e-6);
+    }
+
+    #[test]
+    fn serialized_mode_adds_phases() {
+        let m = TaskTimeModel {
+            overlapped: false,
+            pipeline_latency_clocks: 0,
+            ..TaskTimeModel::xd1_filter()
+        };
+        let bytes = 1_400_000u64;
+        let t = m.task_time_s(bytes, bytes);
+        // 1 ms in + 7 ms compute + 1 ms out.
+        assert!((t - 0.009).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn bytes_for_task_time_inverts_task_time() {
+        let m = TaskTimeModel::xd1_filter();
+        for &target in &[0.001f64, 0.01, 0.1, 1.0] {
+            let bytes = m.bytes_for_task_time(target);
+            let t = m.task_time_s(bytes, bytes);
+            assert!(
+                (t - target).abs() / target < 0.01,
+                "target {target}: bytes {bytes} -> t {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn bytes_for_task_time_inverts_serialized_too() {
+        let m = TaskTimeModel {
+            overlapped: false,
+            pipeline_latency_clocks: 0,
+            ..TaskTimeModel::xd1_filter()
+        };
+        let bytes = m.bytes_for_task_time(0.05);
+        let t = m.task_time_s(bytes, bytes);
+        assert!((t - 0.05).abs() / 0.05 < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn tiny_target_times_yield_zero_bytes() {
+        let m = TaskTimeModel::xd1_filter();
+        // Below the pipeline fill time nothing can be processed.
+        assert_eq!(m.bytes_for_task_time(1e-9), 0);
+    }
+
+    #[test]
+    fn table2_context_full_config_vs_data_intensive_tasks() {
+        // Paper section 5: with the estimated 36 ms full configuration,
+        // "most of the data-intensive tasks require larger execution time
+        // given the I/O bandwidth, i.e. 1400 MB/s" — a 16 MB (memory-bank
+        // sized) streaming task takes 80 ms > 36 ms.
+        let m = TaskTimeModel::xd1_filter();
+        let t = m.task_time_s(16 << 20, 16 << 20);
+        assert!(t > 0.036, "t = {t}");
+    }
+}

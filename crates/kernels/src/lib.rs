@@ -1,0 +1,31 @@
+//! # hprc-kernels
+//!
+//! Workload substrate: functional software models of the paper's hardware
+//! image-processing functions (Table 1's median, Sobel, and smoothing
+//! filters, plus extension cores), multi-stage pipelines that generate the
+//! task-call traces of section 3.1, and the hardware task-time model that
+//! maps data size to `T_task` (200 MHz pipelined cores, 1.4 GB/s I/O).
+//!
+//! Each filter has a sequential and a crossbeam-parallel execution path
+//! with bit-identical results, so the reproduction's "hardware functions"
+//! are real computations whose outputs can be verified, not opaque delays.
+//!
+//! ```
+//! use hprc_kernels::{FilterKind, Image};
+//!
+//! let noisy = Image::random(64, 64, 42);
+//! let denoised = FilterKind::Median.apply_parallel(&noisy, 4);
+//! assert_eq!(denoised, FilterKind::Median.apply(&noisy));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod filter;
+pub mod hwtime;
+pub mod image;
+pub mod pipeline;
+
+pub use filter::FilterKind;
+pub use hwtime::TaskTimeModel;
+pub use image::Image;
+pub use pipeline::Pipeline;

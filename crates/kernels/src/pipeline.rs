@@ -1,0 +1,126 @@
+//! Multi-stage image pipelines: sequences of filters, the workload shape
+//! that motivates run-time reconfiguration (more stages than PRRs means the
+//! FPGA must swap cores mid-application).
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::FilterKind;
+use crate::image::Image;
+
+/// A linear pipeline of filters applied in order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Stages in execution order.
+    pub stages: Vec<FilterKind>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline.
+    pub fn new(stages: Vec<FilterKind>) -> Pipeline {
+        Pipeline { stages }
+    }
+
+    /// The classic denoise→smooth→edge-detect chain from the paper's
+    /// domain: median, smoothing, Sobel.
+    pub fn denoise_edges() -> Pipeline {
+        Pipeline::new(vec![
+            FilterKind::Median,
+            FilterKind::Smoothing,
+            FilterKind::Sobel,
+        ])
+    }
+
+    /// A longer 6-stage chain exercising the extended library: median,
+    /// smoothing, Sobel, threshold, erosion, dilation (morphological
+    /// cleanup of an edge map).
+    pub fn segmentation() -> Pipeline {
+        Pipeline::new(vec![
+            FilterKind::Median,
+            FilterKind::Smoothing,
+            FilterKind::Sobel,
+            FilterKind::Threshold,
+            FilterKind::Erosion,
+            FilterKind::Dilation,
+        ])
+    }
+
+    /// Runs the pipeline sequentially.
+    pub fn run(&self, input: &Image) -> Image {
+        let mut current = input.clone();
+        for stage in &self.stages {
+            current = stage.apply(&current);
+        }
+        current
+    }
+
+    /// Runs the pipeline with each stage internally parallelized over
+    /// `threads` threads. Bit-identical to [`Pipeline::run`].
+    pub fn run_parallel(&self, input: &Image, threads: usize) -> Image {
+        let mut current = input.clone();
+        for stage in &self.stages {
+            current = stage.apply_parallel(&current, threads);
+        }
+        current
+    }
+
+    /// The task-call trace this pipeline generates: one call per stage, by
+    /// module name. Feeding this to the scheduler/simulator reproduces the
+    /// "application = sequence of hardware function calls" model of
+    /// section 3.1.
+    pub fn call_trace(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.module_name()).collect()
+    }
+
+    /// Repeats the pipeline `iterations` times (e.g. a video loop),
+    /// producing the full call trace.
+    pub fn repeated_call_trace(&self, iterations: usize) -> Vec<&'static str> {
+        let one = self.call_trace();
+        let mut out = Vec::with_capacity(one.len() * iterations);
+        for _ in 0..iterations {
+            out.extend_from_slice(&one);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_runs_all_stages() {
+        let img = Image::random(32, 32, 5);
+        let p = Pipeline::denoise_edges();
+        let out = p.run(&img);
+        // Equivalent to manual chaining.
+        let manual = FilterKind::Sobel
+            .apply(&FilterKind::Smoothing.apply(&FilterKind::Median.apply(&img)));
+        assert_eq!(out, manual);
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential() {
+        let img = Image::random(25, 19, 9);
+        for p in [Pipeline::denoise_edges(), Pipeline::segmentation()] {
+            assert_eq!(p.run(&img), p.run_parallel(&img, 4));
+        }
+    }
+
+    #[test]
+    fn call_trace_names_modules() {
+        let p = Pipeline::denoise_edges();
+        assert_eq!(
+            p.call_trace(),
+            vec!["Median Filter", "Smoothing Filter", "Sobel Filter"]
+        );
+        assert_eq!(p.repeated_call_trace(3).len(), 9);
+    }
+
+    #[test]
+    fn segmentation_output_is_binaryish() {
+        // After threshold + morphology, pixels stay binary.
+        let img = Image::random(24, 24, 77);
+        let out = Pipeline::segmentation().run(&img);
+        assert!(out.pixels().iter().all(|&p| p == 0 || p == 255));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the workload kernels.
+
+use hprc_kernels::{FilterKind, Image, TaskTimeModel};
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (2usize..24, 2usize..24, any::<u64>())
+        .prop_map(|(w, h, seed)| Image::random(w, h, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every kernel's parallel path is bit-identical to its sequential path
+    /// for arbitrary image shapes and thread counts.
+    #[test]
+    fn parallel_equals_sequential(img in arb_image(), threads in 1usize..9) {
+        for kind in FilterKind::ALL {
+            prop_assert_eq!(kind.apply(&img), kind.apply_parallel(&img, threads));
+        }
+    }
+
+    /// Median output at each pixel lies within the min/max of its 3x3
+    /// neighborhood (a defining property of rank filters).
+    #[test]
+    fn median_within_neighborhood_bounds(img in arb_image()) {
+        let out = FilterKind::Median.apply(&img);
+        let lo = FilterKind::Erosion.apply(&img);
+        let hi = FilterKind::Dilation.apply(&img);
+        for ((m, l), h) in out.pixels().iter().zip(lo.pixels()).zip(hi.pixels()) {
+            prop_assert!(l <= m && m <= h);
+        }
+    }
+
+    /// Smoothing is a convex combination, so it too stays within
+    /// neighborhood bounds and preserves the global min/max envelope.
+    #[test]
+    fn smoothing_within_neighborhood_bounds(img in arb_image()) {
+        let out = FilterKind::Smoothing.apply(&img);
+        let lo = FilterKind::Erosion.apply(&img);
+        let hi = FilterKind::Dilation.apply(&img);
+        for ((s, l), h) in out.pixels().iter().zip(lo.pixels()).zip(hi.pixels()) {
+            prop_assert!(l <= s && s <= h, "{l} <= {s} <= {h}");
+        }
+    }
+
+    /// Erosion shrinks, dilation grows: erosion <= identity <= dilation.
+    #[test]
+    fn morphology_ordering(img in arb_image()) {
+        let eroded = FilterKind::Erosion.apply(&img);
+        let dilated = FilterKind::Dilation.apply(&img);
+        for ((e, i), d) in eroded.pixels().iter().zip(img.pixels()).zip(dilated.pixels()) {
+            prop_assert!(e <= i && i <= d);
+        }
+    }
+
+    /// Filters preserve image dimensions.
+    #[test]
+    fn shape_preserved(img in arb_image()) {
+        for kind in FilterKind::ALL {
+            let out = kind.apply(&img);
+            prop_assert_eq!(out.width(), img.width());
+            prop_assert_eq!(out.height(), img.height());
+        }
+    }
+
+    /// Shifting all pixel values by a constant shifts the median output by
+    /// the same constant (rank filters commute with monotone shifts).
+    #[test]
+    fn median_commutes_with_shift(img in arb_image(), shift in 1u8..40) {
+        let shifted = Image::from_fn(img.width(), img.height(), |x, y| {
+            img.get(x, y).saturating_add(shift)
+        });
+        // Avoid saturation corner: only test when nothing saturated.
+        let saturated = shifted.pixels().contains(&255);
+        prop_assume!(!saturated);
+        let a = FilterKind::Median.apply(&shifted);
+        let b = FilterKind::Median.apply(&img);
+        for (x, y) in a.pixels().iter().zip(b.pixels()) {
+            prop_assert_eq!(*x, y + shift);
+        }
+    }
+
+    /// The task-time model is monotone in data size and its inverse is
+    /// consistent.
+    #[test]
+    fn task_time_monotone_and_invertible(bytes in 1_000_000u64..200_000_000) {
+        let m = TaskTimeModel::xd1_filter();
+        let t1 = m.task_time_s(bytes, bytes);
+        let t2 = m.task_time_s(bytes * 2, bytes * 2);
+        prop_assert!(t2 > t1);
+        let recovered = m.bytes_for_task_time(t1);
+        let rel = (recovered as f64 - bytes as f64).abs() / bytes as f64;
+        prop_assert!(rel < 0.01, "bytes {bytes} -> t {t1} -> {recovered}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the analytical model.
+
+use std::fmt;
+
+/// Errors produced when constructing or evaluating model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter was outside its admissible domain.
+    InvalidParameter {
+        /// Parameter name as written in the paper's notation.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable domain description.
+        reason: &'static str,
+    },
+    /// A sweep specification was degenerate (empty range, zero points, ...).
+    InvalidSweep(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter {
+                name,
+                value,
+                reason,
+            } => write!(f, "invalid parameter {name} = {value}: {reason}"),
+            ModelError::InvalidSweep(msg) => write!(f, "invalid sweep: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidParameter {
+            name: "x_task",
+            value: -1.0,
+            reason: "must be finite and non-negative",
+        };
+        let s = e.to_string();
+        assert!(s.contains("x_task"));
+        assert!(s.contains("-1"));
+    }
+
+    #[test]
+    fn sweep_error_displays_message() {
+        let e = ModelError::InvalidSweep("empty range".into());
+        assert!(e.to_string().contains("empty range"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Model fitting: recovering platform parameters from measured speedups.
+//!
+//! The paper goes model → experiment; practitioners often need the
+//! reverse: given observed `(X_task, S)` points from an existing platform,
+//! estimate the effective `X_PRTR` and hit ratio `H` that explain them.
+//! This module does a dense grid search + local refinement over
+//! `(X_PRTR, H)` minimizing the mean squared relative error of
+//! equation (7) — robust for this 2-parameter, piecewise-smooth model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::params::{ModelParams, NormalizedTimes};
+use crate::speedup::asymptotic_speedup;
+
+/// One observed operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Normalized task time the point was measured at.
+    pub x_task: f64,
+    /// Observed speedup.
+    pub speedup: f64,
+}
+
+/// A fitted parameter estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fit {
+    /// Estimated normalized partial configuration time.
+    pub x_prtr: f64,
+    /// Estimated hit ratio.
+    pub hit_ratio: f64,
+    /// Root-mean-square relative error of the fit.
+    pub rms_rel_error: f64,
+}
+
+fn rms_error(obs: &[Observation], x_prtr: f64, h: f64, overheads: &NormalizedTimes) -> f64 {
+    let mut acc = 0.0;
+    for o in obs {
+        let times = NormalizedTimes {
+            x_task: o.x_task,
+            x_prtr,
+            ..*overheads
+        };
+        let p = ModelParams::new(times, h, 1).expect("grid stays in domain");
+        let predicted = asymptotic_speedup(&p);
+        let rel = (predicted - o.speedup) / o.speedup;
+        acc += rel * rel;
+    }
+    (acc / obs.len() as f64).sqrt()
+}
+
+/// Fits `(X_PRTR, H)` to the observations. `overheads` supplies the known
+/// `X_control`/`X_decision` (its `x_task`/`x_prtr` fields are ignored).
+///
+/// # Errors
+///
+/// [`ModelError::InvalidSweep`] when fewer than two observations are given
+/// or any observation is non-positive.
+/// ```
+/// use hprc_model::fit::{fit, Observation};
+/// use hprc_model::params::NormalizedTimes;
+///
+/// // Two clean points on the H = 0, X_PRTR = 0.1 curve:
+/// let obs = [
+///     Observation { x_task: 0.05, speedup: 1.05 / 0.1 }, // config-bound
+///     Observation { x_task: 0.5, speedup: 1.5 / 0.5 },   // task-bound
+/// ];
+/// let f = fit(&obs, NormalizedTimes::ideal(1.0, 1.0)).unwrap();
+/// assert!((f.x_prtr - 0.1).abs() < 0.01);
+/// ```
+pub fn fit(obs: &[Observation], overheads: NormalizedTimes) -> Result<Fit, ModelError> {
+    if obs.len() < 2 {
+        return Err(ModelError::InvalidSweep(
+            "need at least two observations to fit two parameters".into(),
+        ));
+    }
+    if obs.iter().any(|o| o.x_task <= 0.0 || o.speedup <= 0.0 || !o.speedup.is_finite()) {
+        return Err(ModelError::InvalidSweep(
+            "observations must have positive x_task and speedup".into(),
+        ));
+    }
+
+    // Stage 1: log grid over X_PRTR x linear grid over H.
+    let mut best = (1e-4f64, 0.0f64, f64::INFINITY);
+    for i in 0..=120 {
+        let x_prtr = 10f64.powf(-4.0 + 4.0 * i as f64 / 120.0); // 1e-4 .. 1
+        for j in 0..=40 {
+            let h = j as f64 / 40.0;
+            let e = rms_error(obs, x_prtr, h, &overheads);
+            if e < best.2 {
+                best = (x_prtr, h, e);
+            }
+        }
+    }
+    // Stage 2: local refinement (coordinate descent with shrinking steps).
+    let (mut x, mut h, mut e) = best;
+    let mut dx = x * 0.5;
+    let mut dh = 0.02;
+    for _ in 0..200 {
+        let mut improved = false;
+        for (cx, ch) in [
+            (x + dx, h),
+            ((x - dx).max(1e-6), h),
+            (x, (h + dh).min(1.0)),
+            (x, (h - dh).max(0.0)),
+        ] {
+            let ce = rms_error(obs, cx, ch, &overheads);
+            if ce < e {
+                x = cx;
+                h = ch;
+                e = ce;
+                improved = true;
+            }
+        }
+        if !improved {
+            dx *= 0.5;
+            dh *= 0.5;
+        }
+    }
+    Ok(Fit {
+        x_prtr: x,
+        hit_ratio: h,
+        rms_rel_error: e,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(x_prtr: f64, h: f64, noise: f64) -> Vec<Observation> {
+        // Sample across all three regimes, with multiplicative noise.
+        (0..24)
+            .map(|i| {
+                let x_task = 10f64.powf(-3.5 + 4.0 * i as f64 / 23.0);
+                let p = ModelParams::new(NormalizedTimes::ideal(x_task, x_prtr), h, 1).unwrap();
+                let wiggle = 1.0 + noise * ((i as f64 * 2.3).sin());
+                Observation {
+                    x_task,
+                    speedup: asymptotic_speedup(&p) * wiggle,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_parameters_from_clean_data() {
+        for (x_prtr, h) in [(0.0118, 0.0), (0.17, 0.0), (0.05, 0.6)] {
+            let obs = synth(x_prtr, h, 0.0);
+            let fit = fit(&obs, NormalizedTimes::ideal(1.0, 1.0)).unwrap();
+            assert!(
+                (fit.x_prtr - x_prtr).abs() / x_prtr < 0.02,
+                "x_prtr {x_prtr}: fitted {}",
+                fit.x_prtr
+            );
+            assert!((fit.hit_ratio - h).abs() < 0.03, "h {h}: fitted {}", fit.hit_ratio);
+            assert!(fit.rms_rel_error < 5e-3, "rms = {}", fit.rms_rel_error);
+        }
+    }
+
+    #[test]
+    fn tolerates_moderate_noise() {
+        let obs = synth(0.0118, 0.0, 0.05); // 5 % multiplicative wiggle
+        let fit = fit(&obs, NormalizedTimes::ideal(1.0, 1.0)).unwrap();
+        assert!((fit.x_prtr - 0.0118).abs() / 0.0118 < 0.15, "{}", fit.x_prtr);
+        assert!(fit.rms_rel_error < 0.08);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let one = vec![Observation {
+            x_task: 0.1,
+            speedup: 5.0,
+        }];
+        assert!(fit(&one, NormalizedTimes::ideal(1.0, 1.0)).is_err());
+        let bad = vec![
+            Observation {
+                x_task: 0.1,
+                speedup: -5.0,
+            },
+            Observation {
+                x_task: 0.2,
+                speedup: 4.0,
+            },
+        ];
+        assert!(fit(&bad, NormalizedTimes::ideal(1.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn fit_respects_known_overheads() {
+        // Generate with nonzero control overhead; fitting with the same
+        // overhead recovers the parameters.
+        let times = NormalizedTimes {
+            x_task: 1.0,
+            x_control: 0.005,
+            x_decision: 0.0,
+            x_prtr: 0.08,
+        };
+        let obs: Vec<Observation> = (0..20)
+            .map(|i| {
+                let x_task = 10f64.powf(-3.0 + 3.5 * i as f64 / 19.0);
+                let mut t = times;
+                t.x_task = x_task;
+                let p = ModelParams::new(t, 0.3, 1).unwrap();
+                Observation {
+                    x_task,
+                    speedup: asymptotic_speedup(&p),
+                }
+            })
+            .collect();
+        let f = fit(&obs, times).unwrap();
+        assert!((f.x_prtr - 0.08).abs() / 0.08 < 0.05, "{}", f.x_prtr);
+        assert!((f.hit_ratio - 0.3).abs() < 0.05, "{}", f.hit_ratio);
+    }
+}

@@ -1,0 +1,88 @@
+//! Full Run-Time Reconfiguration (FRTR) cost model — equations (1) and (2).
+//!
+//! Under FRTR every task call reconfigures the entire device, then transfers
+//! control, then executes the task. No pre-fetching decision is involved
+//! (equation (1) notes `T_decision` is a PRTR-only cost), so the per-call
+//! cost is `T_FRTR + T_control + T_task` and the total is their sum over
+//! all `n_calls` calls.
+
+use crate::params::ModelParams;
+
+/// Total FRTR execution time **normalized by `T_FRTR`** — equation (2):
+///
+/// `X_FRTR_total = n_calls * (1 + X_control + X_task)`
+pub fn total_time_normalized(p: &ModelParams) -> f64 {
+    p.n_calls as f64 * per_call_normalized(p)
+}
+
+/// Normalized cost of a single FRTR call: `1 + X_control + X_task`.
+pub fn per_call_normalized(p: &ModelParams) -> f64 {
+    1.0 + p.times.x_control + p.times.x_task
+}
+
+/// Total FRTR execution time in **seconds**, given the raw full
+/// configuration time `t_frtr` (seconds) that the normalization used.
+pub fn total_time_seconds(p: &ModelParams, t_frtr: f64) -> f64 {
+    total_time_normalized(p) * t_frtr
+}
+
+/// Fraction of total FRTR execution time spent reconfiguring.
+///
+/// The paper's motivation cites systems spending 25 %–98.5 % of execution
+/// time on reconfiguration; this helper recovers that figure from the model.
+pub fn configuration_fraction(p: &ModelParams) -> f64 {
+    1.0 / per_call_normalized(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ModelParams, NormalizedTimes};
+
+    fn params(x_task: f64, x_control: f64, n: u64) -> ModelParams {
+        ModelParams::new(
+            NormalizedTimes {
+                x_task,
+                x_control,
+                x_decision: 0.0,
+                x_prtr: 0.1,
+            },
+            0.0,
+            n,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eq2_matches_hand_computation() {
+        // n=10, X_control=0.05, X_task=0.45 -> 10 * 1.5 = 15.
+        let p = params(0.45, 0.05, 10);
+        assert!((total_time_normalized(&p) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_scales_linearly_with_calls() {
+        let p1 = params(0.3, 0.0, 1);
+        let p2 = params(0.3, 0.0, 1000);
+        assert!(
+            (total_time_normalized(&p2) - 1000.0 * total_time_normalized(&p1)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn seconds_denormalizes_correctly() {
+        let p = params(1.0, 0.0, 5);
+        // per call = 2 normalized; 5 calls = 10; with T_FRTR = 0.036 s -> 0.36 s
+        assert!((total_time_seconds(&p, 0.036) - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn configuration_fraction_covers_paper_range() {
+        // A tiny task (X_task -> 0) makes reconfiguration dominate (-> ~100 %).
+        let p = params(0.015, 0.0, 1);
+        assert!(configuration_fraction(&p) > 0.985 - 1e-9);
+        // A huge task (X_task = 3) pushes it down to 25 %.
+        let p = params(3.0, 0.0, 1);
+        assert!((configuration_fraction(&p) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Hardware/software hybrid extension of the execution model.
+//!
+//! The paper excludes software tasks from its analysis ("Software tasks
+//! were excluded from our analysis and we preserve this inclusion for
+//! future considerations", section 6). This module adds the simplest
+//! faithful extension: a fraction `f_sw` of an application's calls run on
+//! the host processor (normalized time `X_sw`, no configuration and no
+//! transfer of control), serialized with the hardware calls.
+//!
+//! The result is an Amdahl-style dilution of the PRTR gain:
+//!
+//! ```text
+//! S_hybrid = [ (1-f)·(1 + X_control + X_task) + f·X_sw ]
+//!          / [ (1-f)·(X_control + M·max(X_task + X_decision, X_PRTR)
+//!                     + H·max(X_task, X_decision)) + f·X_sw ]
+//! ```
+//!
+//! with `S_hybrid → S∞` as `f → 0` and `S_hybrid → 1` as `f → 1`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::params::ModelParams;
+use crate::{frtr, prtr};
+
+/// Hybrid-application parameters: the hardware-side model plus the
+/// software-task profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridParams {
+    /// Hardware-call model parameters.
+    pub hw: ModelParams,
+    /// Fraction of calls that are software tasks, in `[0, 1]`.
+    pub sw_fraction: f64,
+    /// Normalized software-task time `X_sw = T_sw / T_FRTR`.
+    pub x_sw: f64,
+}
+
+impl HybridParams {
+    /// Builds and validates hybrid parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidParameter`] when `sw_fraction` is outside
+    /// `[0, 1]` or `x_sw` is negative/non-finite.
+    pub fn new(hw: ModelParams, sw_fraction: f64, x_sw: f64) -> Result<Self, ModelError> {
+        if !(0.0..=1.0).contains(&sw_fraction) || !sw_fraction.is_finite() {
+            return Err(ModelError::InvalidParameter {
+                name: "sw_fraction",
+                value: sw_fraction,
+                reason: "must lie in [0, 1]",
+            });
+        }
+        if !x_sw.is_finite() || x_sw < 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "x_sw",
+                value: x_sw,
+                reason: "must be finite and non-negative",
+            });
+        }
+        Ok(HybridParams {
+            hw,
+            sw_fraction,
+            x_sw,
+        })
+    }
+
+    /// Average normalized per-call cost under FRTR.
+    pub fn frtr_per_call(&self) -> f64 {
+        (1.0 - self.sw_fraction) * frtr::per_call_normalized(&self.hw)
+            + self.sw_fraction * self.x_sw
+    }
+
+    /// Average normalized per-call cost under PRTR (steady state).
+    pub fn prtr_per_call(&self) -> f64 {
+        (1.0 - self.sw_fraction) * prtr::steady_state_per_call_normalized(&self.hw)
+            + self.sw_fraction * self.x_sw
+    }
+
+    /// Asymptotic hybrid speedup `S_hybrid`.
+    ///
+    /// Returns `f64::INFINITY` in the degenerate zero-cost-PRTR corner
+    /// (as [`crate::speedup::asymptotic_speedup`] does).
+    pub fn speedup(&self) -> f64 {
+        let den = self.prtr_per_call();
+        if den == 0.0 {
+            f64::INFINITY
+        } else {
+            self.frtr_per_call() / den
+        }
+    }
+
+    /// The software fraction above which the hybrid speedup drops below
+    /// `target` (Amdahl-style budget): solves `S_hybrid(f) = target` for
+    /// `f`. Returns `None` when even `f = 0` cannot reach `target`, and
+    /// `Some(1.0)` when every mix reaches it.
+    pub fn sw_fraction_budget(&self, target: f64) -> Option<f64> {
+        let hw_num = frtr::per_call_normalized(&self.hw);
+        let hw_den = prtr::steady_state_per_call_normalized(&self.hw);
+        // S(f) = [(1-f) num + f xs] / [(1-f) den + f xs] = target
+        // (1-f)(num - target*den) = f*xs*(target - 1)
+        let s0 = if hw_den == 0.0 {
+            f64::INFINITY
+        } else {
+            hw_num / hw_den
+        };
+        if s0 < target {
+            return None;
+        }
+        if target <= 1.0 {
+            return Some(1.0);
+        }
+        let a = hw_num - target * hw_den;
+        let b = self.x_sw * (target - 1.0);
+        // f = a / (a + b)
+        if a + b == 0.0 {
+            return Some(1.0);
+        }
+        Some((a / (a + b)).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ModelParams, NormalizedTimes};
+    use crate::speedup::asymptotic_speedup;
+
+    fn hw() -> ModelParams {
+        ModelParams::new(NormalizedTimes::ideal(0.0118, 0.0118), 0.0, 1).unwrap()
+    }
+
+    #[test]
+    fn zero_software_fraction_recovers_eq7() {
+        let h = HybridParams::new(hw(), 0.0, 0.5).unwrap();
+        assert!((h.speedup() - asymptotic_speedup(&hw())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_software_means_no_speedup() {
+        let h = HybridParams::new(hw(), 1.0, 0.5).unwrap();
+        assert!((h.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_monotone_decreasing_in_sw_fraction() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=20 {
+            let f = i as f64 / 20.0;
+            let h = HybridParams::new(hw(), f, 0.2).unwrap();
+            let s = h.speedup();
+            assert!(s <= prev + 1e-12, "f={f}: {s} > {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn amdahl_dilution_is_severe() {
+        // 5 % software tasks, each as long as one full configuration,
+        // demolish an 85x hardware speedup down to ~17x.
+        let h = HybridParams::new(hw(), 0.05, 1.0).unwrap();
+        let s = h.speedup();
+        assert!(s < 20.0, "s = {s}");
+        assert!(s > 10.0);
+    }
+
+    #[test]
+    fn budget_inverts_speedup() {
+        let h = HybridParams::new(hw(), 0.0, 0.1).unwrap();
+        let target = 10.0;
+        let f = h.sw_fraction_budget(target).unwrap();
+        assert!(f > 0.0 && f < 1.0);
+        let at = HybridParams::new(hw(), f, 0.1).unwrap();
+        assert!((at.speedup() - target).abs() / target < 1e-9, "{}", at.speedup());
+    }
+
+    #[test]
+    fn budget_unreachable_target() {
+        let h = HybridParams::new(hw(), 0.0, 0.1).unwrap();
+        assert!(h.sw_fraction_budget(1e6).is_none());
+        // Target <= 1 is reached by any mix.
+        assert_eq!(h.sw_fraction_budget(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(HybridParams::new(hw(), -0.1, 0.1).is_err());
+        assert!(HybridParams::new(hw(), 1.1, 0.1).is_err());
+        assert!(HybridParams::new(hw(), 0.5, -1.0).is_err());
+        assert!(HybridParams::new(hw(), 0.5, f64::NAN).is_err());
+    }
+}

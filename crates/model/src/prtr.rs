@@ -1,0 +1,133 @@
+//! Partial Run-Time Reconfiguration (PRTR) cost model — equations (3)–(5).
+//!
+//! Under PRTR with configuration pre-fetching, a call is either a **miss**
+//! (its configuration is absent and must be loaded into a PRR — Figure 4(a))
+//! or a **hit** (it was pre-fetched during earlier execution — Figure 4(b)).
+//! Partial reconfiguration of the *next* task overlaps the execution of the
+//! *current* one, so a missed call contributes
+//! `max(X_task + X_decision, X_PRTR)` and a hit call contributes
+//! `max(X_task, X_decision)`; every call pays `X_control`, and a single
+//! leading `X_decision` cannot be hidden (equation (3)).
+
+use crate::params::ModelParams;
+
+/// Total PRTR execution time **normalized by `T_FRTR`** — equation (5):
+///
+/// ```text
+/// X_PRTR_total = X_decision
+///              + n_calls * ( X_control
+///                          + M * max(X_task + X_decision, X_PRTR)
+///                          + H * max(X_task, X_decision) )
+/// ```
+pub fn total_time_normalized(p: &ModelParams) -> f64 {
+    p.times.x_decision + p.n_calls as f64 * steady_state_per_call_normalized(p)
+}
+
+/// The steady-state (per-call) normalized PRTR cost, i.e. the bracketed term
+/// of equation (5). The leading un-hidden `X_decision` is *not* included;
+/// it is amortized away as `n_calls → ∞` (equation (7)).
+pub fn steady_state_per_call_normalized(p: &ModelParams) -> f64 {
+    p.times.x_control
+        + p.miss_ratio() * missed_call_cost(p)
+        + p.hit_ratio * hit_call_cost(p)
+}
+
+/// Normalized cost contribution of one **missed** call (Figure 4(a)):
+/// execution of the previous task (plus its decision latency) overlapped
+/// with the partial reconfiguration: `max(X_task + X_decision, X_PRTR)`.
+pub fn missed_call_cost(p: &ModelParams) -> f64 {
+    (p.times.x_task + p.times.x_decision).max(p.times.x_prtr)
+}
+
+/// Normalized cost contribution of one **hit** (pre-fetched) call
+/// (Figure 4(b)): `max(X_task, X_decision)`.
+pub fn hit_call_cost(p: &ModelParams) -> f64 {
+    p.times.x_task.max(p.times.x_decision)
+}
+
+/// Total PRTR execution time in **seconds**, given the raw full
+/// configuration time `t_frtr` (seconds) used for normalization.
+pub fn total_time_seconds(p: &ModelParams, t_frtr: f64) -> f64 {
+    total_time_normalized(p) * t_frtr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ModelParams, NormalizedTimes};
+
+    fn params(x_task: f64, x_prtr: f64, h: f64, n: u64) -> ModelParams {
+        ModelParams::new(NormalizedTimes::ideal(x_task, x_prtr), h, n).unwrap()
+    }
+
+    #[test]
+    fn all_miss_long_task_hides_configuration_completely() {
+        // X_task = 0.5 > X_PRTR = 0.1, H = 0: every call costs max(0.5, 0.1) = 0.5.
+        let p = params(0.5, 0.1, 0.0, 100);
+        assert!((total_time_normalized(&p) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_miss_short_task_is_configuration_bound() {
+        // X_task = 0.05 < X_PRTR = 0.2: cost per call is the config time.
+        let p = params(0.05, 0.2, 0.0, 10);
+        assert!((total_time_normalized(&p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prefetch_removes_configuration_cost() {
+        let p = params(0.3, 0.2, 1.0, 10);
+        // Every call is a hit: cost = max(X_task, 0) = 0.3 each.
+        assert!((total_time_normalized(&p) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_hit_ratio_interpolates() {
+        let h = 0.25;
+        let p = params(0.05, 0.2, h, 1000);
+        let expected = 1000.0 * (0.75 * 0.2 + 0.25 * 0.05);
+        assert!((total_time_normalized(&p) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leading_decision_latency_is_paid_once() {
+        let times = NormalizedTimes {
+            x_task: 0.5,
+            x_control: 0.0,
+            x_decision: 0.01,
+            x_prtr: 0.1,
+        };
+        let p1 = ModelParams::new(times, 0.0, 1).unwrap();
+        let p2 = ModelParams::new(times, 0.0, 2).unwrap();
+        let per_call = steady_state_per_call_normalized(&p1);
+        assert!((total_time_normalized(&p1) - (0.01 + per_call)).abs() < 1e-12);
+        assert!((total_time_normalized(&p2) - (0.01 + 2.0 * per_call)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decision_latency_inflates_missed_calls() {
+        let times = NormalizedTimes {
+            x_task: 0.15,
+            x_control: 0.0,
+            x_decision: 0.1,
+            x_prtr: 0.2,
+        };
+        let p = ModelParams::new(times, 0.0, 1).unwrap();
+        // max(0.15 + 0.1, 0.2) = 0.25.
+        assert!((missed_call_cost(&p) - 0.25).abs() < 1e-12);
+        // Hits: max(0.15, 0.1) = 0.15.
+        assert!((hit_call_cost(&p) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_overhead_is_paid_by_every_call() {
+        let times = NormalizedTimes {
+            x_task: 0.5,
+            x_control: 0.02,
+            x_decision: 0.0,
+            x_prtr: 0.1,
+        };
+        let p = ModelParams::new(times, 0.0, 10).unwrap();
+        assert!((total_time_normalized(&p) - 10.0 * (0.02 + 0.5)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Operating-regime classification (section 5's discussion).
+//!
+//! The paper's discussion of Figure 5 and Figure 9 partitions the `X_task`
+//! axis into three qualitative regimes relative to the configuration times.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bounds;
+use crate::params::ModelParams;
+
+/// Qualitative operating regime of a task relative to the configuration
+/// overheads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regime {
+    /// `X_task < X_PRTR`: even the *partial* reconfiguration dominates; the
+    /// task is configuration-bound and PRTR speedup rises with `X_task`.
+    ConfigurationBound,
+    /// `X_PRTR ≤ X_task < 1`: task time between the partial and the full
+    /// configuration time; this is where the peak (and prefetching
+    /// efficiency, for `X_task ≤ X_PRTR` boundaries) matters most.
+    Comparable,
+    /// `X_task ≥ 1` — the paper's "data-intensive" case: the task is longer
+    /// than a full configuration and `S∞ ≤ 2` regardless of prefetching.
+    DataIntensive,
+}
+
+impl Regime {
+    /// Classifies an operating point.
+    pub fn classify(x_task: f64, x_prtr: f64) -> Regime {
+        if x_task >= 1.0 {
+            Regime::DataIntensive
+        } else if x_task >= x_prtr {
+            Regime::Comparable
+        } else {
+            Regime::ConfigurationBound
+        }
+    }
+
+    /// Upper bound on the asymptotic speedup achievable anywhere in this
+    /// regime for the given parameters (idealized `X_c = X_d = 0` setting).
+    pub fn speedup_bound(&self, hit_ratio: f64, x_prtr: f64) -> f64 {
+        match self {
+            // (1+x)/x is decreasing; sup on [1, inf) is at x = 1.
+            Regime::DataIntensive => bounds::LONG_TASK_BOUND,
+            // Sup on [x_prtr, 1): at x = x_prtr the value is (1+p)/p
+            // independent of H (both branches agree there).
+            Regime::Comparable => (1.0 + x_prtr) / x_prtr,
+            // Sup on (0, x_prtr): depends on M*p vs H (see bounds).
+            Regime::ConfigurationBound => {
+                let m = 1.0 - hit_ratio;
+                if m == 0.0 {
+                    f64::INFINITY
+                } else if m * x_prtr >= hit_ratio {
+                    (1.0 + x_prtr) / x_prtr
+                } else {
+                    1.0 / (m * x_prtr)
+                }
+            }
+        }
+    }
+
+    /// Short description mirroring the paper's prose.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Regime::ConfigurationBound => {
+                "task shorter than the partial configuration time; configuration-bound"
+            }
+            Regime::Comparable => {
+                "task between partial and full configuration time; peak-speedup region"
+            }
+            Regime::DataIntensive => {
+                "task longer than a full configuration; PRTR gain capped at 2x"
+            }
+        }
+    }
+}
+
+/// Classifies a full parameter set.
+pub fn classify(p: &ModelParams) -> Regime {
+    Regime::classify(p.times.x_task, p.times.x_prtr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ModelParams, NormalizedTimes};
+    use crate::speedup::asymptotic_speedup;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(Regime::classify(0.05, 0.1), Regime::ConfigurationBound);
+        assert_eq!(Regime::classify(0.1, 0.1), Regime::Comparable);
+        assert_eq!(Regime::classify(0.99, 0.1), Regime::Comparable);
+        assert_eq!(Regime::classify(1.0, 0.1), Regime::DataIntensive);
+        assert_eq!(Regime::classify(7.0, 0.1), Regime::DataIntensive);
+    }
+
+    #[test]
+    fn bounds_dominate_observed_speedups() {
+        // Sample each regime densely and confirm the regime bound holds.
+        for &h in &[0.0, 0.4, 0.9] {
+            let x_prtr = 0.2;
+            for i in 1..200 {
+                let x_task = i as f64 * 0.02; // 0.02 .. 4.0
+                let regime = Regime::classify(x_task, x_prtr);
+                let p = ModelParams::new(NormalizedTimes::ideal(x_task, x_prtr), h, 1).unwrap();
+                let s = asymptotic_speedup(&p);
+                let bound = regime.speedup_bound(h, x_prtr);
+                assert!(
+                    s <= bound + 1e-9,
+                    "h={h} x_task={x_task} regime={regime:?} s={s} bound={bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparable_regime_bound_is_peak() {
+        let b = Regime::Comparable.speedup_bound(0.0, 0.17);
+        assert!((b - (1.17 / 0.17)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descriptions_are_distinct() {
+        let d1 = Regime::ConfigurationBound.description();
+        let d2 = Regime::Comparable.description();
+        let d3 = Regime::DataIntensive.description();
+        assert_ne!(d1, d2);
+        assert_ne!(d2, d3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Sensitivity analysis: how the asymptotic speedup responds to each model
+//! parameter.
+//!
+//! The paper notes that nonzero `X_decision` and `X_control` "will reduce the
+//! final performance"; this module quantifies by how much, via central
+//! finite differences (the model is piecewise smooth, so derivatives exist
+//! almost everywhere; at the `max(...)` breakpoints the one-sided values are
+//! returned by nudging the step).
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::ModelParams;
+use crate::speedup::asymptotic_speedup;
+
+/// Which scalar parameter to differentiate with respect to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parameter {
+    /// Normalized task time `X_task`.
+    XTask,
+    /// Normalized transfer-of-control time `X_control`.
+    XControl,
+    /// Normalized decision latency `X_decision`.
+    XDecision,
+    /// Normalized partial configuration time `X_PRTR`.
+    XPrtr,
+    /// Pre-fetch hit ratio `H`.
+    HitRatio,
+}
+
+impl Parameter {
+    /// All parameters, for tabulated reports.
+    pub const ALL: [Parameter; 5] = [
+        Parameter::XTask,
+        Parameter::XControl,
+        Parameter::XDecision,
+        Parameter::XPrtr,
+        Parameter::HitRatio,
+    ];
+
+    fn get(&self, p: &ModelParams) -> f64 {
+        match self {
+            Parameter::XTask => p.times.x_task,
+            Parameter::XControl => p.times.x_control,
+            Parameter::XDecision => p.times.x_decision,
+            Parameter::XPrtr => p.times.x_prtr,
+            Parameter::HitRatio => p.hit_ratio,
+        }
+    }
+
+    fn set(&self, p: &mut ModelParams, v: f64) {
+        match self {
+            Parameter::XTask => p.times.x_task = v,
+            Parameter::XControl => p.times.x_control = v,
+            Parameter::XDecision => p.times.x_decision = v,
+            Parameter::XPrtr => p.times.x_prtr = v,
+            Parameter::HitRatio => p.hit_ratio = v,
+        }
+    }
+
+    /// Paper-notation name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Parameter::XTask => "X_task",
+            Parameter::XControl => "X_control",
+            Parameter::XDecision => "X_decision",
+            Parameter::XPrtr => "X_PRTR",
+            Parameter::HitRatio => "H",
+        }
+    }
+}
+
+/// Central finite-difference derivative `dS∞/dθ` at the given point.
+///
+/// The step is clamped so that the parameter stays inside its domain
+/// (non-negative times; `H ∈ [0, 1]`), falling back to a one-sided
+/// difference at domain boundaries.
+pub fn derivative(p: &ModelParams, theta: Parameter, rel_step: f64) -> f64 {
+    let v = theta.get(p);
+    let h = (v.abs() * rel_step).max(1e-9);
+    let (lo_ok, hi_ok) = match theta {
+        Parameter::HitRatio => (v - h >= 0.0, v + h <= 1.0),
+        _ => (v - h >= 0.0, true),
+    };
+    let eval = |x: f64| {
+        let mut q = *p;
+        theta.set(&mut q, x);
+        asymptotic_speedup(&q)
+    };
+    match (lo_ok, hi_ok) {
+        (true, true) => (eval(v + h) - eval(v - h)) / (2.0 * h),
+        (false, true) => (eval(v + h) - eval(v)) / h,
+        (true, false) => (eval(v) - eval(v - h)) / h,
+        (false, false) => 0.0,
+    }
+}
+
+/// Elasticity `(θ/S) · dS/dθ`: the percent change in speedup per percent
+/// change in the parameter. Zero-valued parameters report the raw
+/// derivative scaled by `1/S` instead (elasticity is undefined at θ = 0).
+pub fn elasticity(p: &ModelParams, theta: Parameter, rel_step: f64) -> f64 {
+    let s = asymptotic_speedup(p);
+    let d = derivative(p, theta, rel_step);
+    let v = theta.get(p);
+    if v == 0.0 {
+        d / s
+    } else {
+        v * d / s
+    }
+}
+
+/// Full sensitivity report at one operating point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    /// Speedup at the base point.
+    pub speedup: f64,
+    /// `(parameter name, derivative, elasticity)` rows.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Computes derivatives and elasticities for every parameter.
+pub fn report(p: &ModelParams, rel_step: f64) -> SensitivityReport {
+    SensitivityReport {
+        speedup: asymptotic_speedup(p),
+        rows: Parameter::ALL
+            .iter()
+            .map(|t| {
+                (
+                    t.name().to_string(),
+                    derivative(p, *t, rel_step),
+                    elasticity(p, *t, rel_step),
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ModelParams, NormalizedTimes};
+
+    fn point() -> ModelParams {
+        ModelParams::new(
+            NormalizedTimes {
+                x_task: 0.5,
+                x_control: 0.01,
+                x_decision: 0.02,
+                x_prtr: 0.1,
+            },
+            0.3,
+            1000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn control_overhead_hurts() {
+        let d = derivative(&point(), Parameter::XControl, 1e-4);
+        assert!(d < 0.0, "d = {d}");
+    }
+
+    #[test]
+    fn hit_ratio_helps_when_misses_are_expensive() {
+        // At x_task = 0.05 < x_prtr = 0.2, misses cost max(x_task, x_prtr)
+        // = x_prtr, hits cost x_task -> raising H must raise S.
+        let p = ModelParams::new(NormalizedTimes::ideal(0.05, 0.2), 0.3, 100).unwrap();
+        let d = derivative(&p, Parameter::HitRatio, 1e-4);
+        assert!(d > 0.0, "d = {d}");
+    }
+
+    #[test]
+    fn hit_ratio_is_irrelevant_for_long_tasks() {
+        // x_task > x_prtr and x_decision = 0: both hit and miss cost x_task.
+        let p = ModelParams::new(NormalizedTimes::ideal(0.8, 0.2), 0.5, 100).unwrap();
+        let d = derivative(&p, Parameter::HitRatio, 1e-4);
+        assert!(d.abs() < 1e-6, "d = {d}");
+    }
+
+    #[test]
+    fn xprtr_hurts_only_when_config_bound() {
+        // Configuration-bound point: increasing X_PRTR lowers S.
+        let p = ModelParams::new(NormalizedTimes::ideal(0.05, 0.2), 0.0, 100).unwrap();
+        assert!(derivative(&p, Parameter::XPrtr, 1e-4) < 0.0);
+        // Task-bound point: X_PRTR is fully hidden; derivative ~ 0.
+        let p = ModelParams::new(NormalizedTimes::ideal(0.8, 0.2), 0.0, 100).unwrap();
+        assert!(derivative(&p, Parameter::XPrtr, 1e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derivative_matches_closed_form_for_perfect_prefetch() {
+        // H = 1: S = (1 + x)/x -> dS/dx = -1/x^2.
+        let p = ModelParams::new(NormalizedTimes::ideal(0.5, 0.1), 1.0, 100).unwrap();
+        let d = derivative(&p, Parameter::XTask, 1e-5);
+        assert!((d - (-1.0 / 0.25)).abs() < 1e-3, "d = {d}");
+    }
+
+    #[test]
+    fn boundary_hit_ratio_uses_one_sided_difference() {
+        let p = ModelParams::new(NormalizedTimes::ideal(0.05, 0.2), 0.0, 100).unwrap();
+        let d = derivative(&p, Parameter::HitRatio, 1e-4);
+        assert!(d.is_finite());
+        let p1 = ModelParams::new(NormalizedTimes::ideal(0.05, 0.2), 1.0, 100).unwrap();
+        assert!(derivative(&p1, Parameter::HitRatio, 1e-4).is_finite());
+    }
+
+    #[test]
+    fn report_covers_all_parameters() {
+        let r = report(&point(), 1e-4);
+        assert_eq!(r.rows.len(), 5);
+        assert!(r.speedup > 1.0);
+        assert!(r.rows.iter().any(|(n, _, _)| n == "X_PRTR"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Model-versus-measurement validation utilities.
+//!
+//! The paper validates equation (6) against Cray XD1 measurements
+//! (Figure 9); in this reproduction the "measurement" role is played by the
+//! `hprc-sim` discrete-event simulator. To keep this crate free of substrate
+//! dependencies, validation works on plain numbers: callers feed in measured
+//! totals/speedups and get structured comparison reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::ModelParams;
+use crate::speedup;
+use crate::{frtr, prtr};
+
+/// One measured operating point to compare against the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Parameters the measurement was taken at.
+    pub params: ModelParams,
+    /// Measured total FRTR time, normalized by `T_FRTR`.
+    pub frtr_total: f64,
+    /// Measured total PRTR time, normalized by `T_FRTR`.
+    pub prtr_total: f64,
+}
+
+/// Comparison of one measurement against the model's prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Normalized task time of this point.
+    pub x_task: f64,
+    /// Model-predicted FRTR total (equation (2)).
+    pub predicted_frtr: f64,
+    /// Model-predicted PRTR total (equation (5)).
+    pub predicted_prtr: f64,
+    /// Measured speedup.
+    pub measured_speedup: f64,
+    /// Predicted speedup (equation (6)).
+    pub predicted_speedup: f64,
+    /// `|measured - predicted| / predicted` for the FRTR total.
+    pub frtr_rel_error: f64,
+    /// `|measured - predicted| / predicted` for the PRTR total.
+    pub prtr_rel_error: f64,
+    /// `|measured - predicted| / predicted` for the speedup.
+    pub speedup_rel_error: f64,
+}
+
+fn rel_error(measured: f64, predicted: f64) -> f64 {
+    if predicted == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured - predicted).abs() / predicted.abs()
+    }
+}
+
+/// Compares one measurement against the closed-form model.
+pub fn compare(m: &Measurement) -> Comparison {
+    let predicted_frtr = frtr::total_time_normalized(&m.params);
+    let predicted_prtr = prtr::total_time_normalized(&m.params);
+    let predicted_speedup = speedup::speedup(&m.params);
+    let measured_speedup = if m.prtr_total == 0.0 {
+        f64::INFINITY
+    } else {
+        m.frtr_total / m.prtr_total
+    };
+    Comparison {
+        x_task: m.params.times.x_task,
+        predicted_frtr,
+        predicted_prtr,
+        measured_speedup,
+        predicted_speedup,
+        frtr_rel_error: rel_error(m.frtr_total, predicted_frtr),
+        prtr_rel_error: rel_error(m.prtr_total, predicted_prtr),
+        speedup_rel_error: rel_error(measured_speedup, predicted_speedup),
+    }
+}
+
+/// Summary statistics over a batch of comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationSummary {
+    /// Number of points compared.
+    pub points: usize,
+    /// Maximum relative speedup error.
+    pub max_speedup_rel_error: f64,
+    /// Mean relative speedup error.
+    pub mean_speedup_rel_error: f64,
+    /// Maximum relative error across FRTR and PRTR totals.
+    pub max_total_rel_error: f64,
+}
+
+/// Validates a batch of measurements, returning per-point comparisons and a
+/// summary.
+pub fn validate(measurements: &[Measurement]) -> (Vec<Comparison>, ValidationSummary) {
+    let comparisons: Vec<Comparison> = measurements.iter().map(compare).collect();
+    let mut max_s: f64 = 0.0;
+    let mut sum_s = 0.0;
+    let mut max_t: f64 = 0.0;
+    for c in &comparisons {
+        max_s = max_s.max(c.speedup_rel_error);
+        sum_s += c.speedup_rel_error;
+        max_t = max_t.max(c.frtr_rel_error).max(c.prtr_rel_error);
+    }
+    let summary = ValidationSummary {
+        points: comparisons.len(),
+        max_speedup_rel_error: max_s,
+        mean_speedup_rel_error: if comparisons.is_empty() {
+            0.0
+        } else {
+            sum_s / comparisons.len() as f64
+        },
+        max_total_rel_error: max_t,
+    };
+    (comparisons, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ModelParams, NormalizedTimes};
+
+    fn exact_measurement(x_task: f64) -> Measurement {
+        let params = ModelParams::new(NormalizedTimes::ideal(x_task, 0.1), 0.0, 100).unwrap();
+        Measurement {
+            params,
+            frtr_total: frtr::total_time_normalized(&params),
+            prtr_total: prtr::total_time_normalized(&params),
+        }
+    }
+
+    #[test]
+    fn exact_measurement_has_zero_error() {
+        let c = compare(&exact_measurement(0.5));
+        assert!(c.frtr_rel_error < 1e-15);
+        assert!(c.prtr_rel_error < 1e-15);
+        assert!(c.speedup_rel_error < 1e-12);
+    }
+
+    #[test]
+    fn perturbed_measurement_reports_error() {
+        let mut m = exact_measurement(0.5);
+        m.prtr_total *= 1.05; // 5 % slower than the model predicts
+        let c = compare(&m);
+        assert!((c.prtr_rel_error - 0.05).abs() < 1e-9);
+        // Speedup error ~ 1 - 1/1.05 ≈ 4.76 %.
+        assert!((c.speedup_rel_error - (1.0 - 1.0 / 1.05)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let mut ms: Vec<Measurement> = (1..=10).map(|i| exact_measurement(i as f64 * 0.1)).collect();
+        ms[3].frtr_total *= 1.10;
+        let (comparisons, summary) = validate(&ms);
+        assert_eq!(comparisons.len(), 10);
+        assert_eq!(summary.points, 10);
+        assert!((summary.max_total_rel_error - 0.10).abs() < 1e-9);
+        assert!(summary.mean_speedup_rel_error < summary.max_speedup_rel_error + 1e-15);
+    }
+
+    #[test]
+    fn zero_prtr_total_yields_infinite_measured_speedup() {
+        let mut m = exact_measurement(0.5);
+        m.prtr_total = 0.0;
+        let c = compare(&m);
+        assert!(c.measured_speedup.is_infinite());
+    }
+}

@@ -1,0 +1,174 @@
+//! The configuration cache: which task's configuration currently occupies
+//! each PRR slot.
+//!
+//! "Hardware functions are grouped into hardware reconfiguration blocks
+//! (pages) of fixed size, where multiple pages can be configured
+//! simultaneously" (section 2.1). Here a *slot* is one PRR; a task is
+//! resident when its configuration is loaded in some slot.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a hardware task (an index into the module library).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// The PRR-slot cache.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigCache {
+    slots: Vec<Option<TaskId>>,
+}
+
+impl ConfigCache {
+    /// An empty cache with `slots` PRRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots == 0` — a PRTR system needs at least one PRR.
+    pub fn new(slots: usize) -> ConfigCache {
+        assert!(slots > 0, "at least one PRR slot is required");
+        ConfigCache {
+            slots: vec![None; slots],
+        }
+    }
+
+    /// Number of PRR slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slot currently holding `task`, if resident.
+    pub fn slot_of(&self, task: TaskId) -> Option<usize> {
+        self.slots.iter().position(|s| *s == Some(task))
+    }
+
+    /// Whether `task` is resident.
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.slot_of(task).is_some()
+    }
+
+    /// First empty slot, if any.
+    pub fn empty_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|s| s.is_none())
+    }
+
+    /// Occupant of a slot.
+    pub fn occupant(&self, slot: usize) -> Option<TaskId> {
+        self.slots.get(slot).copied().flatten()
+    }
+
+    /// Loads `task` into `slot`, returning the evicted occupant (if any).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range slot or if the task is already resident in
+    /// a *different* slot (a configuration cannot occupy two PRRs).
+    pub fn load(&mut self, slot: usize, task: TaskId) -> Option<TaskId> {
+        if let Some(existing) = self.slot_of(task) {
+            assert_eq!(
+                existing, slot,
+                "task {task:?} already resident in slot {existing}"
+            );
+            return Some(task);
+        }
+        let evicted = self.slots[slot];
+        self.slots[slot] = Some(task);
+        evicted
+    }
+
+    /// Snapshot of all slots.
+    pub fn slots(&self) -> &[Option<TaskId>] {
+        &self.slots
+    }
+}
+
+/// Hit/miss statistics of one cache simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CacheStats {
+    /// Total task calls.
+    pub calls: u64,
+    /// Calls that found their configuration resident.
+    pub hits: u64,
+    /// Calls that required a (re-)configuration.
+    pub misses: u64,
+    /// Configurations performed for prefetching (speculative loads).
+    pub prefetch_loads: u64,
+    /// Prefetch loads that were used before eviction (useful prefetches).
+    pub useful_prefetches: u64,
+}
+
+impl CacheStats {
+    /// The hit ratio `H = hits / calls` (zero for an empty run).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.calls as f64
+        }
+    }
+
+    /// The miss ratio `M = 1 - H`.
+    pub fn miss_ratio(&self) -> f64 {
+        1.0 - self.hit_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cache_has_no_residents() {
+        let c = ConfigCache::new(2);
+        assert_eq!(c.slot_count(), 2);
+        assert!(!c.contains(TaskId(0)));
+        assert_eq!(c.empty_slot(), Some(0));
+    }
+
+    #[test]
+    fn load_and_evict() {
+        let mut c = ConfigCache::new(2);
+        assert_eq!(c.load(0, TaskId(1)), None);
+        assert_eq!(c.load(1, TaskId(2)), None);
+        assert!(c.contains(TaskId(1)));
+        assert_eq!(c.empty_slot(), None);
+        // Evict slot 0.
+        assert_eq!(c.load(0, TaskId(3)), Some(TaskId(1)));
+        assert!(!c.contains(TaskId(1)));
+        assert_eq!(c.occupant(0), Some(TaskId(3)));
+    }
+
+    #[test]
+    fn reloading_resident_task_in_place_is_a_noop() {
+        let mut c = ConfigCache::new(2);
+        c.load(0, TaskId(5));
+        assert_eq!(c.load(0, TaskId(5)), Some(TaskId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn duplicate_residency_rejected() {
+        let mut c = ConfigCache::new(2);
+        c.load(0, TaskId(5));
+        c.load(1, TaskId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_slots_rejected() {
+        ConfigCache::new(0);
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let s = CacheStats {
+            calls: 10,
+            hits: 3,
+            misses: 7,
+            prefetch_loads: 0,
+            useful_prefetches: 0,
+        };
+        assert!((s.hit_ratio() - 0.3).abs() < 1e-12);
+        assert!((s.miss_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+}

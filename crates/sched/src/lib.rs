@@ -1,0 +1,39 @@
+//! # hprc-sched
+//!
+//! Configuration caching and pre-fetching substrate: the algorithms the
+//! paper's analytical model abstracts into the hit ratio `H` and decision
+//! latency `T_decision` (section 3.1, building on its references [24]-[27]).
+//!
+//! * [`cache`] — the PRR-slot configuration cache and hit/miss statistics;
+//! * [`policy`] — the replacement/prefetch policy trait;
+//! * [`policies`] — always-miss (the paper's measured setup), FIFO, LRU,
+//!   LFU, random, Belady's clairvoyant optimum, and a first-order Markov
+//!   prefetcher;
+//! * [`simulate`] — trace-driven simulation measuring the achieved `H`;
+//! * [`traces`] — seeded workload generators (uniform, Zipf, phased,
+//!   looping pipelines).
+//!
+//! ```
+//! use hprc_sched::policies::Markov;
+//! use hprc_sched::simulate::simulate;
+//! use hprc_sched::traces::TraceSpec;
+//!
+//! // An image pipeline cycling 3 cores through 2 PRRs defeats plain LRU,
+//! // but a next-task prefetcher hides most reconfigurations.
+//! let trace = TraceSpec::Looping { stages: 3, n_tasks: 3, noise: 0.0, len: 300 }.generate(1);
+//! let outcome = simulate(&trace, 2, &mut Markov::new(), true);
+//! assert!(outcome.hit_ratio() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod policies;
+pub mod policy;
+pub mod simulate;
+pub mod traces;
+
+pub use cache::{CacheStats, ConfigCache, TaskId};
+pub use policy::Policy;
+pub use simulate::{simulate, CallOutcome, SimulationOutcome};
+pub use traces::TraceSpec;

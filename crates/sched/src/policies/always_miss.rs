@@ -1,0 +1,58 @@
+//! The paper's experimental baseline: no prefetching, every call
+//! reconfigures.
+
+use crate::cache::{ConfigCache, TaskId};
+use crate::policy::Policy;
+
+/// Forces a (re-)configuration on every call: `H = 0`, `M = 1`,
+/// `T_decision = 0` — exactly the setup measured on Cray XD1 (section 4.3).
+/// Victims rotate round-robin over the PRR slots.
+#[derive(Debug, Default, Clone)]
+pub struct AlwaysMiss {
+    next_slot: usize,
+}
+
+impl AlwaysMiss {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for AlwaysMiss {
+    fn name(&self) -> &'static str {
+        "always-miss"
+    }
+
+    fn choose_victim(&mut self, cache: &ConfigCache, _task: TaskId, _index: usize) -> usize {
+        let slot = self.next_slot % cache.slot_count();
+        self.next_slot = (self.next_slot + 1) % cache.slot_count();
+        slot
+    }
+
+    fn on_access(&mut self, _task: TaskId, _slot: usize, _index: usize) {}
+
+    fn forces_miss(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_victims() {
+        let mut p = AlwaysMiss::new();
+        let c = ConfigCache::new(2);
+        assert_eq!(p.choose_victim(&c, TaskId(0), 0), 0);
+        assert_eq!(p.choose_victim(&c, TaskId(1), 1), 1);
+        assert_eq!(p.choose_victim(&c, TaskId(2), 2), 0);
+    }
+
+    #[test]
+    fn always_forces_miss() {
+        assert!(AlwaysMiss::new().forces_miss());
+        assert_eq!(AlwaysMiss::new().decision_latency_s(), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! First-in-first-out replacement.
+
+use std::collections::VecDeque;
+
+use crate::cache::{ConfigCache, TaskId};
+use crate::policy::Policy;
+
+/// Evicts the slot whose configuration was loaded longest ago. Hits do not
+/// refresh a slot's position — only reloads do.
+#[derive(Debug, Default, Clone)]
+pub struct Fifo {
+    load_order: VecDeque<usize>,
+}
+
+impl Fifo {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn choose_victim(&mut self, cache: &ConfigCache, _task: TaskId, _index: usize) -> usize {
+        self.load_order
+            .front()
+            .copied()
+            .unwrap_or(0)
+            .min(cache.slot_count() - 1)
+    }
+
+    fn on_access(&mut self, _task: TaskId, _slot: usize, _index: usize) {}
+
+    fn on_load(&mut self, _task: TaskId, slot: usize, _index: usize) {
+        self.load_order.retain(|&s| s != slot);
+        self.load_order.push_back(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_oldest_load() {
+        let mut p = Fifo::new();
+        let mut c = ConfigCache::new(2);
+        c.load(0, TaskId(1));
+        p.on_load(TaskId(1), 0, 0);
+        c.load(1, TaskId(2));
+        p.on_load(TaskId(2), 1, 1);
+        // Hit on slot 0 does not change FIFO order.
+        p.on_access(TaskId(1), 0, 2);
+        assert_eq!(p.choose_victim(&c, TaskId(3), 3), 0);
+        // Reloading slot 0 sends it to the back.
+        p.on_load(TaskId(3), 0, 3);
+        assert_eq!(p.choose_victim(&c, TaskId(4), 4), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Least-frequently-used replacement.
+
+use std::collections::HashMap;
+
+use crate::cache::{ConfigCache, TaskId};
+use crate::policy::Policy;
+
+/// Evicts the resident configuration with the fewest lifetime accesses.
+/// Ties break toward the lowest slot index.
+#[derive(Debug, Default, Clone)]
+pub struct Lfu {
+    counts: HashMap<TaskId, u64>,
+}
+
+impl Lfu {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for Lfu {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn choose_victim(&mut self, cache: &ConfigCache, _task: TaskId, _index: usize) -> usize {
+        (0..cache.slot_count())
+            .min_by_key(|&s| {
+                cache
+                    .occupant(s)
+                    .map(|t| self.counts.get(&t).copied().unwrap_or(0))
+                    .unwrap_or(0)
+            })
+            .expect("cache has at least one slot")
+    }
+
+    fn on_access(&mut self, task: TaskId, _slot: usize, _index: usize) {
+        *self.counts.entry(task).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut p = Lfu::new();
+        let mut c = ConfigCache::new(2);
+        c.load(0, TaskId(1));
+        c.load(1, TaskId(2));
+        for i in 0..5 {
+            p.on_access(TaskId(1), 0, i);
+        }
+        p.on_access(TaskId(2), 1, 5);
+        assert_eq!(p.choose_victim(&c, TaskId(3), 6), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Least-recently-used replacement.
+
+use crate::cache::{ConfigCache, TaskId};
+use crate::policy::Policy;
+
+/// Evicts the slot whose configuration was *accessed* longest ago.
+#[derive(Debug, Default, Clone)]
+pub struct Lru {
+    last_access: Vec<u64>,
+    clock: u64,
+}
+
+impl Lru {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, slots: usize) {
+        if self.last_access.len() < slots {
+            self.last_access.resize(slots, 0);
+        }
+    }
+}
+
+impl Policy for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn choose_victim(&mut self, cache: &ConfigCache, _task: TaskId, _index: usize) -> usize {
+        self.ensure(cache.slot_count());
+        (0..cache.slot_count())
+            .min_by_key(|&s| self.last_access[s])
+            .expect("cache has at least one slot")
+    }
+
+    fn on_access(&mut self, _task: TaskId, slot: usize, _index: usize) {
+        self.ensure(slot + 1);
+        self.clock += 1;
+        self.last_access[slot] = self.clock;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recent() {
+        let mut p = Lru::new();
+        let mut c = ConfigCache::new(3);
+        for (i, t) in [(0usize, 1usize), (1, 2), (2, 3)] {
+            c.load(i, TaskId(t));
+            p.on_access(TaskId(t), i, i);
+        }
+        // Touch slot 0 again: slot 1 becomes LRU.
+        p.on_access(TaskId(1), 0, 3);
+        assert_eq!(p.choose_victim(&c, TaskId(4), 4), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! First-order Markov next-task prediction with LRU replacement — an
+//! online stand-in for the association-rule configuration caching the paper
+//! cites as reference [26].
+
+use std::collections::HashMap;
+
+use crate::cache::{ConfigCache, TaskId};
+use crate::policies::Lru;
+use crate::policy::Policy;
+
+/// Learns the task-call transition matrix online; predicts the most
+/// frequent successor of the current task as a prefetch hint, and replaces
+/// via LRU. Its decision latency is configurable to study the paper's
+/// `X_decision` sensitivity.
+#[derive(Debug, Default, Clone)]
+pub struct Markov {
+    transitions: HashMap<TaskId, HashMap<TaskId, u64>>,
+    previous: Option<TaskId>,
+    lru: Lru,
+    decision_latency_s: f64,
+}
+
+impl Markov {
+    /// Creates the predictor with zero decision latency.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the predictor with the given decision latency (seconds).
+    pub fn with_decision_latency(decision_latency_s: f64) -> Self {
+        Markov {
+            decision_latency_s,
+            ..Self::default()
+        }
+    }
+}
+
+impl Policy for Markov {
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+
+    fn decision_latency_s(&self) -> f64 {
+        self.decision_latency_s
+    }
+
+    fn choose_victim(&mut self, cache: &ConfigCache, task: TaskId, index: usize) -> usize {
+        self.lru.choose_victim(cache, task, index)
+    }
+
+    fn on_access(&mut self, task: TaskId, slot: usize, index: usize) {
+        if let Some(prev) = self.previous {
+            *self
+                .transitions
+                .entry(prev)
+                .or_default()
+                .entry(task)
+                .or_insert(0) += 1;
+        }
+        self.previous = Some(task);
+        self.lru.on_access(task, slot, index);
+    }
+
+    fn predict_next(&self, current: TaskId) -> Option<TaskId> {
+        self.transitions.get(&current).and_then(|succ| {
+            succ.iter()
+                // Deterministic argmax: break count ties by task id.
+                .max_by_key(|(t, c)| (**c, std::cmp::Reverse(t.0)))
+                .map(|(t, _)| *t)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_repeating_sequence() {
+        let mut p = Markov::new();
+        // Feed A B C A B C ...
+        let seq = [0usize, 1, 2, 0, 1, 2, 0, 1, 2];
+        for (i, &t) in seq.iter().enumerate() {
+            p.on_access(TaskId(t), t % 2, i);
+        }
+        assert_eq!(p.predict_next(TaskId(0)), Some(TaskId(1)));
+        assert_eq!(p.predict_next(TaskId(1)), Some(TaskId(2)));
+        assert_eq!(p.predict_next(TaskId(2)), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn no_prediction_before_any_evidence() {
+        let p = Markov::new();
+        assert_eq!(p.predict_next(TaskId(0)), None);
+    }
+
+    #[test]
+    fn decision_latency_configurable() {
+        assert_eq!(Markov::new().decision_latency_s(), 0.0);
+        assert_eq!(Markov::with_decision_latency(1e-5).decision_latency_s(), 1e-5);
+    }
+}

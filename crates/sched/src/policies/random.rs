@@ -1,0 +1,61 @@
+//! Seeded random replacement.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::cache::{ConfigCache, TaskId};
+use crate::policy::Policy;
+
+/// Evicts a uniformly random slot (deterministic per seed).
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    rng: ChaCha8Rng,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn choose_victim(&mut self, cache: &ConfigCache, _task: TaskId, _index: usize) -> usize {
+        self.rng.gen_range(0..cache.slot_count())
+    }
+
+    fn on_access(&mut self, _task: TaskId, _slot: usize, _index: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = ConfigCache::new(4);
+        let mut a = RandomPolicy::new(9);
+        let mut b = RandomPolicy::new(9);
+        for i in 0..20 {
+            assert_eq!(
+                a.choose_victim(&c, TaskId(0), i),
+                b.choose_victim(&c, TaskId(0), i)
+            );
+        }
+    }
+
+    #[test]
+    fn victims_in_range() {
+        let c = ConfigCache::new(3);
+        let mut p = RandomPolicy::new(1);
+        for i in 0..100 {
+            assert!(p.choose_victim(&c, TaskId(0), i) < 3);
+        }
+    }
+}

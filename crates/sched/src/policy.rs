@@ -1,0 +1,49 @@
+//! The replacement/prefetch policy abstraction.
+//!
+//! A policy answers two questions the configuration-caching literature the
+//! paper builds on ([24]–[27]) cares about: *which* resident configuration
+//! to evict on a miss, and *what* to prefetch while the current task runs.
+//! Each policy also carries its decision latency — the paper's `T_decision`
+//! (`T_setup`), "the time taken by the configuration caching algorithm to
+//! decide whether to configure or not to configure certain tasks".
+
+use crate::cache::{ConfigCache, TaskId};
+
+/// A configuration replacement + prefetch policy.
+pub trait Policy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decision latency `T_decision` in seconds (0 for trivial policies).
+    fn decision_latency_s(&self) -> f64 {
+        0.0
+    }
+
+    /// Gives oracle policies the full future trace before simulation.
+    fn observe_trace(&mut self, _trace: &[TaskId]) {}
+
+    /// Chooses the slot to evict so `task` can be loaded at call `index`.
+    /// Only called when the cache has no empty slot.
+    fn choose_victim(&mut self, cache: &ConfigCache, task: TaskId, index: usize) -> usize;
+
+    /// Records that `task` was accessed (hit or post-miss load) in `slot`
+    /// at call `index`.
+    fn on_access(&mut self, task: TaskId, slot: usize, index: usize);
+
+    /// Records that `slot` was refilled with `task`'s configuration (demand
+    /// miss or prefetch). Policies that track load order (FIFO) hook this.
+    fn on_load(&mut self, _task: TaskId, _slot: usize, _index: usize) {}
+
+    /// Predicts the task most likely to be called next, as a prefetch hint.
+    fn predict_next(&self, _current: TaskId) -> Option<TaskId> {
+        None
+    }
+
+    /// When true, every call is charged as a miss regardless of residency —
+    /// the paper's experimental configuration ("our hypothetical
+    /// configuration pre-fetching always misses tasks when needed and
+    /// always reconfigures the called tasks", section 4.3).
+    fn forces_miss(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,226 @@
+//! Cache simulation: runs a task-call trace through a PRR cache under a
+//! policy and measures the achieved hit ratio `H` — turning the model's
+//! free parameter into a measured quantity.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheStats, ConfigCache, TaskId};
+use crate::policy::Policy;
+
+/// Outcome of one task call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CallOutcome {
+    /// Configuration was resident; no reconfiguration needed (Figure 4(b)).
+    Hit {
+        /// Slot holding the configuration.
+        slot: usize,
+    },
+    /// Configuration was absent (or the policy forces reconfiguration);
+    /// a partial reconfiguration was charged (Figure 4(a)).
+    Miss {
+        /// Slot the configuration was loaded into.
+        slot: usize,
+        /// Configuration evicted to make room, if any.
+        evicted: Option<TaskId>,
+    },
+}
+
+impl CallOutcome {
+    /// Whether this call was a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CallOutcome::Hit { .. })
+    }
+}
+
+/// Result of a cache simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationOutcome {
+    /// Aggregate statistics.
+    pub stats: CacheStats,
+    /// Per-call outcomes, in trace order.
+    pub outcomes: Vec<CallOutcome>,
+}
+
+impl SimulationOutcome {
+    /// The measured hit ratio `H`.
+    pub fn hit_ratio(&self) -> f64 {
+        self.stats.hit_ratio()
+    }
+}
+
+/// Runs `trace` through a cache of `slots` PRRs under `policy`.
+///
+/// When `prefetch` is true, the policy's [`Policy::predict_next`] hint is
+/// used after every call to speculatively load the predicted next task into
+/// a victim slot (never the slot of the task that just ran — it is still
+/// executing while the prefetch would proceed, exactly the overlap of
+/// Figure 4(b)).
+/// ```
+/// use hprc_sched::policies::Lru;
+/// use hprc_sched::simulate::simulate;
+/// use hprc_sched::TaskId;
+///
+/// // Two tasks alternating over two PRRs: cold misses, then all hits.
+/// let trace: Vec<TaskId> = (0..10).map(|i| TaskId(i % 2)).collect();
+/// let outcome = simulate(&trace, 2, &mut Lru::new(), false);
+/// assert_eq!(outcome.stats.misses, 2);
+/// assert_eq!(outcome.stats.hits, 8);
+/// ```
+pub fn simulate(
+    trace: &[TaskId],
+    slots: usize,
+    policy: &mut dyn Policy,
+    prefetch: bool,
+) -> SimulationOutcome {
+    let mut cache = ConfigCache::new(slots);
+    policy.observe_trace(trace);
+    let mut stats = CacheStats::default();
+    let mut outcomes = Vec::with_capacity(trace.len());
+    let mut speculative: HashSet<TaskId> = HashSet::new();
+
+    for (i, &task) in trace.iter().enumerate() {
+        stats.calls += 1;
+        let resident_slot = cache.slot_of(task);
+        let outcome = match resident_slot {
+            Some(slot) if !policy.forces_miss() => {
+                stats.hits += 1;
+                if speculative.remove(&task) {
+                    stats.useful_prefetches += 1;
+                }
+                CallOutcome::Hit { slot }
+            }
+            _ => {
+                stats.misses += 1;
+                // A forced miss on a resident task reconfigures in place.
+                let slot = resident_slot
+                    .or_else(|| cache.empty_slot())
+                    .unwrap_or_else(|| policy.choose_victim(&cache, task, i));
+                let evicted = cache.load(slot, task);
+                if let Some(e) = evicted {
+                    speculative.remove(&e);
+                }
+                speculative.remove(&task);
+                policy.on_load(task, slot, i);
+                CallOutcome::Miss {
+                    slot,
+                    evicted: evicted.filter(|&e| e != task),
+                }
+            }
+        };
+        let slot = match outcome {
+            CallOutcome::Hit { slot } | CallOutcome::Miss { slot, .. } => slot,
+        };
+        policy.on_access(task, slot, i);
+        outcomes.push(outcome);
+
+        if prefetch {
+            if let Some(pred) = policy.predict_next(task) {
+                if pred != task && !cache.contains(pred) {
+                    let target = cache
+                        .empty_slot()
+                        .unwrap_or_else(|| policy.choose_victim(&cache, pred, i));
+                    // Never evict the task that is executing right now.
+                    if Some(target) != cache.slot_of(task) {
+                        if let Some(e) = cache.load(target, pred) {
+                            speculative.remove(&e);
+                        }
+                        policy.on_load(pred, target, i);
+                        stats.prefetch_loads += 1;
+                        speculative.insert(pred);
+                    }
+                }
+            }
+        }
+    }
+
+    SimulationOutcome { stats, outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{AlwaysMiss, Belady, Lru, Markov};
+
+    fn ids(v: &[usize]) -> Vec<TaskId> {
+        v.iter().map(|&i| TaskId(i)).collect()
+    }
+
+    #[test]
+    fn always_miss_yields_h_zero() {
+        let trace = ids(&[0, 1, 0, 1, 0, 1]);
+        let out = simulate(&trace, 2, &mut AlwaysMiss::new(), false);
+        assert_eq!(out.stats.misses, 6);
+        assert_eq!(out.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn lru_two_slots_two_tasks_hits_after_warmup() {
+        let trace = ids(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        let out = simulate(&trace, 2, &mut Lru::new(), false);
+        // Two cold misses, then all hits.
+        assert_eq!(out.stats.misses, 2);
+        assert_eq!(out.stats.hits, 6);
+    }
+
+    #[test]
+    fn three_tasks_two_slots_round_robin_defeats_lru() {
+        // Cyclic A B C with 2 slots: LRU misses every call (classic
+        // pathological case).
+        let trace = ids(&[0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        let out = simulate(&trace, 2, &mut Lru::new(), false);
+        assert_eq!(out.stats.hits, 0);
+    }
+
+    #[test]
+    fn belady_beats_lru_on_cyclic_trace() {
+        let trace = ids(&[0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        let lru = simulate(&trace, 2, &mut Lru::new(), false);
+        let opt = simulate(&trace, 2, &mut Belady::new(), false);
+        assert!(opt.stats.hits > lru.stats.hits);
+    }
+
+    #[test]
+    fn markov_prefetch_learns_cycle() {
+        // A B A B ... with 2 slots and prefetching: after the transition
+        // table warms up, the predictor always preloads the other task.
+        let trace = ids(&[0, 1].repeat(50));
+        let out = simulate(&trace, 2, &mut Markov::new(), true);
+        assert!(out.hit_ratio() > 0.9, "H = {}", out.hit_ratio());
+        assert!(out.stats.useful_prefetches <= out.stats.prefetch_loads);
+    }
+
+    #[test]
+    fn markov_prefetch_on_three_task_cycle_two_slots() {
+        // A B C cycling through 2 slots defeats pure LRU entirely, but a
+        // perfect next-task prefetcher hides most misses.
+        let trace = ids(&[0, 1, 2].repeat(100));
+        let plain = simulate(&trace, 2, &mut Lru::new(), false);
+        let pf = simulate(&trace, 2, &mut Markov::new(), true);
+        assert_eq!(plain.stats.hits, 0);
+        assert!(
+            pf.hit_ratio() > 0.5,
+            "prefetching H = {}",
+            pf.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_calls() {
+        let trace = ids(&[0, 3, 1, 2, 0, 0, 2, 1, 3, 2]);
+        let out = simulate(&trace, 2, &mut Lru::new(), true);
+        assert_eq!(out.stats.hits + out.stats.misses, out.stats.calls);
+        assert_eq!(out.outcomes.len(), trace.len());
+        let hits = out.outcomes.iter().filter(|o| o.is_hit()).count() as u64;
+        assert_eq!(hits, out.stats.hits);
+    }
+
+    #[test]
+    fn single_slot_cache_works() {
+        let trace = ids(&[0, 0, 1, 1, 0]);
+        let out = simulate(&trace, 1, &mut Lru::new(), false);
+        assert_eq!(out.stats.hits, 2);
+        assert_eq!(out.stats.misses, 3);
+    }
+}

@@ -1,0 +1,260 @@
+//! Task-call trace generators: the workload side of section 3.1's "each
+//! application requires on the average a few hardware functions (tasks)".
+//!
+//! All generators are deterministic per seed (ChaCha8).
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::TaskId;
+
+/// A declarative trace description, serializable into experiment configs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceSpec {
+    /// Independent uniform draws over `n_tasks` tasks.
+    Uniform {
+        /// Distinct tasks.
+        n_tasks: usize,
+        /// Trace length.
+        len: usize,
+    },
+    /// Zipf-distributed draws (exponent `alpha`): a few hot tasks dominate,
+    /// the locality assumption behind configuration caching.
+    Zipf {
+        /// Distinct tasks.
+        n_tasks: usize,
+        /// Skew exponent (> 0; larger = more skewed).
+        alpha: f64,
+        /// Trace length.
+        len: usize,
+    },
+    /// Phased workload: execution proceeds in phases, each drawing
+    /// uniformly from a small working set — the "processing spatial
+    /// locality" that grouping related functions exploits (section 2.1).
+    Phased {
+        /// Distinct tasks overall.
+        n_tasks: usize,
+        /// Working-set size per phase.
+        working_set: usize,
+        /// Calls per phase.
+        phase_len: usize,
+        /// Trace length.
+        len: usize,
+    },
+    /// A repeating pipeline of `stages` tasks (0, 1, ..., stages-1, 0, ...)
+    /// with probability `noise` of substituting a uniformly random task —
+    /// the image-pipeline workload of section 4.3 plus data-dependent
+    /// detours.
+    Looping {
+        /// Pipeline stages (also the task universe when `n_tasks == stages`).
+        stages: usize,
+        /// Distinct tasks the noise can draw from.
+        n_tasks: usize,
+        /// Substitution probability in `[0, 1]`.
+        noise: f64,
+        /// Trace length.
+        len: usize,
+    },
+}
+
+impl TraceSpec {
+    /// Materializes the trace with the given seed.
+    pub fn generate(&self, seed: u64) -> Vec<TaskId> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        match *self {
+            TraceSpec::Uniform { n_tasks, len } => {
+                assert!(n_tasks > 0, "need at least one task");
+                (0..len).map(|_| TaskId(rng.gen_range(0..n_tasks))).collect()
+            }
+            TraceSpec::Zipf { n_tasks, alpha, len } => {
+                assert!(n_tasks > 0 && alpha > 0.0, "need tasks and alpha > 0");
+                let weights: Vec<f64> =
+                    (1..=n_tasks).map(|k| (k as f64).powf(-alpha)).collect();
+                let dist = WeightedIndex::new(&weights).expect("positive weights");
+                (0..len).map(|_| TaskId(dist.sample(&mut rng))).collect()
+            }
+            TraceSpec::Phased {
+                n_tasks,
+                working_set,
+                phase_len,
+                len,
+            } => {
+                assert!(
+                    working_set > 0 && working_set <= n_tasks && phase_len > 0,
+                    "working set must be within the task universe"
+                );
+                let mut trace = Vec::with_capacity(len);
+                while trace.len() < len {
+                    // Draw a fresh working set for this phase.
+                    let mut universe: Vec<usize> = (0..n_tasks).collect();
+                    for i in 0..working_set {
+                        let j = rng.gen_range(i..n_tasks);
+                        universe.swap(i, j);
+                    }
+                    let ws = &universe[..working_set];
+                    for _ in 0..phase_len.min(len - trace.len()) {
+                        trace.push(TaskId(ws[rng.gen_range(0..working_set)]));
+                    }
+                }
+                trace
+            }
+            TraceSpec::Looping {
+                stages,
+                n_tasks,
+                noise,
+                len,
+            } => {
+                assert!(stages > 0 && n_tasks >= stages, "stages must exist");
+                assert!((0.0..=1.0).contains(&noise), "noise is a probability");
+                (0..len)
+                    .map(|i| {
+                        if rng.gen::<f64>() < noise {
+                            TaskId(rng.gen_range(0..n_tasks))
+                        } else {
+                            TaskId(i % stages)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            TraceSpec::Uniform { n_tasks, .. } => format!("uniform({n_tasks})"),
+            TraceSpec::Zipf { n_tasks, alpha, .. } => format!("zipf({n_tasks}, a={alpha})"),
+            TraceSpec::Phased {
+                n_tasks,
+                working_set,
+                ..
+            } => format!("phased({working_set}/{n_tasks})"),
+            TraceSpec::Looping { stages, noise, .. } => {
+                format!("loop({stages}, noise={noise})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_in_range() {
+        let spec = TraceSpec::Uniform {
+            n_tasks: 5,
+            len: 200,
+        };
+        let a = spec.generate(1);
+        let b = spec.generate(1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        assert!(a.iter().all(|t| t.0 < 5));
+        assert_ne!(a, spec.generate(2));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ids() {
+        let spec = TraceSpec::Zipf {
+            n_tasks: 10,
+            alpha: 1.5,
+            len: 5000,
+        };
+        let t = spec.generate(3);
+        let count0 = t.iter().filter(|x| x.0 == 0).count();
+        let count9 = t.iter().filter(|x| x.0 == 9).count();
+        assert!(count0 > 5 * count9.max(1), "{count0} vs {count9}");
+    }
+
+    #[test]
+    fn phased_stays_within_working_sets() {
+        let spec = TraceSpec::Phased {
+            n_tasks: 20,
+            working_set: 3,
+            phase_len: 50,
+            len: 200,
+        };
+        let t = spec.generate(4);
+        assert_eq!(t.len(), 200);
+        // Each phase uses at most `working_set` distinct tasks.
+        for phase in t.chunks(50) {
+            let distinct: std::collections::HashSet<_> = phase.iter().collect();
+            assert!(distinct.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn looping_without_noise_is_the_pipeline() {
+        let spec = TraceSpec::Looping {
+            stages: 3,
+            n_tasks: 3,
+            noise: 0.0,
+            len: 9,
+        };
+        let t = spec.generate(0);
+        let expected: Vec<TaskId> = [0, 1, 2, 0, 1, 2, 0, 1, 2]
+            .iter()
+            .map(|&i| TaskId(i))
+            .collect();
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn looping_noise_injects_deviations() {
+        let spec = TraceSpec::Looping {
+            stages: 3,
+            n_tasks: 8,
+            noise: 0.5,
+            len: 300,
+        };
+        let t = spec.generate(7);
+        let deviations = t
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| t.0 != i % 3)
+            .count();
+        assert!(deviations > 50, "{deviations} deviations");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let specs = [
+            TraceSpec::Uniform { n_tasks: 3, len: 1 },
+            TraceSpec::Zipf {
+                n_tasks: 3,
+                alpha: 1.0,
+                len: 1,
+            },
+            TraceSpec::Phased {
+                n_tasks: 3,
+                working_set: 2,
+                phase_len: 1,
+                len: 1,
+            },
+            TraceSpec::Looping {
+                stages: 3,
+                n_tasks: 3,
+                noise: 0.1,
+                len: 1,
+            },
+        ];
+        let labels: std::collections::HashSet<String> =
+            specs.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), specs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "working set")]
+    fn oversized_working_set_rejected() {
+        TraceSpec::Phased {
+            n_tasks: 2,
+            working_set: 5,
+            phase_len: 10,
+            len: 10,
+        }
+        .generate(0);
+    }
+}

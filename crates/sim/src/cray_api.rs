@@ -1,0 +1,143 @@
+//! The vendor's full-configuration software API (section 4.1).
+//!
+//! On Cray XD1, `fpga_load`-style vendor calls download a **full** bitstream
+//! over an external port (SelectMap). The call carries heavy software
+//! overhead — Table 2 measures 1678.04 ms against a 36.09 ms raw transfer —
+//! and it *rejects* partial bitstreams for two reasons the paper
+//! enumerates: a size check, and a DONE-signal check that always "fails"
+//! during partial reconfiguration because the device is already configured.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::time::SimDuration;
+
+/// The vendor configuration API model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrayConfigApi {
+    /// External configuration port throughput, bytes/s (SelectMap: 66 MB/s).
+    pub port_bytes_per_sec: f64,
+    /// Fixed software overhead per call, seconds (file handling, device
+    /// reset, DONE polling). Calibrated: 1678.04 ms − 36.09 ms = 1641.95 ms.
+    pub software_overhead_s: f64,
+    /// Expected full-bitstream size for the size check.
+    pub full_bitstream_bytes: u64,
+    /// Whether the API has been patched to skip the size and DONE checks
+    /// (the modification the paper proposes to vendors — not possible on
+    /// the closed XD1 libraries, hence the ICAP work-around).
+    pub patched: bool,
+}
+
+impl CrayConfigApi {
+    /// The measured XD1 API for the XC2VP50 (Table 2's "measured" full
+    /// configuration).
+    pub fn xd1_measured(full_bitstream_bytes: u64) -> CrayConfigApi {
+        CrayConfigApi {
+            port_bytes_per_sec: 66e6,
+            software_overhead_s: 1.6419527,
+            full_bitstream_bytes,
+            patched: false,
+        }
+    }
+
+    /// An overhead-free API — Table 2's "estimated" full configuration
+    /// (pure SelectMap transfer).
+    pub fn ideal(full_bitstream_bytes: u64) -> CrayConfigApi {
+        CrayConfigApi {
+            port_bytes_per_sec: 66e6,
+            software_overhead_s: 0.0,
+            full_bitstream_bytes,
+            patched: false,
+        }
+    }
+
+    /// Attempts to configure the device with a bitstream of `bytes` bytes.
+    /// `is_partial` marks partial bitstreams; `done_high` is the state of
+    /// the DONE pin when the call is made (high once the FPGA is already
+    /// configured — always the case during run-time reconfiguration).
+    ///
+    /// Returns the call's duration.
+    ///
+    /// # Errors
+    ///
+    /// Unpatched APIs reject any bitstream failing the size check, and any
+    /// call made while DONE is high with a bitstream that would not reset
+    /// the device — exactly the two failure modes of section 4.1.
+    pub fn configure(
+        &self,
+        bytes: u64,
+        is_partial: bool,
+        done_high: bool,
+    ) -> Result<SimDuration, SimError> {
+        if !self.patched {
+            if bytes != self.full_bitstream_bytes {
+                return Err(SimError::ApiRejected(format!(
+                    "bitstream size {} != expected full size {} (size check)",
+                    bytes, self.full_bitstream_bytes
+                )));
+            }
+            if is_partial && done_high {
+                return Err(SimError::ApiRejected(
+                    "DONE asserted during download (device already configured)".into(),
+                ));
+            }
+        }
+        Ok(SimDuration::from_secs_f64(
+            self.software_overhead_s + bytes as f64 / self.port_bytes_per_sec,
+        ))
+    }
+
+    /// Full-configuration time in seconds (the `T_FRTR` this API induces).
+    pub fn full_configuration_time_s(&self) -> f64 {
+        self.software_overhead_s + self.full_bitstream_bytes as f64 / self.port_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: u64 = 2_381_764;
+
+    #[test]
+    fn measured_full_configuration_matches_table2() {
+        let api = CrayConfigApi::xd1_measured(FULL);
+        let t = api.full_configuration_time_s();
+        assert!((t * 1e3 - 1678.04).abs() < 0.05, "t = {} ms", t * 1e3);
+        let d = api.configure(FULL, false, false).unwrap();
+        assert!((d.as_secs_f64() - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimated_full_configuration_matches_table2() {
+        let api = CrayConfigApi::ideal(FULL);
+        let t = api.full_configuration_time_s();
+        assert!((t * 1e3 - 36.09).abs() < 0.01, "t = {} ms", t * 1e3);
+    }
+
+    #[test]
+    fn partial_bitstream_fails_size_check() {
+        let api = CrayConfigApi::xd1_measured(FULL);
+        let err = api.configure(404_168, true, true).unwrap_err();
+        assert!(err.to_string().contains("size check"));
+    }
+
+    #[test]
+    fn full_size_partial_fails_done_check() {
+        // Even a partial bitstream padded to full size trips the DONE check
+        // when the device is already running.
+        let api = CrayConfigApi::xd1_measured(FULL);
+        let err = api.configure(FULL, true, true).unwrap_err();
+        assert!(err.to_string().contains("DONE"));
+    }
+
+    #[test]
+    fn patched_api_accepts_partials() {
+        let api = CrayConfigApi {
+            patched: true,
+            ..CrayConfigApi::xd1_measured(FULL)
+        };
+        let d = api.configure(404_168, true, true).unwrap();
+        assert!(d.as_secs_f64() > 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for the node simulator.
+
+use std::fmt;
+
+/// Errors from configuring or driving the simulated HPRC node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The vendor configuration API rejected a bitstream.
+    ApiRejected(String),
+    /// The executor was driven with inconsistent inputs.
+    InvalidRun(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ApiRejected(msg) => write!(f, "configuration API rejected: {msg}"),
+            SimError::InvalidRun(msg) => write!(f, "invalid run: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SimError::ApiRejected("partial".into())
+            .to_string()
+            .contains("partial"));
+    }
+}

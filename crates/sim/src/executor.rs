@@ -1,0 +1,455 @@
+//! FRTR and PRTR executors: drive a sequence of task calls through the
+//! simulated node and measure the total execution time the analytical
+//! model predicts.
+//!
+//! **FRTR** (Figure 3): every call fully reconfigures the device through
+//! the vendor API — nothing overlaps, because a full configuration resets
+//! the fabric. Per call: `T_FRTR + T_control + T_task`, serial.
+//!
+//! **PRTR** (Figure 4): the runtime overlaps the next call's partial
+//! reconfiguration with the current call's execution, exactly as
+//! equation (3) accounts it:
+//!
+//! * *miss* (Figure 4(a)): the next configuration starts streaming through
+//!   the ICAP when the current task starts; the decision check runs when
+//!   the task ends. The call becomes ready at
+//!   `max(exec_end_prev + T_decision, config_end)` — contributing
+//!   `max(T_task + T_decision, T_PRTR)` per call in steady state;
+//! * *hit* (Figure 4(b)): the decision overlaps execution; ready at
+//!   `max(exec_end_prev, decision_end)` — contributing
+//!   `max(T_task, T_decision)`.
+//!
+//! Every call then pays `T_control` before executing. The model's single
+//! leading `X_decision` appears as the first call's un-overlapped decision.
+//! The simulator additionally serializes configurations on the single ICAP
+//! and (optionally) delays them until the previous call's input data has
+//! drained from the shared host link — second-order effects equation (3)
+//! ignores, which is precisely what makes simulator-vs-model validation
+//! meaningful.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::node::NodeConfig;
+use crate::task::{PrtrCall, TaskCall};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{EventKind, Lane, Timeline};
+
+/// Timing of one executed call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallTiming {
+    /// Task name.
+    pub name: String,
+    /// Whether the call hit (PRTR only; always false under FRTR).
+    pub hit: bool,
+    /// When its (re-)configuration started (if one was needed).
+    pub config_start: Option<SimTime>,
+    /// When its (re-)configuration finished.
+    pub config_end: Option<SimTime>,
+    /// When execution started (after transfer of control).
+    pub exec_start: SimTime,
+    /// When execution finished.
+    pub exec_end: SimTime,
+}
+
+/// Result of executing a call sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Wall-clock total, from t = 0 to the last task's completion.
+    pub total: SimDuration,
+    /// Per-call timings.
+    pub calls: Vec<CallTiming>,
+    /// Full event timeline (renders the Figures 3/4 profiles).
+    pub timeline: Timeline,
+    /// Number of (re-)configurations performed.
+    pub n_config: u64,
+}
+
+impl ExecutionReport {
+    /// Total in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.total.as_secs_f64()
+    }
+}
+
+/// Executes `calls` under **FRTR**: full reconfiguration before every call.
+///
+/// # Errors
+///
+/// Propagates vendor-API rejections (impossible for well-formed full
+/// bitstreams).
+pub fn run_frtr(node: &NodeConfig, calls: &[TaskCall]) -> Result<ExecutionReport, SimError> {
+    let mut now = SimTime::ZERO;
+    let mut timeline = Timeline::default();
+    let mut timings = Vec::with_capacity(calls.len());
+    let full_bytes = node.full_config.full_bitstream_bytes;
+    for call in calls {
+        let config_start = now;
+        // A full bitstream resets the device, so DONE is irrelevant here.
+        let d = node.full_config.configure(full_bytes, false, false)?;
+        let config_end = config_start + d;
+        timeline.push(
+            Lane::ConfigPort,
+            EventKind::FullConfig,
+            format!("full:{}", call.name),
+            config_start,
+            config_end,
+        );
+        let control_end = config_end + SimDuration::from_secs_f64(node.control_overhead_s);
+        timeline.push(
+            Lane::Host,
+            EventKind::Control,
+            format!("ctl:{}", call.name),
+            config_end,
+            control_end,
+        );
+        let exec_start = control_end;
+        let exec_end = exec_start + SimDuration::from_secs_f64(call.task_time_s(node));
+        push_exec_events(&mut timeline, node, call, 0, exec_start, exec_end);
+        timings.push(CallTiming {
+            name: call.name.clone(),
+            hit: false,
+            config_start: Some(config_start),
+            config_end: Some(config_end),
+            exec_start,
+            exec_end,
+        });
+        now = exec_end;
+    }
+    Ok(ExecutionReport {
+        total: now - SimTime::ZERO,
+        n_config: calls.len() as u64,
+        calls: timings,
+        timeline,
+    })
+}
+
+/// Executes `calls` under **PRTR** with the per-call hit/miss outcomes and
+/// slot assignments supplied by a configuration-caching simulation.
+///
+/// # Errors
+///
+/// [`SimError::InvalidRun`] when a slot index exceeds the node's PRR count
+/// or the call list is empty.
+pub fn run_prtr(node: &NodeConfig, calls: &[PrtrCall]) -> Result<ExecutionReport, SimError> {
+    if calls.is_empty() {
+        return Err(SimError::InvalidRun("empty call sequence".into()));
+    }
+    if let Some(bad) = calls.iter().find(|c| c.slot >= node.n_prrs) {
+        return Err(SimError::InvalidRun(format!(
+            "slot {} out of range for {} PRRs",
+            bad.slot, node.n_prrs
+        )));
+    }
+
+    let t_decision = SimDuration::from_secs_f64(node.decision_latency_s);
+    let t_control = SimDuration::from_secs_f64(node.control_overhead_s);
+    let t_prtr = node.icap.transfer_duration(node.prr_bitstream_bytes);
+
+    let mut timeline = Timeline::default();
+    let mut timings = Vec::with_capacity(calls.len());
+    let mut n_config = 0u64;
+    let mut icap_free = SimTime::ZERO;
+    // Execution window of the previous call.
+    let mut prev: Option<(SimTime, SimTime, u64)> = None; // (exec_start, exec_end, bytes_in)
+
+    for call in calls {
+        let (config_start, config_end, ready) = match (call.hit, prev) {
+            // Cold start (first call): decision, then configuration (on a
+            // miss), strictly serial — nothing exists to overlap with.
+            (hit, None) => {
+                let decision_end = SimTime::ZERO + t_decision;
+                timeline.push(
+                    Lane::Host,
+                    EventKind::Decision,
+                    format!("dec:{}", call.task.name),
+                    SimTime::ZERO,
+                    decision_end,
+                );
+                if hit {
+                    (None, None, decision_end)
+                } else {
+                    let cs = decision_end.max(icap_free);
+                    let ce = cs + t_prtr;
+                    icap_free = ce;
+                    n_config += 1;
+                    (Some(cs), Some(ce), ce)
+                }
+            }
+            // Hit: the decision overlaps the previous execution.
+            (true, Some((prev_start, prev_end, _))) => {
+                let decision_end = prev_start + t_decision;
+                timeline.push(
+                    Lane::Host,
+                    EventKind::Decision,
+                    format!("dec:{}", call.task.name),
+                    prev_start,
+                    decision_end,
+                );
+                (None, None, prev_end.max(decision_end))
+            }
+            // Miss: the configuration streams while the previous task runs;
+            // the decision check runs after it completes (equation (3)'s
+            // max(T_task + T_decision, T_PRTR) term).
+            (false, Some((prev_start, prev_end, prev_bytes_in))) => {
+                let decision_end = prev_end + t_decision;
+                timeline.push(
+                    Lane::Host,
+                    EventKind::Decision,
+                    format!("dec:{}", call.task.name),
+                    prev_end,
+                    decision_end,
+                );
+                let earliest = if node.config_waits_for_data_input {
+                    prev_start + node.data_in_duration(prev_bytes_in)
+                } else {
+                    prev_start
+                };
+                let cs = earliest.max(icap_free);
+                let ce = cs + t_prtr;
+                icap_free = ce;
+                n_config += 1;
+                (Some(cs), Some(ce), decision_end.max(ce))
+            }
+        };
+
+        if let (Some(cs), Some(ce)) = (config_start, config_end) {
+            timeline.push(
+                Lane::ConfigPort,
+                EventKind::PartialConfig,
+                format!("cfg:{}@PRR{}", call.task.name, call.slot),
+                cs,
+                ce,
+            );
+        }
+
+        let control_end = ready + t_control;
+        timeline.push(
+            Lane::Host,
+            EventKind::Control,
+            format!("ctl:{}", call.task.name),
+            ready,
+            control_end,
+        );
+        let exec_start = control_end;
+        let exec_end = exec_start + SimDuration::from_secs_f64(call.task.task_time_s(node));
+        push_exec_events(&mut timeline, node, &call.task, call.slot, exec_start, exec_end);
+
+        timings.push(CallTiming {
+            name: call.task.name.clone(),
+            hit: call.hit,
+            config_start,
+            config_end,
+            exec_start,
+            exec_end,
+        });
+        prev = Some((exec_start, exec_end, call.task.bytes_in));
+    }
+
+    let total = timings.last().expect("non-empty").exec_end - SimTime::ZERO;
+    Ok(ExecutionReport {
+        total,
+        calls: timings,
+        timeline,
+        n_config,
+    })
+}
+
+/// Records the execution window plus its streaming data transfers.
+fn push_exec_events(
+    timeline: &mut Timeline,
+    node: &NodeConfig,
+    call: &TaskCall,
+    slot: usize,
+    exec_start: SimTime,
+    exec_end: SimTime,
+) {
+    timeline.push(
+        Lane::Prr(slot),
+        EventKind::Exec,
+        call.name.clone(),
+        exec_start,
+        exec_end,
+    );
+    let t_in = node.data_in_duration(call.bytes_in);
+    timeline.push(
+        Lane::LinkIn,
+        EventKind::DataIn,
+        format!("in:{}", call.name),
+        exec_start,
+        exec_start + t_in,
+    );
+    let t_out = node.data_in_duration(call.bytes_out);
+    // Output streams at the tail of the execution window.
+    let out_start = SimTime(exec_end.0.saturating_sub(t_out.0));
+    timeline.push(
+        Lane::LinkOut,
+        EventKind::DataOut,
+        format!("out:{}", call.name),
+        out_start.max(exec_start),
+        exec_end,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprc_fpga::floorplan::Floorplan;
+
+    fn node() -> NodeConfig {
+        NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr())
+    }
+
+    fn uniform_prtr_calls(node: &NodeConfig, t_task: f64, n: usize, all_miss: bool) -> Vec<PrtrCall> {
+        (0..n)
+            .map(|i| PrtrCall {
+                task: TaskCall::with_task_time(format!("task{}", i % 3), node, t_task),
+                hit: !all_miss && i > 0,
+                slot: i % node.n_prrs,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frtr_total_matches_equation_1_exactly() {
+        let node = node();
+        let t_task = 0.050;
+        let n = 20;
+        let calls: Vec<TaskCall> = (0..n)
+            .map(|i| TaskCall::with_task_time(format!("t{i}"), &node, t_task))
+            .collect();
+        let report = run_frtr(&node, &calls).unwrap();
+        let t_task_actual = calls[0].task_time_s(&node);
+        let expected = n as f64 * (node.t_frtr_s() + node.control_overhead_s + t_task_actual);
+        assert!(
+            (report.total_s() - expected).abs() / expected < 1e-9,
+            "sim {} vs eq(1) {}",
+            report.total_s(),
+            expected
+        );
+        assert_eq!(report.n_config, n as u64);
+    }
+
+    #[test]
+    fn prtr_all_miss_long_tasks_hide_configuration() {
+        // T_task >> T_PRTR: steady-state increment is T_task + T_control.
+        let node = node();
+        let t_task = 0.5; // 500 ms >> 19.77 ms
+        let calls = uniform_prtr_calls(&node, t_task, 10, true);
+        let report = run_prtr(&node, &calls).unwrap();
+        let t_task_actual = calls[0].task.task_time_s(&node);
+        // First call pays its full config; the remaining 9 only task+control.
+        let expected = node.t_prtr_s()
+            + 10.0 * (node.control_overhead_s + t_task_actual);
+        assert!(
+            (report.total_s() - expected).abs() / expected < 1e-6,
+            "sim {} vs {}",
+            report.total_s(),
+            expected
+        );
+        assert_eq!(report.n_config, 10);
+    }
+
+    #[test]
+    fn prtr_all_miss_short_tasks_are_config_bound() {
+        // T_task << T_PRTR: steady-state increment is T_PRTR + T_control.
+        let node = node();
+        let t_task = 0.001; // 1 ms << 19.77 ms
+        let n = 50;
+        let calls = uniform_prtr_calls(&node, t_task, n, true);
+        let report = run_prtr(&node, &calls).unwrap();
+        let t_task_actual = calls[0].task.task_time_s(&node);
+        // Steady state: each call adds max(T_task, T_PRTR) = T_PRTR
+        // (config for call i+1 starts at exec_start_i and T_PRTR > T_task
+        // + control, so ICAP is the bottleneck); plus the tail task.
+        let expected = node.t_prtr_s()
+            + (n - 1) as f64 * node.t_prtr_s().max(t_task_actual + node.control_overhead_s)
+            + n as f64 * node.control_overhead_s
+            + t_task_actual;
+        let rel = (report.total_s() - expected).abs() / expected;
+        assert!(rel < 0.02, "sim {} vs {} (rel {rel})", report.total_s(), expected);
+    }
+
+    #[test]
+    fn prtr_hits_skip_configuration() {
+        let node = node();
+        let calls = uniform_prtr_calls(&node, 0.05, 10, false);
+        let report = run_prtr(&node, &calls).unwrap();
+        // Only the first (cold) call configures.
+        assert_eq!(report.n_config, 1);
+        let t_task_actual = calls[0].task.task_time_s(&node);
+        let expected =
+            node.t_prtr_s() + 10.0 * (node.control_overhead_s + t_task_actual);
+        assert!((report.total_s() - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn prtr_beats_frtr_for_short_tasks() {
+        let node = node();
+        let t_task = node.t_prtr_s(); // the peak-speedup operating point
+        let n = 100;
+        let prtr_calls = uniform_prtr_calls(&node, t_task, n, true);
+        let frtr_calls: Vec<TaskCall> =
+            prtr_calls.iter().map(|c| c.task.clone()).collect();
+        let frtr = run_frtr(&node, &frtr_calls).unwrap();
+        let prtr = run_prtr(&node, &prtr_calls).unwrap();
+        let speedup = frtr.total_s() / prtr.total_s();
+        // The paper's "up to 87x" on the measured dual-PRR layout.
+        assert!(speedup > 75.0 && speedup < 90.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn shared_channel_ablation_slows_configuration() {
+        let mut node = node();
+        let calls = uniform_prtr_calls(&node, node.t_prtr_s(), 50, true);
+        let fast = run_prtr(&node, &calls).unwrap();
+        node.config_waits_for_data_input = true;
+        let slow = run_prtr(&node, &calls).unwrap();
+        assert!(slow.total_s() > fast.total_s());
+    }
+
+    #[test]
+    fn decision_latency_is_paid_once_plus_per_miss() {
+        let mut node = node();
+        node.decision_latency_s = 0.005;
+        let t_task = 0.1;
+        let n = 20;
+        let calls = uniform_prtr_calls(&node, t_task, n, true);
+        let report = run_prtr(&node, &calls).unwrap();
+        let t_task_actual = calls[0].task.task_time_s(&node);
+        // Steady state (T_task + T_d > T_PRTR here): increment
+        // max(T_task + T_d, T_PRTR) + T_control.
+        let inc = (t_task_actual + 0.005).max(node.t_prtr_s()) + node.control_overhead_s;
+        let first = 0.005 + node.t_prtr_s() + node.control_overhead_s + t_task_actual;
+        let expected = first + (n - 1) as f64 * inc;
+        let rel = (report.total_s() - expected).abs() / expected;
+        assert!(rel < 1e-6, "sim {} vs {}", report.total_s(), expected);
+    }
+
+    #[test]
+    fn empty_prtr_run_rejected() {
+        assert!(run_prtr(&node(), &[]).is_err());
+    }
+
+    #[test]
+    fn bad_slot_rejected() {
+        let node = node();
+        let calls = vec![PrtrCall {
+            task: TaskCall::symmetric("x", 1024),
+            hit: false,
+            slot: 99,
+        }];
+        assert!(run_prtr(&node, &calls).is_err());
+    }
+
+    #[test]
+    fn timeline_records_all_activity_kinds() {
+        let node = node();
+        let calls = uniform_prtr_calls(&node, 0.05, 5, true);
+        let report = run_prtr(&node, &calls).unwrap();
+        let text = report.timeline.render_text(80);
+        assert!(text.contains('P'), "partial configs:\n{text}");
+        assert!(text.contains('X'), "executions:\n{text}");
+        assert!(report.timeline.lane_busy_s(Lane::ConfigPort) > 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The RT core services block: memory banks and FIFOs (section 4.2).
+//!
+//! "Cray provides a services (interface) block, called RT core, that
+//! manages the access to these memories and the communication with the
+//! host. ... In a typical scenario the host sends the data to the local
+//! memory of the FPGA and the user logic reads the data from memory,
+//! processes the data and then returns the results back to memory."
+//!
+//! This module models the pieces the executor's lumped `T_task` abstracts:
+//! the four QDR-II banks (16 MB total), their assignment to PRRs, the
+//! FIFOs that decouple bank timing from the cores, and chunked streaming
+//! for payloads larger than the assigned bank capacity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// One QDR-II SRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBank {
+    /// Capacity in bytes (4 MB per bank on the XD1 card).
+    pub capacity_bytes: u64,
+    /// Peak bank bandwidth in bytes/second (QDR-II at 200 MHz, 8 B/clk).
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl MemoryBank {
+    /// The Cray XD1 QDR-II bank: 4 MB, 1.6 GB/s.
+    pub fn xd1() -> MemoryBank {
+        MemoryBank {
+            capacity_bytes: 4 << 20,
+            bandwidth_bytes_per_sec: 1.6e9,
+        }
+    }
+}
+
+/// A FIFO between a memory bank and a PRR (section 4.2: FIFOs "reduced the
+/// impact of the fixed allocation of bus macros", "simplified the
+/// interface", and "guaranteed data availability for the hardware
+/// functions when the memory was being read").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fifo {
+    /// Depth in words.
+    pub depth_words: u32,
+    /// Word width in bits.
+    pub width_bits: u32,
+}
+
+impl Fifo {
+    /// The XD1 design's 512 × 64-bit BRAM FIFO.
+    pub fn xd1() -> Fifo {
+        Fifo {
+            depth_words: 512,
+            width_bits: 64,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.depth_words as u64 * self.width_bits as u64 / 8
+    }
+
+    /// Minimum FIFO depth (in words) that absorbs a producer stall of
+    /// `stall_s` seconds without starving a consumer draining at
+    /// `consumer_bytes_per_sec` — the sizing rule for "guaranteed data
+    /// availability ... when the memory was being read".
+    pub fn min_depth_for_stall(consumer_bytes_per_sec: f64, stall_s: f64, width_bits: u32) -> u32 {
+        let bytes = consumer_bytes_per_sec * stall_s;
+        let word_bytes = (width_bits / 8).max(1) as f64;
+        (bytes / word_bytes).ceil() as u32
+    }
+}
+
+/// The services block: banks, the FIFO design, and per-chunk handshake
+/// cost for streaming payloads through bounded bank space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RtCore {
+    /// The four memory banks.
+    pub banks: [MemoryBank; 4],
+    /// The bank↔PRR FIFO design.
+    pub fifo: Fifo,
+    /// Host/firmware handshake overhead per streamed chunk, seconds.
+    pub chunk_overhead_s: f64,
+}
+
+impl RtCore {
+    /// The Cray XD1 services block.
+    pub fn xd1() -> RtCore {
+        RtCore {
+            banks: [MemoryBank::xd1(); 4],
+            fifo: Fifo::xd1(),
+            chunk_overhead_s: 2e-6,
+        }
+    }
+
+    /// Usable buffer bytes for a PRR owning `banks` banks, double-buffered
+    /// (half receives the next chunk while half feeds the core).
+    pub fn buffer_bytes(&self, banks: &[u8]) -> Result<u64, SimError> {
+        if banks.is_empty() {
+            return Err(SimError::InvalidRun("PRR owns no memory bank".into()));
+        }
+        let mut total = 0;
+        for &b in banks {
+            let bank = self
+                .banks
+                .get(b as usize)
+                .ok_or_else(|| SimError::InvalidRun(format!("no bank {b}")))?;
+            total += bank.capacity_bytes;
+        }
+        Ok(total / 2)
+    }
+
+    /// Number of chunks a `bytes` payload streams through the PRR's
+    /// buffer space.
+    pub fn chunks_for(&self, bytes: u64, banks: &[u8]) -> Result<u64, SimError> {
+        let buf = self.buffer_bytes(banks)?;
+        Ok(bytes.div_ceil(buf).max(1))
+    }
+
+    /// Extra time the chunked transfer adds on top of the streaming model:
+    /// one handshake per chunk.
+    pub fn chunking_overhead_s(&self, bytes: u64, banks: &[u8]) -> Result<f64, SimError> {
+        Ok(self.chunks_for(bytes, banks)? as f64 * self.chunk_overhead_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xd1_banks_total_16_mb() {
+        let rt = RtCore::xd1();
+        let total: u64 = rt.banks.iter().map(|b| b.capacity_bytes).sum();
+        assert_eq!(total, 16 << 20);
+    }
+
+    #[test]
+    fn dual_layout_buffer_is_4_mb() {
+        // Two banks per PRR, double-buffered: 8 MB / 2.
+        let rt = RtCore::xd1();
+        assert_eq!(rt.buffer_bytes(&[0, 1]).unwrap(), 4 << 20);
+        assert_eq!(rt.buffer_bytes(&[0, 1, 2, 3]).unwrap(), 8 << 20);
+    }
+
+    #[test]
+    fn small_payloads_are_one_chunk() {
+        let rt = RtCore::xd1();
+        assert_eq!(rt.chunks_for(1024, &[0, 1]).unwrap(), 1);
+        assert_eq!(rt.chunks_for(0, &[0, 1]).unwrap(), 1);
+    }
+
+    #[test]
+    fn large_payloads_chunk_and_cost_overhead() {
+        let rt = RtCore::xd1();
+        // 335 MB (an X_task = 1 payload on the measured node) through a
+        // 4 MB double buffer: 84 chunks.
+        let bytes = 335 << 20;
+        let chunks = rt.chunks_for(bytes, &[0, 1]).unwrap();
+        assert_eq!(chunks, (335u64 << 20).div_ceil(4 << 20));
+        let overhead = rt.chunking_overhead_s(bytes, &[0, 1]).unwrap();
+        // Negligible vs the 1.678 s task: the lumped T_task abstraction
+        // the paper (and our executor) uses is safe.
+        assert!(overhead < 0.001, "overhead = {overhead}");
+    }
+
+    #[test]
+    fn bankless_prr_rejected() {
+        let rt = RtCore::xd1();
+        assert!(rt.buffer_bytes(&[]).is_err());
+        assert!(rt.buffer_bytes(&[7]).is_err());
+    }
+
+    #[test]
+    fn fifo_capacity_and_sizing() {
+        let f = Fifo::xd1();
+        assert_eq!(f.capacity_bytes(), 4096);
+        // A 200 MB/s consumer surviving a 10 µs producer stall needs
+        // 2000 bytes = 250 64-bit words; the 512-deep FIFO suffices.
+        let need = Fifo::min_depth_for_stall(200e6, 10e-6, 64);
+        // ~250 words (ceil of a floating-point product: 250 or 251).
+        assert!((250..=251).contains(&need), "need = {need}");
+        assert!(need <= f.depth_words);
+    }
+}

@@ -1,0 +1,73 @@
+//! Task calls: the unit of work of the execution model (Figure 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeConfig;
+
+/// One hardware function call: which core it needs and how much data it
+/// moves.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskCall {
+    /// Module-library name of the core (e.g. `"Median Filter"`).
+    pub name: String,
+    /// Input bytes streamed host → FPGA.
+    pub bytes_in: u64,
+    /// Output bytes streamed FPGA → host.
+    pub bytes_out: u64,
+}
+
+impl TaskCall {
+    /// A call with symmetric input/output sizes (image in, image out).
+    pub fn symmetric(name: impl Into<String>, bytes: u64) -> TaskCall {
+        TaskCall {
+            name: name.into(),
+            bytes_in: bytes,
+            bytes_out: bytes,
+        }
+    }
+
+    /// A call sized so its task time equals `t_task` seconds on `node`.
+    pub fn with_task_time(name: impl Into<String>, node: &NodeConfig, t_task: f64) -> TaskCall {
+        TaskCall::symmetric(name, node.bytes_for_task_time(t_task))
+    }
+
+    /// This call's task time on `node`, seconds.
+    pub fn task_time_s(&self, node: &NodeConfig) -> f64 {
+        node.task_time_s(self.bytes_in, self.bytes_out)
+    }
+}
+
+/// A PRTR call annotated with its cache outcome (from `hprc-sched` or any
+/// other source): whether the configuration was already resident and which
+/// PRR slot serves it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrtrCall {
+    /// The task call.
+    pub task: TaskCall,
+    /// True when the configuration was pre-fetched (Figure 4(b)); false
+    /// when a partial reconfiguration must be charged (Figure 4(a)).
+    pub hit: bool,
+    /// PRR slot index serving this call.
+    pub slot: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprc_fpga::floorplan::Floorplan;
+
+    #[test]
+    fn with_task_time_hits_the_target() {
+        let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
+        let call = TaskCall::with_task_time("Sobel Filter", &node, 0.1);
+        assert!((call.task_time_s(&node) - 0.1).abs() < 0.001);
+        assert_eq!(call.bytes_in, call.bytes_out);
+    }
+
+    #[test]
+    fn symmetric_sets_both_directions() {
+        let c = TaskCall::symmetric("Median Filter", 1024);
+        assert_eq!(c.bytes_in, 1024);
+        assert_eq!(c.bytes_out, 1024);
+    }
+}

@@ -1,0 +1,211 @@
+//! Execution timelines: the data behind the paper's execution profiles
+//! (Figures 3 and 4), plus a text Gantt renderer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Which resource an event occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Lane {
+    /// Host CPU (decisions, API calls).
+    Host,
+    /// The configuration path (SelectMap or ICAP).
+    ConfigPort,
+    /// A PRR's compute fabric.
+    Prr(usize),
+    /// Host→FPGA data channel.
+    LinkIn,
+    /// FPGA→host data channel.
+    LinkOut,
+}
+
+impl Lane {
+    fn label(&self) -> String {
+        match self {
+            Lane::Host => "host".into(),
+            Lane::ConfigPort => "config".into(),
+            Lane::Prr(i) => format!("PRR{i}"),
+            Lane::LinkIn => "link-in".into(),
+            Lane::LinkOut => "link-out".into(),
+        }
+    }
+}
+
+/// What kind of activity an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Pre-fetch decision (`T_decision`).
+    Decision,
+    /// Full-device configuration (`T_FRTR`).
+    FullConfig,
+    /// Partial reconfiguration (`T_PRTR`).
+    PartialConfig,
+    /// Transfer of control (`T_control`).
+    Control,
+    /// Task execution (`T_task`).
+    Exec,
+    /// Input data transfer.
+    DataIn,
+    /// Output data transfer.
+    DataOut,
+}
+
+impl EventKind {
+    /// One-character glyph for the text Gantt.
+    pub fn glyph(&self) -> char {
+        match self {
+            EventKind::Decision => 'd',
+            EventKind::FullConfig => 'F',
+            EventKind::PartialConfig => 'P',
+            EventKind::Control => 'c',
+            EventKind::Exec => 'X',
+            EventKind::DataIn => 'i',
+            EventKind::DataOut => 'o',
+        }
+    }
+}
+
+/// One timeline event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Resource occupied.
+    pub lane: Lane,
+    /// Activity kind.
+    pub kind: EventKind,
+    /// Human label (task name, etc.).
+    pub label: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+}
+
+/// An execution timeline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Events in creation order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Timeline {
+    /// Records an event (zero-length events are dropped).
+    pub fn push(&mut self, lane: Lane, kind: EventKind, label: impl Into<String>, start: SimTime, end: SimTime) {
+        if end > start {
+            self.events.push(TraceEvent {
+                lane,
+                kind,
+                label: label.into(),
+                start,
+                end,
+            });
+        }
+    }
+
+    /// End of the last event.
+    pub fn span_end(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total busy time on one lane, seconds.
+    pub fn lane_busy_s(&self, lane: Lane) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.lane == lane)
+            .map(|e| (e.end - e.start).as_secs_f64())
+            .sum()
+    }
+
+    /// Renders an ASCII Gantt chart, `width` columns wide — the
+    /// reproduction of the execution profiles of Figures 3 and 4.
+    /// Each lane is one row; glyphs encode the activity
+    /// (`F` full config, `P` partial config, `d` decision, `c` control,
+    /// `X` execution, `i`/`o` data transfers).
+    pub fn render_text(&self, width: usize) -> String {
+        let width = width.max(10);
+        let end = self.span_end().as_secs_f64();
+        if end == 0.0 || self.events.is_empty() {
+            return String::from("(empty timeline)\n");
+        }
+        let mut lanes: Vec<Lane> = self.events.iter().map(|e| e.lane).collect();
+        lanes.sort();
+        lanes.dedup();
+        let label_w = lanes
+            .iter()
+            .map(|l| l.label().len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let mut out = String::new();
+        for lane in lanes {
+            let mut row = vec!['.'; width];
+            for e in self.events.iter().filter(|e| e.lane == lane) {
+                let s = ((e.start.as_secs_f64() / end) * width as f64) as usize;
+                let f = ((e.end.as_secs_f64() / end) * width as f64).ceil() as usize;
+                for cell in row.iter_mut().take(f.min(width)).skip(s.min(width - 1)) {
+                    *cell = e.kind.glyph();
+                }
+            }
+            out.push_str(&format!("{:>label_w$} |", lane.label()));
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>label_w$} |{}\n",
+            "",
+            format_args!("0 {:.<pad$} {:.4}s", "", end, pad = width.saturating_sub(12))
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn push_drops_zero_length_events() {
+        let mut tl = Timeline::default();
+        tl.push(Lane::Host, EventKind::Decision, "d", t(1.0), t(1.0));
+        assert!(tl.events.is_empty());
+        tl.push(Lane::Host, EventKind::Decision, "d", t(1.0), t(2.0));
+        assert_eq!(tl.events.len(), 1);
+    }
+
+    #[test]
+    fn span_and_busy_accounting() {
+        let mut tl = Timeline::default();
+        tl.push(Lane::ConfigPort, EventKind::PartialConfig, "m", t(0.0), t(0.5));
+        tl.push(Lane::Prr(0), EventKind::Exec, "m", t(0.5), t(2.0));
+        tl.push(Lane::Prr(0), EventKind::Exec, "m2", t(2.0), t(2.5));
+        assert!((tl.span_end().as_secs_f64() - 2.5).abs() < 1e-9);
+        assert!((tl.lane_busy_s(Lane::Prr(0)) - 2.0).abs() < 1e-9);
+        assert!((tl.lane_busy_s(Lane::LinkIn) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_lanes_and_glyphs() {
+        let mut tl = Timeline::default();
+        tl.push(Lane::ConfigPort, EventKind::FullConfig, "full", t(0.0), t(1.0));
+        tl.push(Lane::Prr(0), EventKind::Exec, "task", t(1.0), t(2.0));
+        let s = tl.render_text(60);
+        assert!(s.contains("config"));
+        assert!(s.contains("PRR0"));
+        assert!(s.contains('F'));
+        assert!(s.contains('X'));
+    }
+
+    #[test]
+    fn render_empty_timeline() {
+        assert!(Timeline::default().render_text(40).contains("empty"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Applications: independent streams of hardware function calls competing
+//! for the FPGA — the multi-tasking workload of the paper's section 5
+//! ("PRTR ... is far more beneficial for versatility purposes,
+//! multi-tasking applications, and hardware virtualization").
+
+use serde::{Deserialize, Serialize};
+
+/// One hardware function call issued by an application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtCall {
+    /// Module-library name of the required core.
+    pub module: String,
+    /// Task execution time in seconds (I/O + compute lump, as in the
+    /// paper's model).
+    pub t_task_s: f64,
+}
+
+/// An application: an arrival time, a priority, and a sequential call
+/// stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct App {
+    /// Stable identifier (index into the runtime's app list).
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// Seconds after t = 0 when the application starts issuing calls.
+    pub arrival_s: f64,
+    /// Scheduling priority (lower value = more urgent).
+    pub priority: u8,
+    /// Calls, executed strictly in order.
+    pub calls: Vec<VirtCall>,
+}
+
+impl App {
+    /// Builds an app whose calls cycle through `modules`, each call taking
+    /// `t_task_s` seconds.
+    pub fn cycling(
+        id: usize,
+        name: impl Into<String>,
+        modules: &[&str],
+        calls: usize,
+        t_task_s: f64,
+        arrival_s: f64,
+    ) -> App {
+        App {
+            id,
+            name: name.into(),
+            arrival_s,
+            priority: 128,
+            calls: (0..calls)
+                .map(|i| VirtCall {
+                    module: modules[i % modules.len()].to_string(),
+                    t_task_s,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total pure execution time of all calls (the lower bound on the
+    /// app's service time, with zero configuration overhead).
+    pub fn pure_exec_s(&self) -> f64 {
+        self.calls.iter().map(|c| c.t_task_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycling_builder() {
+        let a = App::cycling(0, "video", &["Median Filter", "Sobel Filter"], 5, 0.01, 1.0);
+        assert_eq!(a.calls.len(), 5);
+        assert_eq!(a.calls[0].module, "Median Filter");
+        assert_eq!(a.calls[1].module, "Sobel Filter");
+        assert_eq!(a.calls[4].module, "Median Filter");
+        assert!((a.pure_exec_s() - 0.05).abs() < 1e-12);
+        assert_eq!(a.arrival_s, 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the virtualization runtime.
+
+use std::fmt;
+
+/// Errors from driving the multi-tasking runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VirtError {
+    /// The application list was empty.
+    NoApplications,
+    /// Application ids must be `0..n` matching their position.
+    BadAppIds,
+    /// A flexible call requests more columns than the window offers.
+    ModuleTooWide {
+        /// Offending module.
+        module: String,
+        /// Requested width in columns.
+        width: usize,
+        /// Window width in columns.
+        window: usize,
+    },
+}
+
+impl fmt::Display for VirtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VirtError::NoApplications => write!(f, "no applications to run"),
+            VirtError::BadAppIds => write!(f, "application ids must equal their index"),
+            VirtError::ModuleTooWide {
+                module,
+                width,
+                window,
+            } => write!(
+                f,
+                "module {module} needs {width} columns but the window has {window}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VirtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(VirtError::NoApplications.to_string().contains("no applications"));
+        assert!(VirtError::BadAppIds.to_string().contains("index"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the virtualization runtime.
+
+use hprc_fpga::floorplan::Floorplan;
+use hprc_sim::node::NodeConfig;
+use hprc_virt::app::{App, VirtCall};
+use hprc_virt::runtime::{run, RuntimeConfig};
+use proptest::prelude::*;
+
+fn arb_apps() -> impl Strategy<Value = Vec<App>> {
+    let cores = [
+        "Median Filter",
+        "Sobel Filter",
+        "Smoothing Filter",
+        "Laplacian Filter",
+        "Threshold",
+    ];
+    proptest::collection::vec(
+        (
+            proptest::collection::vec((0usize..5, 1u64..50), 1..12),
+            0u64..100,
+            0u8..=255,
+        ),
+        1..5,
+    )
+    .prop_map(move |specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(id, (calls, arrival_ms, priority))| App {
+                id,
+                name: format!("app{id}"),
+                arrival_s: arrival_ms as f64 * 1e-3,
+                priority,
+                calls: calls
+                    .into_iter()
+                    .map(|(core, ms)| VirtCall {
+                        module: cores[core].to_string(),
+                        t_task_s: ms as f64 * 1e-3,
+                    })
+                    .collect(),
+            })
+            .collect()
+    })
+}
+
+fn node() -> NodeConfig {
+    NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every call is served exactly once; hits + configs are consistent;
+    /// makespan bounds hold.
+    #[test]
+    fn accounting_invariants(apps in arb_apps()) {
+        for cfg in [
+            RuntimeConfig::frtr(),
+            RuntimeConfig::prtr_demand(),
+            RuntimeConfig::prtr_overlapped(),
+        ] {
+            let node = node();
+            let report = run(&node, &apps, &cfg).unwrap();
+            let total_calls: usize = apps.iter().map(|a| a.calls.len()).sum();
+            prop_assert_eq!(report.records.len(), total_calls);
+            let served: u64 = report.per_app.iter().map(|a| a.calls).sum();
+            prop_assert_eq!(served as usize, total_calls);
+
+            // Makespan is at least the busiest app's arrival + pure exec.
+            let lower = apps
+                .iter()
+                .map(|a| a.arrival_s + a.pure_exec_s())
+                .fold(0.0f64, f64::max);
+            prop_assert!(report.makespan_s + 1e-9 >= lower);
+
+            // Demand configurations = misses (overlap adds speculative ones).
+            let misses: u64 = report
+                .records
+                .iter()
+                .filter(|r| !r.hit)
+                .count() as u64;
+            if !cfg.prefetch_next {
+                prop_assert_eq!(report.n_config, misses);
+            } else {
+                prop_assert!(report.n_config >= misses.min(1));
+            }
+
+            // Turnarounds are positive and bounded by the makespan.
+            for (a, s) in apps.iter().zip(&report.per_app) {
+                if !a.calls.is_empty() {
+                    prop_assert!(s.turnaround_s > 0.0);
+                    prop_assert!(a.arrival_s + s.turnaround_s <= report.makespan_s + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// The runtime is deterministic: identical inputs give identical
+    /// reports.
+    #[test]
+    fn deterministic(apps in arb_apps()) {
+        let a = run(&node(), &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
+        let b = run(&node(), &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// PRTR (demand) never loses to FRTR on these workloads: partial
+    /// configurations are 85x cheaper and residency (LRU over >= as many
+    /// slots) is a superset.
+    #[test]
+    fn prtr_no_worse_than_frtr(apps in arb_apps()) {
+        let node = node();
+        let frtr = run(&node, &apps, &RuntimeConfig::frtr()).unwrap();
+        let prtr = run(&node, &apps, &RuntimeConfig::prtr_demand()).unwrap();
+        prop_assert!(
+            prtr.makespan_s <= frtr.makespan_s * 1.0001,
+            "prtr {} vs frtr {}",
+            prtr.makespan_s,
+            frtr.makespan_s
+        );
+    }
+
+    /// Per-PRR execution windows never overlap (a slot runs one thing at a
+    /// time) — checked from the timeline.
+    #[test]
+    fn slots_are_exclusive(apps in arb_apps()) {
+        use hprc_sim::trace::{EventKind, Lane};
+        let node = node();
+        let report = run(&node, &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
+        for slot in 0..node.n_prrs {
+            let mut windows: Vec<(u64, u64)> = report
+                .timeline
+                .events
+                .iter()
+                .filter(|e| e.lane == Lane::Prr(slot) && e.kind == EventKind::Exec)
+                .map(|e| (e.start.0, e.end.0))
+                .collect();
+            windows.sort_unstable();
+            for w in windows.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap on slot {slot}: {w:?}");
+            }
+        }
+    }
+
+    /// The configuration port serializes: config windows never overlap.
+    #[test]
+    fn config_port_serializes(apps in arb_apps()) {
+        use hprc_sim::trace::Lane;
+        let node = node();
+        let report = run(&node, &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
+        let mut windows: Vec<(u64, u64)> = report
+            .timeline
+            .events
+            .iter()
+            .filter(|e| e.lane == Lane::ConfigPort)
+            .map(|e| (e.start.0, e.end.0))
+            .collect();
+        windows.sort_unstable();
+        for w in windows.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "config overlap: {w:?}");
+        }
+    }
+}
