@@ -9,9 +9,7 @@ use hprc_model::sweep::{figure5_family, Axis};
 
 fn bench_single_evaluation(c: &mut Criterion) {
     let p = ModelParams::new(NormalizedTimes::ideal(0.0118, 0.0118), 0.0, 1_000).unwrap();
-    c.bench_function("model/speedup_eq6", |b| {
-        b.iter(|| speedup(black_box(&p)))
-    });
+    c.bench_function("model/speedup_eq6", |b| b.iter(|| speedup(black_box(&p))));
     c.bench_function("model/asymptotic_speedup_eq7", |b| {
         b.iter(|| asymptotic_speedup(black_box(&p)))
     });

@@ -39,8 +39,14 @@ fn bench_sweep_point(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9/sweep_point");
     g.sample_size(20);
     for (name, fp) in [
-        ("estimated", NodeConfig::xd1_estimated(&Floorplan::xd1_dual_prr())),
-        ("measured", NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr())),
+        (
+            "estimated",
+            NodeConfig::xd1_estimated(&Floorplan::xd1_dual_prr()),
+        ),
+        (
+            "measured",
+            NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr()),
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| figure9_point(black_box(&fp), fp.t_prtr_s(), 300))

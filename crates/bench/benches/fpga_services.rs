@@ -72,5 +72,10 @@ fn bench_allocator_churn(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_compression, bench_relocation, bench_allocator_churn);
+criterion_group!(
+    benches,
+    bench_compression,
+    bench_relocation,
+    bench_allocator_churn
+);
 criterion_main!(benches);

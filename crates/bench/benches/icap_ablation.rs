@@ -55,5 +55,9 @@ fn bench_executor_under_variants(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_icap_transfer_model, bench_executor_under_variants);
+criterion_group!(
+    benches,
+    bench_icap_transfer_model,
+    bench_executor_under_variants
+);
 criterion_main!(benches);

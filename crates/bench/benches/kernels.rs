@@ -46,5 +46,10 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_filters, bench_parallel_scaling, bench_pipeline);
+criterion_group!(
+    benches,
+    bench_filters,
+    bench_parallel_scaling,
+    bench_pipeline
+);
 criterion_main!(benches);

@@ -40,7 +40,14 @@ fn bench_scaling_in_apps(c: &mut Criterion) {
         let workload = apps(n_apps, 50);
         g.throughput(Throughput::Elements((n_apps * 50) as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n_apps), &workload, |b, w| {
-            b.iter(|| run(black_box(&node), black_box(w), &RuntimeConfig::prtr_overlapped()).unwrap())
+            b.iter(|| {
+                run(
+                    black_box(&node),
+                    black_box(w),
+                    &RuntimeConfig::prtr_overlapped(),
+                )
+                .unwrap()
+            })
         });
     }
     g.finish();

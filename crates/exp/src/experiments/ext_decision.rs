@@ -64,9 +64,12 @@ pub fn run() -> Report {
     .unwrap();
     let sens = sensitivity_report(&point, 1e-4);
 
-    let mut t = TextTable::new(vec!["X_decision", "peak X_task", "peak S", "erosion"]).align(
-        vec![Align::Right, Align::Right, Align::Right, Align::Right],
-    );
+    let mut t = TextTable::new(vec!["X_decision", "peak X_task", "peak S", "erosion"]).align(vec![
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     for r in &rows {
         t.row(vec![
             format!("{:.4}", r.x_decision),
@@ -149,6 +152,9 @@ mod tests {
             .iter()
             .find(|s| s[0] == Parameter::XDecision.name())
             .unwrap();
-        assert!(xd[1].as_f64().unwrap() < 0.0, "dS/dX_decision must be negative");
+        assert!(
+            xd[1].as_f64().unwrap() < 0.0,
+            "dS/dX_decision must be negative"
+        );
     }
 }

@@ -52,7 +52,12 @@ pub fn run() -> Report {
         fragmentation: alloc.external_fragmentation(),
     };
 
-    for (name, width) in [("sobel", 3usize), ("smoothing", 3), ("median", 4), ("threshold", 2)] {
+    for (name, width) in [
+        ("sobel", 3usize),
+        ("smoothing", 3),
+        ("median", 4),
+        ("threshold", 2),
+    ] {
         alloc.allocate(name, width).unwrap();
         steps.push(record(&alloc, &format!("alloc {name} ({width} cols)")));
     }
@@ -73,14 +78,22 @@ pub fn run() -> Report {
     ));
 
     let plan = alloc.defragment();
-    steps.push(record(&alloc, &format!("defragment ({} moves)", plan.moves.len())));
+    steps.push(record(
+        &alloc,
+        &format!("defragment ({} moves)", plan.moves.len()),
+    ));
     let after = alloc.allocate("median5x5", blocked_width).is_ok();
     steps.push(record(&alloc, "alloc median5x5 retry"));
 
     let defrag_time_ms = IcapPath::xd1().transfer_time_s(plan.bytes_moved) * 1e3;
 
-    let mut t = TextTable::new(vec!["operation", "free cols", "largest run", "fragmentation"])
-        .align(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut t = TextTable::new(vec![
+        "operation",
+        "free cols",
+        "largest run",
+        "fragmentation",
+    ])
+    .align(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
     for s in &steps {
         t.row(vec![
             s.op.clone(),

@@ -25,7 +25,10 @@ struct Row {
 /// Fits both Figure 9 panels' sweeps.
 pub fn run() -> Report {
     let mut rows = Vec::new();
-    for (name, panel) in [("estimated", Panel::Estimated), ("measured", Panel::Measured)] {
+    for (name, panel) in [
+        ("estimated", Panel::Estimated),
+        ("measured", Panel::Measured),
+    ] {
         let (node, points) = sweep(panel, 25);
         let overheads = NormalizedTimes {
             x_task: 1.0,
@@ -91,7 +94,12 @@ pub fn run() -> Report {
         t.render()
     );
 
-    Report::new("ext-fit", "E12 — Platform-parameter recovery from observed speedups", body, &rows)
+    Report::new(
+        "ext-fit",
+        "E12 — Platform-parameter recovery from observed speedups",
+        body,
+        &rows,
+    )
 }
 
 #[cfg(test)]

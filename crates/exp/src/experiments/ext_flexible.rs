@@ -77,7 +77,12 @@ fn thrash_app(repeat: usize) -> FlexApp {
 fn fitting_app(repeat: usize) -> FlexApp {
     // Working set that fits entirely: 2+3+4+1 = 10 of 13 columns.
     app_from(
-        &[("Sobel", 2), ("Smoothing", 3), ("Median", 4), ("Threshold", 1)],
+        &[
+            ("Sobel", 2),
+            ("Smoothing", 3),
+            ("Median", 4),
+            ("Threshold", 1),
+        ],
         "fitting",
         repeat,
     )
@@ -95,14 +100,15 @@ pub fn run() -> Report {
         ("thrash-bound (16/13 cols)", thrash_app(20)),
     ];
     for (name, app) in scenarios {
-        for (policy_name, policy) in
-            [("evict-only", DefragPolicy::Never), ("defrag-on-block", DefragPolicy::OnBlock)]
-        {
+        for (policy_name, policy) in [
+            ("evict-only", DefragPolicy::Never),
+            ("defrag-on-block", DefragPolicy::OnBlock),
+        ] {
             let r = run_flexible(
                 &node,
                 &device,
                 window(&device),
-                &[app.clone()],
+                std::slice::from_ref(&app),
                 &FlexConfig { defrag: policy },
             )
             .expect("valid scenario");
@@ -201,8 +207,7 @@ mod tests {
         let defrag = &rows[3];
         assert!(evict_only["evictions"].as_u64().unwrap() > 0);
         assert!(
-            defrag["evictions"].as_u64().unwrap()
-                < evict_only["evictions"].as_u64().unwrap(),
+            defrag["evictions"].as_u64().unwrap() < evict_only["evictions"].as_u64().unwrap(),
             "defrag must save evictions here: {defrag} vs {evict_only}"
         );
         assert!(defrag["defrags"].as_u64().unwrap() > 0);

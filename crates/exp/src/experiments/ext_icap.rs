@@ -38,7 +38,11 @@ pub fn run() -> Report {
     let base = NodeConfig::xd1_measured(&fp);
 
     let variants: Vec<(String, IcapPath, bool)> = vec![
-        ("measured FSM (3 cyc/B + burst)".into(), IcapPath::xd1(), false),
+        (
+            "measured FSM (3 cyc/B + burst)".into(),
+            IcapPath::xd1(),
+            false,
+        ),
         (
             "measured FSM + shared-link wait".into(),
             IcapPath::xd1(),

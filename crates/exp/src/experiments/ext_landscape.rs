@@ -158,6 +158,10 @@ mod tests {
     #[test]
     fn heatmap_renders_every_row() {
         let r = run();
-        assert_eq!(r.body.matches("H=").count(), 9, "one heatmap row per H sample");
+        assert_eq!(
+            r.body.matches("H=").count(),
+            9,
+            "one heatmap row per H sample"
+        );
     }
 }

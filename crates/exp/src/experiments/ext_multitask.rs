@@ -4,9 +4,10 @@
 //! with the `hprc-virt` runtime.
 
 use hprc_fpga::floorplan::Floorplan;
+use hprc_obs::Registry;
 use hprc_sim::node::NodeConfig;
 use hprc_virt::app::App;
-use hprc_virt::runtime::{run as run_virt, RuntimeConfig};
+use hprc_virt::runtime::{run_with as run_virt_with, RuntimeConfig};
 use serde::Serialize;
 
 use crate::report::Report;
@@ -33,7 +34,16 @@ fn loyal_apps(n: usize, calls: usize, t_task: f64) -> Vec<App> {
         "Laplacian Filter",
     ];
     (0..n)
-        .map(|i| App::cycling(i, format!("app{i}"), &[cores[i % cores.len()]], calls, t_task, 0.0))
+        .map(|i| {
+            App::cycling(
+                i,
+                format!("app{i}"),
+                &[cores[i % cores.len()]],
+                calls,
+                t_task,
+                0.0,
+            )
+        })
         .collect()
 }
 
@@ -48,6 +58,14 @@ fn mixed_apps(n: usize, calls: usize, t_task: f64) -> Vec<App> {
 /// Runs the multi-tasking comparison on the measured dual-PRR and
 /// quad-PRR nodes.
 pub fn run() -> Report {
+    run_with(&Registry::noop())
+}
+
+/// [`run`] with every scenario's runtime activity (dispatch latencies,
+/// lane gauges, hit/config counters) recorded into `registry`,
+/// aggregated across all scenario × mode runs.
+pub fn run_with(registry: &Registry) -> Report {
+    let _span = registry.span("exp.ext_multitask");
     let t_task = 0.005;
     let calls = 40;
     let mut rows = Vec::new();
@@ -80,12 +98,8 @@ pub fn run() -> Report {
             ("FRTR", RuntimeConfig::frtr()),
             ("PRTR", RuntimeConfig::prtr_overlapped()),
         ] {
-            let report = run_virt(&node, &apps, &cfg).expect("valid scenario");
-            let mean_turnaround = report
-                .per_app
-                .iter()
-                .map(|a| a.turnaround_s)
-                .sum::<f64>()
+            let report = run_virt_with(&node, &apps, &cfg, registry).expect("valid scenario");
+            let mean_turnaround = report.per_app.iter().map(|a| a.turnaround_s).sum::<f64>()
                 / report.per_app.len() as f64;
             rows.push(Row {
                 scenario: name.clone(),
@@ -183,6 +197,23 @@ mod tests {
         assert_eq!(loyal_prtr["mode"], "PRTR");
         assert!(loyal_prtr["hit_ratio"].as_f64().unwrap() > 0.95);
         assert_eq!(loyal_prtr["n_config"].as_u64().unwrap(), 2);
+    }
+
+    #[test]
+    fn instrumented_run_aggregates_all_scenarios() {
+        let reg = Registry::new();
+        let r = run_with(&reg);
+        let snap = reg.snapshot();
+        // 4 scenarios x 2 modes; loyal/mixed apps issue 40 calls each:
+        // (2 + 4 + 2 + 2) apps x 40 calls x 2 modes.
+        assert_eq!(snap.counters["virt.calls"], (2 + 4 + 2 + 2) * 40 * 2);
+        assert!(snap.counters["virt.configs"] > 0);
+        assert_eq!(
+            snap.histograms["virt.dispatch_latency_s"].count,
+            snap.counters["virt.calls"]
+        );
+        assert!(snap.spans.iter().any(|s| s.name == "exp.ext_multitask"));
+        let _ = r;
     }
 
     #[test]

@@ -17,8 +17,8 @@ use hprc_sim::icap::IcapPath;
 use hprc_sim::node::NodeConfig;
 use serde::Serialize;
 
-use crate::scenario::figure9_point;
 use crate::report::Report;
+use crate::scenario::figure9_point;
 use crate::table::{Align, TextTable};
 
 #[derive(Serialize)]
@@ -108,7 +108,12 @@ pub fn run() -> Report {
             NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr()),
             false,
         ),
-        ("SRC-6 (class estimate)".into(), "XC2V6000".into(), src6_class(), true),
+        (
+            "SRC-6 (class estimate)".into(),
+            "XC2V6000".into(),
+            src6_class(),
+            true,
+        ),
         (
             "SGI RASC (class estimate)".into(),
             "XC4VLX200".into(),

@@ -124,7 +124,12 @@ pub fn run() -> Report {
         t.render()
     );
 
-    Report::new("ext-prefetch", "E1 — Pre-fetching policies x workloads", body, &rows)
+    Report::new(
+        "ext-prefetch",
+        "E1 — Pre-fetching policies x workloads",
+        body,
+        &rows,
+    )
 }
 
 #[cfg(test)]

@@ -52,8 +52,16 @@ pub fn run() -> Report {
     for c in &curves {
         let (px, ps) = c.peak().expect("non-empty curve");
         // Parse H and X_PRTR back out of the label for the closed form.
-        let h = c.label.split(", ").next().unwrap()[2..].parse::<f64>().unwrap();
-        let p = c.label.split("X_PRTR=").nth(1).unwrap().parse::<f64>().unwrap();
+        let h = c.label.split(", ").next().unwrap()[2..]
+            .parse::<f64>()
+            .unwrap();
+        let p = c
+            .label
+            .split("X_PRTR=")
+            .nth(1)
+            .unwrap()
+            .parse::<f64>()
+            .unwrap();
         let sup = bounds::ideal_supremum(h, p);
         let at = |x: f64| {
             c.points

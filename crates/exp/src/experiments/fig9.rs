@@ -5,11 +5,13 @@
 //! section 4.3.
 
 use hprc_fpga::floorplan::Floorplan;
+use hprc_obs::Registry;
 use hprc_sim::node::NodeConfig;
+use hprc_sim::trace::Timeline;
 use serde::Serialize;
 
 use crate::report::Report;
-use crate::scenario::{figure9_point, SweepPoint};
+use crate::scenario::{figure9_point_with, SweepPoint};
 use crate::table::{Align, TextTable};
 
 /// Which of the two panels to regenerate.
@@ -37,28 +39,58 @@ struct Payload {
 /// start is invisible; the paper uses n ≈ ∞).
 const CALLS_PER_POINT: usize = 300;
 
-/// Runs one panel's sweep.
-pub fn sweep(panel: Panel, points: usize) -> (NodeConfig, Vec<SweepPoint>) {
+/// The node a panel simulates.
+pub fn panel_node(panel: Panel) -> NodeConfig {
     let fp = Floorplan::xd1_dual_prr();
-    let node = match panel {
+    match panel {
         Panel::Estimated => NodeConfig::xd1_estimated(&fp),
         Panel::Measured => NodeConfig::xd1_measured(&fp),
-    };
+    }
+}
+
+/// Runs one panel's sweep.
+pub fn sweep(panel: Panel, points: usize) -> (NodeConfig, Vec<SweepPoint>) {
+    sweep_with(panel, points, &Registry::noop())
+}
+
+/// [`sweep`] with every point's cache and executor activity recorded
+/// into `registry` (aggregated across the sweep).
+pub fn sweep_with(
+    panel: Panel,
+    points: usize,
+    registry: &Registry,
+) -> (NodeConfig, Vec<SweepPoint>) {
+    let node = panel_node(panel);
     // X_task from well below X_PRTR to the data-intensive regime.
     let lo: f64 = (node.x_prtr() / 20.0).max(1e-4);
     let hi: f64 = 10.0;
     let sweep_points: Vec<SweepPoint> = (0..points)
         .map(|i| {
             let x = (lo.ln() + (hi.ln() - lo.ln()) * i as f64 / (points - 1) as f64).exp();
-            figure9_point(&node, x * node.t_frtr_s(), CALLS_PER_POINT)
+            figure9_point_with(&node, x * node.t_frtr_s(), CALLS_PER_POINT, registry).0
         })
         .collect();
     (node, sweep_points)
 }
 
+/// The PRTR timeline at a panel's peak operating point
+/// (`T_task = T_PRTR`), sized to `calls` calls — the representative
+/// execution profile exported as the panel's Chrome trace.
+pub fn peak_timeline(panel: Panel, calls: usize) -> Timeline {
+    let node = panel_node(panel);
+    figure9_point_with(&node, node.t_prtr_s(), calls, &Registry::noop()).1
+}
+
 /// Regenerates one panel of Figure 9.
 pub fn run(panel: Panel) -> Report {
-    let (node, points) = sweep(panel, 41);
+    run_with(panel, &Registry::noop())
+}
+
+/// [`run`] with the sweep's metrics recorded into `registry`, plus
+/// summary gauges `exp.fig9.peak_speedup` / `exp.fig9.peak_x_task`.
+pub fn run_with(panel: Panel, registry: &Registry) -> Report {
+    let _span = registry.span("exp.fig9");
+    let (node, points) = sweep_with(panel, 41, registry);
     let (id, title, paper_peak) = match panel {
         Panel::Estimated => (
             "fig9a",
@@ -76,6 +108,10 @@ pub fn run(panel: Panel) -> Report {
         .iter()
         .max_by(|a, b| a.speedup_sim.total_cmp(&b.speedup_sim))
         .expect("non-empty sweep");
+    registry
+        .gauge("exp.fig9.peak_speedup")
+        .set(peak.speedup_sim);
+    registry.gauge("exp.fig9.peak_x_task").set(peak.x_task);
 
     let mut t = TextTable::new(vec![
         "X_task",
@@ -161,10 +197,7 @@ mod tests {
     #[test]
     fn fig9a_peak_is_about_7x() {
         let (node, points) = sweep(Panel::Estimated, 21);
-        let peak = points
-            .iter()
-            .map(|p| p.speedup_sim)
-            .fold(0.0f64, f64::max);
+        let peak = points.iter().map(|p| p.speedup_sim).fold(0.0f64, f64::max);
         assert!(peak > 6.0 && peak < 7.2, "peak = {peak}");
         assert!((node.x_prtr() - 0.17).abs() < 0.01);
     }
@@ -172,10 +205,7 @@ mod tests {
     #[test]
     fn fig9b_peak_is_about_87x() {
         let (node, points) = sweep(Panel::Measured, 21);
-        let peak = points
-            .iter()
-            .map(|p| p.speedup_sim)
-            .fold(0.0f64, f64::max);
+        let peak = points.iter().map(|p| p.speedup_sim).fold(0.0f64, f64::max);
         assert!(peak > 75.0 && peak < 88.0, "peak = {peak}");
         assert!((node.x_prtr() - 0.0118).abs() < 0.001);
     }
@@ -189,6 +219,34 @@ mod tests {
                 assert!(rel < 0.02, "{panel:?} at X={}: rel {rel}", p.x_task);
             }
         }
+    }
+
+    #[test]
+    fn instrumented_sweep_reports_measured_quantities() {
+        let reg = Registry::new();
+        let (node, points) = sweep_with(Panel::Measured, 5, &reg);
+        let snap = reg.snapshot();
+        // H = 0 workload: every call misses.
+        let calls = snap.counters["sched.always-miss.calls"];
+        assert_eq!(calls, (5 * super::CALLS_PER_POINT) as u64);
+        assert_eq!(snap.counters["sched.always-miss.misses"], calls);
+        assert_eq!(snap.gauges["sched.always-miss.hit_ratio"], 0.0);
+        assert_eq!(snap.gauges["exp.measured_hit_ratio"], 0.0);
+        // Executor-side accounting covers both modes.
+        assert_eq!(snap.counters["sim.prtr.calls"], calls);
+        assert_eq!(snap.counters["sim.frtr.calls"], calls);
+        assert!(snap.gauges["sim.prtr.config_port.utilization"] > 0.0);
+        assert!(snap.gauges["sim.prtr.lane_busy_s.config"] > 0.0);
+        let _ = (node, points);
+    }
+
+    #[test]
+    fn peak_timeline_is_nonempty_and_config_bound() {
+        let tl = peak_timeline(Panel::Measured, 30);
+        assert!(!tl.events.is_empty());
+        // At T_task = T_PRTR the ICAP is busy roughly half the makespan.
+        let util = tl.lane_busy_s(hprc_sim::trace::Lane::ConfigPort) / tl.span_end().as_secs_f64();
+        assert!(util > 0.4 && util <= 1.0, "util = {util}");
     }
 
     #[test]

@@ -2,15 +2,15 @@
 //! DESIGN.md's experiment index).
 
 pub mod ext_compress;
-pub mod ext_defrag;
 pub mod ext_decision;
+pub mod ext_defrag;
 pub mod ext_fit;
 pub mod ext_flexible;
 pub mod ext_flows;
 pub mod ext_granularity;
 pub mod ext_hybrid;
-pub mod ext_landscape;
 pub mod ext_icap;
+pub mod ext_landscape;
 pub mod ext_multitask;
 pub mod ext_platforms;
 pub mod ext_prefetch;

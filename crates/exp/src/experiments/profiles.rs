@@ -17,13 +17,23 @@ struct Payload {
     prtr_hit_total_s: f64,
 }
 
-/// Renders the three execution profiles for a 4-call sequence with
-/// `T_task ≈ 2 × T_PRTR` (so overlap is visible).
-pub fn run() -> Report {
+/// The three profiled runs: FRTR, PRTR all-miss, PRTR pre-fetched.
+fn build() -> (
+    NodeConfig,
+    f64,
+    hprc_sim::executor::ExecutionReport,
+    hprc_sim::executor::ExecutionReport,
+    hprc_sim::executor::ExecutionReport,
+) {
     let fp = Floorplan::xd1_dual_prr();
     let node = NodeConfig::xd1_estimated(&fp);
     let t_task = 2.0 * node.t_prtr_s();
-    let names = ["Median Filter", "Sobel Filter", "Smoothing Filter", "Median Filter"];
+    let names = [
+        "Median Filter",
+        "Sobel Filter",
+        "Smoothing Filter",
+        "Median Filter",
+    ];
 
     let frtr_calls: Vec<TaskCall> = names
         .iter()
@@ -51,6 +61,24 @@ pub fn run() -> Report {
         })
         .collect();
     let prtr_hit = run_prtr(&node, &hit_calls).unwrap();
+    (node, t_task, frtr, prtr_miss, prtr_hit)
+}
+
+/// The three profiles as one Chrome trace: FRTR under pid 1, PRTR
+/// all-miss under pid 2, PRTR pre-fetched under pid 3 — Figures 3 and 4
+/// side by side in Perfetto.
+pub fn chrome_trace() -> Vec<hprc_obs::ChromeEvent> {
+    let (_, _, frtr, prtr_miss, prtr_hit) = build();
+    let mut events = frtr.timeline.chrome_events(1);
+    events.extend(prtr_miss.timeline.chrome_events(2));
+    events.extend(prtr_hit.timeline.chrome_events(3));
+    events
+}
+
+/// Renders the three execution profiles for a 4-call sequence with
+/// `T_task ≈ 2 × T_PRTR` (so overlap is visible).
+pub fn run() -> Report {
+    let (node, t_task, frtr, prtr_miss, prtr_hit) = build();
 
     let body = format!(
         "Task: 4 calls, T_task = {:.2} ms, T_PRTR = {:.2} ms, T_FRTR = {:.2} ms.\n\

@@ -85,7 +85,12 @@ pub fn run() -> Report {
         t.row(vec![r.quantity.clone(), r.paper.clone(), r.ours.clone()]);
     }
     let body = format!("{}\n", t.render());
-    Report::new("summary", "Headline comparison: paper vs reproduction", body, &rows)
+    Report::new(
+        "summary",
+        "Headline comparison: paper vs reproduction",
+        body,
+        &rows,
+    )
 }
 
 #[cfg(test)]

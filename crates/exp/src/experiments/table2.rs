@@ -64,8 +64,8 @@ pub fn run() -> Report {
     };
 
     let mk = |layout: &str, bytes: u64, est_s: f64, meas_s: f64, p: PaperRow| {
-        let size_rel_err = (bytes as f64 - p.bitstream_bytes as f64).abs()
-            / p.bitstream_bytes as f64;
+        let size_rel_err =
+            (bytes as f64 - p.bitstream_bytes as f64).abs() / p.bitstream_bytes as f64;
         let measured_rel_err = (meas_s * 1e3 - p.measured_ms).abs() / p.measured_ms;
         Row {
             layout: layout.into(),
@@ -139,10 +139,7 @@ pub fn run() -> Report {
             format!("{:.4}", r.x_measured),
         ]);
     }
-    let worst_size = rows
-        .iter()
-        .map(|r| r.size_rel_err)
-        .fold(0.0f64, f64::max);
+    let worst_size = rows.iter().map(|r| r.size_rel_err).fold(0.0f64, f64::max);
     let worst_meas = rows
         .iter()
         .map(|r| r.measured_rel_err)

@@ -51,28 +51,57 @@ pub const ALL_EXPERIMENTS: [&str; 21] = [
 
 /// Runs one experiment by id (see [`ALL_EXPERIMENTS`]).
 pub fn run_experiment(id: &str) -> Option<Report> {
+    run_experiment_with(id, &hprc_obs::Registry::noop())
+}
+
+/// [`run_experiment`] with metrics recorded into `registry`.
+///
+/// The instrumented experiments (`fig9a`, `fig9b`, `ext-multitask`)
+/// record their full cache/executor/runtime activity; the rest run
+/// uninstrumented under a timing span, so the trace export still shows
+/// wall-clock per experiment.
+pub fn run_experiment_with(id: &str, registry: &hprc_obs::Registry) -> Option<Report> {
     Some(match id {
-        "summary" => experiments::summary::run(),
-        "table1" => experiments::table1::run(),
-        "table2" => experiments::table2::run(),
-        "fig5" => experiments::fig5::run(),
-        "fig9a" => experiments::fig9::run(experiments::fig9::Panel::Estimated),
-        "fig9b" => experiments::fig9::run(experiments::fig9::Panel::Measured),
-        "profiles" => experiments::profiles::run(),
-        "validate" => experiments::validate::run(),
-        "ext-prefetch" => experiments::ext_prefetch::run(),
-        "ext-decision" => experiments::ext_decision::run(),
-        "ext-flows" => experiments::ext_flows::run(),
-        "ext-granularity" => experiments::ext_granularity::run(),
-        "ext-compress" => experiments::ext_compress::run(),
-        "ext-multitask" => experiments::ext_multitask::run(),
-        "ext-hybrid" => experiments::ext_hybrid::run(),
-        "ext-landscape" => experiments::ext_landscape::run(),
-        "ext-defrag" => experiments::ext_defrag::run(),
-        "ext-fit" => experiments::ext_fit::run(),
-        "ext-platforms" => experiments::ext_platforms::run(),
-        "ext-flexible" => experiments::ext_flexible::run(),
-        "ext-icap" => experiments::ext_icap::run(),
+        "fig9a" => experiments::fig9::run_with(experiments::fig9::Panel::Estimated, registry),
+        "fig9b" => experiments::fig9::run_with(experiments::fig9::Panel::Measured, registry),
+        "ext-multitask" => experiments::ext_multitask::run_with(registry),
+        _ => {
+            let _span = registry.span("exp.run_experiment");
+            match id {
+                "summary" => experiments::summary::run(),
+                "table1" => experiments::table1::run(),
+                "table2" => experiments::table2::run(),
+                "fig5" => experiments::fig5::run(),
+                "profiles" => experiments::profiles::run(),
+                "validate" => experiments::validate::run(),
+                "ext-prefetch" => experiments::ext_prefetch::run(),
+                "ext-decision" => experiments::ext_decision::run(),
+                "ext-flows" => experiments::ext_flows::run(),
+                "ext-granularity" => experiments::ext_granularity::run(),
+                "ext-compress" => experiments::ext_compress::run(),
+                "ext-hybrid" => experiments::ext_hybrid::run(),
+                "ext-landscape" => experiments::ext_landscape::run(),
+                "ext-defrag" => experiments::ext_defrag::run(),
+                "ext-fit" => experiments::ext_fit::run(),
+                "ext-platforms" => experiments::ext_platforms::run(),
+                "ext-flexible" => experiments::ext_flexible::run(),
+                "ext-icap" => experiments::ext_icap::run(),
+                _ => return None,
+            }
+        }
+    })
+}
+
+/// A representative Chrome trace (trace-event format) for experiments
+/// that have one: the peak-speedup PRTR timeline for the Figure 9
+/// panels, the three Figures 2-4 profiles for `profiles`.
+pub fn chrome_trace(id: &str) -> Option<Vec<hprc_obs::ChromeEvent>> {
+    Some(match id {
+        "fig9a" => experiments::fig9::peak_timeline(experiments::fig9::Panel::Estimated, 30)
+            .chrome_events(1),
+        "fig9b" => experiments::fig9::peak_timeline(experiments::fig9::Panel::Measured, 30)
+            .chrome_events(1),
+        "profiles" => experiments::profiles::chrome_trace(),
         _ => return None,
     })
 }

@@ -1,15 +1,36 @@
 //! `hprc-exp` — regenerate the paper's tables and figures.
 //!
-//! Usage: `hprc-exp [--out DIR] [all | <experiment-id>...]`
+//! Usage: `hprc-exp [--out DIR] [--trace DIR] [all | <experiment-id>...]`
 //! Known ids: table1 table2 fig5 fig9a fig9b profiles validate
 //! ext-prefetch ext-decision ext-flows ext-granularity ext-icap
 //! ext-compress ext-multitask ext-hybrid
+//!
+//! With `--trace DIR`, each experiment runs against a live metrics
+//! registry and writes `<id>.metrics.json` (counters, gauges, histogram
+//! summaries, spans) plus — for experiments with a representative
+//! timeline — `<id>.trace.json` in Chrome trace-event format, loadable
+//! in Perfetto or `chrome://tracing`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use hprc_obs::Registry;
+
+fn write_trace_artifacts(id: &str, registry: &Registry, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let snapshot = registry.snapshot();
+    let metrics = serde_json::to_string_pretty(&snapshot)?;
+    std::fs::write(dir.join(format!("{id}.metrics.json")), metrics)?;
+    if let Some(events) = hprc_exp::chrome_trace(id) {
+        let trace = serde_json::to_string(&events)?;
+        std::fs::write(dir.join(format!("{id}.trace.json")), trace)?;
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
+    let mut trace_dir: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -21,9 +42,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match args.next() {
+                Some(d) => trace_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--trace requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: hprc-exp [--out DIR] [all | id...]\nids: {}",
+                    "usage: hprc-exp [--out DIR] [--trace DIR] [all | id...]\nids: {}",
                     hprc_exp::ALL_EXPERIMENTS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -38,15 +66,33 @@ fn main() -> ExitCode {
             .collect();
     }
 
+    // Artifact-write failures are reported per file but don't abort the
+    // remaining experiments; any failure makes the exit code non-zero.
+    let mut write_errors = 0usize;
     for id in &ids {
-        match hprc_exp::run_experiment(id) {
+        // One registry per experiment so metrics files don't bleed into
+        // each other when several ids are run in one invocation.
+        let registry = if trace_dir.is_some() {
+            Registry::new()
+        } else {
+            Registry::noop()
+        };
+        match hprc_exp::run_experiment_with(id, &registry) {
             Some(report) => {
                 println!("{}\n", report.render());
                 if let Err(e) = report.write_json(&out_dir) {
-                    eprintln!("warning: could not write {id}.json: {e}");
+                    eprintln!("error: could not write {id}.json: {e}");
+                    write_errors += 1;
                 }
                 if let Err(e) = hprc_exp::write_series(id, &out_dir) {
-                    eprintln!("warning: could not write {id} series: {e}");
+                    eprintln!("error: could not write {id} series: {e}");
+                    write_errors += 1;
+                }
+                if let Some(dir) = &trace_dir {
+                    if let Err(e) = write_trace_artifacts(id, &registry, dir) {
+                        eprintln!("error: could not write {id} trace artifacts: {e}");
+                        write_errors += 1;
+                    }
                 }
             }
             None => {
@@ -56,5 +102,12 @@ fn main() -> ExitCode {
         }
     }
     println!("artifacts written to {}/", out_dir.display());
+    if let Some(dir) = &trace_dir {
+        println!("metrics + traces written to {}/", dir.display());
+    }
+    if write_errors > 0 {
+        eprintln!("{write_errors} artifact(s) could not be written");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -76,7 +76,12 @@ mod tests {
 
     #[test]
     fn render_has_banner() {
-        let r = Report::new("t", "Title Here", "body\n".into(), &serde_json::json!({"k": 1}));
+        let r = Report::new(
+            "t",
+            "Title Here",
+            "body\n".into(),
+            &serde_json::json!({"k": 1}),
+        );
         let s = r.render();
         assert!(s.starts_with("Title Here\n=========="));
         assert!(s.contains("body"));

@@ -4,13 +4,15 @@
 //! the equivalent analytical parameters (`hprc-model`).
 
 use hprc_model::params::{ModelParams, NormalizedTimes};
+use hprc_obs::Registry;
 use hprc_sched::cache::TaskId;
 use hprc_sched::policy::Policy;
-use hprc_sched::simulate::{simulate, CallOutcome, SimulationOutcome};
+use hprc_sched::simulate::{simulate_with, CallOutcome, SimulationOutcome};
 use hprc_sched::traces::TraceSpec;
-use hprc_sim::executor::{run_frtr, run_prtr};
+use hprc_sim::executor::{run_frtr_with, run_prtr_with};
 use hprc_sim::node::NodeConfig;
 use hprc_sim::task::{PrtrCall, TaskCall};
+use hprc_sim::trace::Timeline;
 use serde::{Deserialize, Serialize};
 
 /// Names the three Table 1 application cores cyclically.
@@ -86,26 +88,66 @@ pub fn run_point(
     prefetch: bool,
     t_task: f64,
 ) -> SweepPoint {
+    run_point_with(
+        node,
+        trace_spec,
+        seed,
+        policy,
+        prefetch,
+        t_task,
+        &Registry::noop(),
+    )
+    .0
+}
+
+/// [`run_point`] with all three substrates recording into `registry`
+/// (cache counters per policy, executor counters and lane gauges, the
+/// measured `H` gauge), also returning the PRTR timeline so callers can
+/// export it as a trace.
+pub fn run_point_with(
+    node: &NodeConfig,
+    trace_spec: &TraceSpec,
+    seed: u64,
+    policy: &mut dyn Policy,
+    prefetch: bool,
+    t_task: f64,
+    registry: &Registry,
+) -> (SweepPoint, Timeline) {
     let trace = trace_spec.generate(seed);
-    let outcome = simulate(&trace, node.n_prrs, policy, prefetch);
+    let outcome = simulate_with(&trace, node.n_prrs, policy, prefetch, registry);
     let calls = prtr_calls(node, &trace, &outcome, t_task);
     let t_task_actual = calls[0].task.task_time_s(node);
     let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
-    let frtr = run_frtr(node, &frtr_calls).expect("FRTR run");
-    let prtr = run_prtr(node, &calls).expect("PRTR run");
+    let frtr = run_frtr_with(node, &frtr_calls, registry).expect("FRTR run");
+    let prtr = run_prtr_with(node, &calls, registry).expect("PRTR run");
     let params = model_params_for(node, t_task_actual, outcome.hit_ratio(), trace.len() as u64);
-    SweepPoint {
+    registry
+        .gauge("exp.measured_hit_ratio")
+        .set(outcome.hit_ratio());
+    let point = SweepPoint {
         x_task: t_task_actual / node.t_frtr_s(),
         t_task_s: t_task_actual,
         hit_ratio: outcome.hit_ratio(),
         speedup_sim: frtr.total_s() / prtr.total_s(),
         speedup_model: hprc_model::speedup::speedup(&params),
-    }
+    };
+    (point, prtr.timeline)
 }
 
 /// The paper's Figure 9 workload: the three image filters cycling through
 /// the PRRs, no prefetching (H = 0) — `n` calls at each task time.
 pub fn figure9_point(node: &NodeConfig, t_task: f64, n: usize) -> SweepPoint {
+    figure9_point_with(node, t_task, n, &Registry::noop()).0
+}
+
+/// [`figure9_point`] with metrics recorded into `registry`; also
+/// returns the PRTR timeline.
+pub fn figure9_point_with(
+    node: &NodeConfig,
+    t_task: f64,
+    n: usize,
+    registry: &Registry,
+) -> (SweepPoint, Timeline) {
     let spec = TraceSpec::Looping {
         stages: 3,
         n_tasks: 3,
@@ -113,7 +155,7 @@ pub fn figure9_point(node: &NodeConfig, t_task: f64, n: usize) -> SweepPoint {
         len: n,
     };
     let mut policy = hprc_sched::policies::AlwaysMiss::new();
-    run_point(node, &spec, 1, &mut policy, false, t_task)
+    run_point_with(node, &spec, 1, &mut policy, false, t_task, registry)
 }
 
 #[cfg(test)]
@@ -128,7 +170,12 @@ mod tests {
         let p = figure9_point(&node, node.t_prtr_s(), 400);
         assert_eq!(p.hit_ratio, 0.0);
         let rel = (p.speedup_sim - p.speedup_model).abs() / p.speedup_model;
-        assert!(rel < 0.01, "sim {} vs model {}", p.speedup_sim, p.speedup_model);
+        assert!(
+            rel < 0.01,
+            "sim {} vs model {}",
+            p.speedup_sim,
+            p.speedup_model
+        );
         assert!(p.speedup_sim > 80.0);
     }
 

@@ -100,7 +100,11 @@ impl<'d> WindowAllocator<'d> {
 
     /// Width of the largest free run.
     pub fn largest_free_run(&self) -> usize {
-        self.free_runs().into_iter().map(|r| r.len()).max().unwrap_or(0)
+        self.free_runs()
+            .into_iter()
+            .map(|r| r.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// External fragmentation: `1 - largest_run / free` (0 when the free
@@ -134,7 +138,11 @@ impl<'d> WindowAllocator<'d> {
     /// assert_eq!(alloc.free_columns(), 11);
     /// ```
     ///
-    pub fn allocate(&mut self, name: impl Into<String>, width: usize) -> Result<Range<usize>, FpgaError> {
+    pub fn allocate(
+        &mut self,
+        name: impl Into<String>,
+        width: usize,
+    ) -> Result<Range<usize>, FpgaError> {
         let name = name.into();
         if width == 0 {
             return Err(FpgaError::PlacementFailed("zero-width request".into()));
@@ -209,8 +217,7 @@ impl<'d> WindowAllocator<'d> {
                         name: name.clone(),
                         columns: cand.clone(),
                     };
-                    if check_compatibility(self.device, &from_region, &to_region).is_compatible()
-                    {
+                    if check_compatibility(self.device, &from_region, &to_region).is_compatible() {
                         target = Some(cand);
                         break;
                     }

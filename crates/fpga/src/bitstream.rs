@@ -216,9 +216,8 @@ pub fn difference_based_inventory(
             if i == j {
                 continue;
             }
-            sizes.push(
-                Bitstream::partial_difference_based(device, from, to, columns)?.size_bytes(),
-            );
+            sizes
+                .push(Bitstream::partial_difference_based(device, from, to, columns)?.size_bytes());
         }
     }
     Ok(FlowInventory {

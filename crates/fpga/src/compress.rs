@@ -35,9 +35,7 @@ impl CompressedBitstream {
     /// Total on-the-wire size: compressed payload + uncompressed overhead
     /// + 4 bytes of length prefix per frame.
     pub fn size_bytes(&self) -> u64 {
-        self.payload.len() as u64
-            + self.overhead_bytes as u64
-            + 4 * self.frame_lengths.len() as u64
+        self.payload.len() as u64 + self.overhead_bytes as u64 + 4 * self.frame_lengths.len() as u64
     }
 
     /// Compression ratio `original / compressed` over the full bitstream
@@ -140,10 +138,7 @@ pub fn compress(bitstream: &Bitstream) -> CompressedBitstream {
 /// Decompresses back into the original bitstream (addresses taken from
 /// `template`, which must be the bitstream `compress` was called on or an
 /// address-identical one).
-pub fn decompress(
-    compressed: &CompressedBitstream,
-    template: &Bitstream,
-) -> Option<Bitstream> {
+pub fn decompress(compressed: &CompressedBitstream, template: &Bitstream) -> Option<Bitstream> {
     if compressed.frame_lengths.len() != template.frames.len() {
         return None;
     }

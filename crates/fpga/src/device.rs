@@ -317,13 +317,10 @@ impl Device {
 
     /// Fabric resources of one column.
     pub fn column_resources(&self, index: usize) -> Result<Resources, FpgaError> {
-        let col = self
-            .columns
-            .get(index)
-            .ok_or(FpgaError::ColumnOutOfRange {
-                column: index,
-                device_columns: self.columns.len(),
-            })?;
+        let col = self.columns.get(index).ok_or(FpgaError::ColumnOutOfRange {
+            column: index,
+            device_columns: self.columns.len(),
+        })?;
         Ok(match col.kind {
             ColumnKind::Clb { ppc_shadow } => {
                 let rows = if ppc_shadow {

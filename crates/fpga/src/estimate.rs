@@ -134,10 +134,8 @@ impl KernelSpec {
         };
         // Pipeline balancing registers on the full datapath width.
         let pipe_ffs = self.pipeline_stages * (bpp + 4) * self.window_cols;
-        let luts =
-            ((line_buffer_luts + op_luts) as f64 * PACKING_FACTOR) as u32 + INTERFACE_LUTS;
-        let ffs = ((window_ffs + op_ffs + pipe_ffs) as f64 * PACKING_FACTOR) as u32
-            + INTERFACE_FFS;
+        let luts = ((line_buffer_luts + op_luts) as f64 * PACKING_FACTOR) as u32 + INTERFACE_LUTS;
+        let ffs = ((window_ffs + op_ffs + pipe_ffs) as f64 * PACKING_FACTOR) as u32 + INTERFACE_FFS;
         Resources::new(luts, ffs, 0)
     }
 }
@@ -182,7 +180,10 @@ mod tests {
         let median = KernelSpec::median_3x3().estimate().luts;
         let smoothing = KernelSpec::smoothing_3x3().estimate().luts;
         let sobel = KernelSpec::sobel_3x3().estimate().luts;
-        assert!(median > smoothing, "median {median} vs smoothing {smoothing}");
+        assert!(
+            median > smoothing,
+            "median {median} vs smoothing {smoothing}"
+        );
         assert!(smoothing > sobel, "smoothing {smoothing} vs sobel {sobel}");
     }
 

@@ -225,10 +225,7 @@ impl Floorplan {
         Floorplan::new(
             device,
             static_region,
-            vec![
-                mk("PRR0", prr_a, vec![0, 1]),
-                mk("PRR1", prr_b, vec![2, 3]),
-            ],
+            vec![mk("PRR0", prr_a, vec![0, 1]), mk("PRR1", prr_b, vec![2, 3])],
         )
         .expect("built-in layout is valid")
     }
@@ -330,7 +327,11 @@ mod tests {
         let fp = Floorplan::xd1_dual_prr();
         assert!(!fp.prrs[0].region.overlaps(&fp.prrs[1].region));
         assert!(!fp.static_region.overlaps(&fp.prrs[0].region));
-        let mut banks: Vec<u8> = fp.prrs.iter().flat_map(|p| p.memory_banks.clone()).collect();
+        let mut banks: Vec<u8> = fp
+            .prrs
+            .iter()
+            .flat_map(|p| p.memory_banks.clone())
+            .collect();
         banks.sort_unstable();
         assert_eq!(banks, vec![0, 1, 2, 3]);
     }

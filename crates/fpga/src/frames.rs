@@ -124,10 +124,7 @@ impl ConfigMemory {
     }
 
     /// All frame addresses in the given columns, in address order.
-    pub fn addresses_in_columns(
-        &self,
-        columns: &[usize],
-    ) -> Result<Vec<FrameAddress>, FpgaError> {
+    pub fn addresses_in_columns(&self, columns: &[usize]) -> Result<Vec<FrameAddress>, FpgaError> {
         let mut out = Vec::new();
         for &column in columns {
             let n = self.frames_in_column(column)?;

@@ -79,7 +79,14 @@ impl ModuleLibrary {
                 HwModule {
                     throughput_per_clock: 0.0,
                     pipeline_latency_clocks: 0,
-                    ..m("PR Controller", ModuleClass::PrController, 418, 432, 8, 66.0)
+                    ..m(
+                        "PR Controller",
+                        ModuleClass::PrController,
+                        418,
+                        432,
+                        8,
+                        66.0,
+                    )
                 },
                 m(
                     "Median Filter",

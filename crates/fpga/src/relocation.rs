@@ -153,10 +153,7 @@ mod tests {
         assert_eq!(c, Compatibility::ColumnMismatch { offset: 0 });
         // But widths differ for the last quarter (8 columns).
         let c = check_compatibility(&fp.device, &fp.prrs[0].region, &fp.prrs[3].region);
-        assert_eq!(
-            c,
-            Compatibility::ColumnCountMismatch { from: 7, to: 8 }
-        );
+        assert_eq!(c, Compatibility::ColumnCountMismatch { from: 7, to: 8 });
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Property-based tests of the FPGA substrate invariants.
 
-use hprc_fpga::bitstream::{
-    difference_based_inventory, module_based_inventory, Bitstream,
-};
+use hprc_fpga::bitstream::{difference_based_inventory, module_based_inventory, Bitstream};
 use hprc_fpga::device::Device;
 use hprc_fpga::frames::ConfigMemory;
 use proptest::prelude::*;

@@ -29,9 +29,15 @@ fn quad_prrs_cover_the_dual_window() {
 
 #[test]
 fn finer_partitions_shrink_mean_bitstreams() {
-    let single = Floorplan::xd1_single_prr().mean_prr_bitstream_bytes().unwrap();
-    let dual = Floorplan::xd1_dual_prr().mean_prr_bitstream_bytes().unwrap();
-    let quad = Floorplan::xd1_quad_prr().mean_prr_bitstream_bytes().unwrap();
+    let single = Floorplan::xd1_single_prr()
+        .mean_prr_bitstream_bytes()
+        .unwrap();
+    let dual = Floorplan::xd1_dual_prr()
+        .mean_prr_bitstream_bytes()
+        .unwrap();
+    let quad = Floorplan::xd1_quad_prr()
+        .mean_prr_bitstream_bytes()
+        .unwrap();
     assert!(single > dual && dual > quad, "{single} > {dual} > {quad}");
 }
 
@@ -52,7 +58,8 @@ fn cross_platform_devices_have_expected_capacity() {
     assert!((6.2..6.6).contains(&mb), "{mb} MB");
     // Virtex-4 frames are much finer: a single column reconfigures with a
     // far smaller bitstream fraction than on Virtex-II.
-    let v4_col = v4.partial_bitstream_bytes(&[2]).unwrap() as f64 / v4.full_bitstream_bytes() as f64;
+    let v4_col =
+        v4.partial_bitstream_bytes(&[2]).unwrap() as f64 / v4.full_bitstream_bytes() as f64;
     let v2_col = v2_6000.partial_bitstream_bytes(&[2]).unwrap() as f64
         / v2_6000.full_bitstream_bytes() as f64;
     assert!(v4_col < v2_col, "v4 {v4_col} vs v2 {v2_col}");

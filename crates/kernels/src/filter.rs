@@ -110,7 +110,9 @@ impl FilterKind {
 
     /// Applies the filter sequentially.
     pub fn apply(&self, input: &Image) -> Image {
-        Image::from_fn(input.width(), input.height(), |x, y| self.pixel(input, x, y))
+        Image::from_fn(input.width(), input.height(), |x, y| {
+            self.pixel(input, x, y)
+        })
     }
 
     /// Applies the filter with `threads` crossbeam scoped threads, each

@@ -44,8 +44,7 @@ impl TaskTimeModel {
 
     /// Compute-side time for `bytes` of data, seconds.
     pub fn compute_time_s(&self, bytes: u64) -> f64 {
-        (bytes as f64 / self.bytes_per_clock + self.pipeline_latency_clocks as f64)
-            / self.clock_hz
+        (bytes as f64 / self.bytes_per_clock + self.pipeline_latency_clocks as f64) / self.clock_hz
     }
 
     /// One-way transfer time for `bytes`, seconds.
@@ -83,11 +82,12 @@ impl TaskTimeModel {
         // Rate-limited by the slowest of I/O (each direction at io rate) and
         // compute.
         let bottleneck = if self.overlapped {
-            self.io_bytes_per_sec.min(self.clock_hz * self.bytes_per_clock)
+            self.io_bytes_per_sec
+                .min(self.clock_hz * self.bytes_per_clock)
         } else {
             // Serialized: t = 2*b/io + b/(clk*bpc).
-            let per_byte = 2.0 / self.io_bytes_per_sec
-                + 1.0 / (self.clock_hz * self.bytes_per_clock);
+            let per_byte =
+                2.0 / self.io_bytes_per_sec + 1.0 / (self.clock_hz * self.bytes_per_clock);
             return (effective / per_byte) as u64;
         };
         (effective * bottleneck) as u64

@@ -93,8 +93,8 @@ mod tests {
         let p = Pipeline::denoise_edges();
         let out = p.run(&img);
         // Equivalent to manual chaining.
-        let manual = FilterKind::Sobel
-            .apply(&FilterKind::Smoothing.apply(&FilterKind::Median.apply(&img)));
+        let manual =
+            FilterKind::Sobel.apply(&FilterKind::Smoothing.apply(&FilterKind::Median.apply(&img)));
         assert_eq!(out, manual);
     }
 

@@ -4,8 +4,7 @@ use hprc_kernels::{FilterKind, Image, TaskTimeModel};
 use proptest::prelude::*;
 
 fn arb_image() -> impl Strategy<Value = Image> {
-    (2usize..24, 2usize..24, any::<u64>())
-        .prop_map(|(w, h, seed)| Image::random(w, h, seed))
+    (2usize..24, 2usize..24, any::<u64>()).prop_map(|(w, h, seed)| Image::random(w, h, seed))
 }
 
 proptest! {

@@ -74,7 +74,10 @@ pub fn fit(obs: &[Observation], overheads: NormalizedTimes) -> Result<Fit, Model
             "need at least two observations to fit two parameters".into(),
         ));
     }
-    if obs.iter().any(|o| o.x_task <= 0.0 || o.speedup <= 0.0 || !o.speedup.is_finite()) {
+    if obs
+        .iter()
+        .any(|o| o.x_task <= 0.0 || o.speedup <= 0.0 || !o.speedup.is_finite())
+    {
         return Err(ModelError::InvalidSweep(
             "observations must have positive x_task and speedup".into(),
         ));
@@ -153,7 +156,11 @@ mod tests {
                 "x_prtr {x_prtr}: fitted {}",
                 fit.x_prtr
             );
-            assert!((fit.hit_ratio - h).abs() < 0.03, "h {h}: fitted {}", fit.hit_ratio);
+            assert!(
+                (fit.hit_ratio - h).abs() < 0.03,
+                "h {h}: fitted {}",
+                fit.hit_ratio
+            );
             assert!(fit.rms_rel_error < 5e-3, "rms = {}", fit.rms_rel_error);
         }
     }
@@ -162,7 +169,11 @@ mod tests {
     fn tolerates_moderate_noise() {
         let obs = synth(0.0118, 0.0, 0.05); // 5 % multiplicative wiggle
         let fit = fit(&obs, NormalizedTimes::ideal(1.0, 1.0)).unwrap();
-        assert!((fit.x_prtr - 0.0118).abs() / 0.0118 < 0.15, "{}", fit.x_prtr);
+        assert!(
+            (fit.x_prtr - 0.0118).abs() / 0.0118 < 0.15,
+            "{}",
+            fit.x_prtr
+        );
         assert!(fit.rms_rel_error < 0.08);
     }
 

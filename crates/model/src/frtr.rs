@@ -64,9 +64,7 @@ mod tests {
     fn total_scales_linearly_with_calls() {
         let p1 = params(0.3, 0.0, 1);
         let p2 = params(0.3, 0.0, 1000);
-        assert!(
-            (total_time_normalized(&p2) - 1000.0 * total_time_normalized(&p1)).abs() < 1e-9
-        );
+        assert!((total_time_normalized(&p2) - 1000.0 * total_time_normalized(&p1)).abs() < 1e-9);
     }
 
     #[test]

@@ -170,7 +170,11 @@ mod tests {
         let f = h.sw_fraction_budget(target).unwrap();
         assert!(f > 0.0 && f < 1.0);
         let at = HybridParams::new(hw(), f, 0.1).unwrap();
-        assert!((at.speedup() - target).abs() / target < 1e-9, "{}", at.speedup());
+        assert!(
+            (at.speedup() - target).abs() / target < 1e-9,
+            "{}",
+            at.speedup()
+        );
     }
 
     #[test]

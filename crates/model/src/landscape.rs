@@ -78,11 +78,7 @@ impl Landscape {
 
 /// Computes the landscape over `x_axis × h_axis` at the fixed overheads of
 /// `base` (its `x_task` field is overwritten).
-pub fn compute(
-    base: NormalizedTimes,
-    x_axis: Axis,
-    h_axis: Axis,
-) -> Result<Landscape, ModelError> {
+pub fn compute(base: NormalizedTimes, x_axis: Axis, h_axis: Axis) -> Result<Landscape, ModelError> {
     let x_task = x_axis.samples()?;
     let hit_ratio = h_axis.samples()?;
     for &h in &hit_ratio {
@@ -111,8 +107,7 @@ pub fn compute(
                     let c = i % ncols;
                     let mut times = base;
                     times.x_task = x_task[c];
-                    let p = ModelParams::new(times, hit_ratio[r], 1)
-                        .expect("axes validated");
+                    let p = ModelParams::new(times, hit_ratio[r], 1).expect("axes validated");
                     *v = asymptotic_speedup(&p);
                 }
             });
@@ -193,7 +188,11 @@ mod tests {
         let l = grid();
         let contour = l.contour(30.0);
         let defined: Vec<f64> = contour.iter().filter_map(|&(_, x)| x).collect();
-        assert_eq!(defined.len(), l.hit_ratio.len(), "30x reachable at all H here");
+        assert_eq!(
+            defined.len(),
+            l.hit_ratio.len(),
+            "30x reachable at all H here"
+        );
         for w in defined.windows(2) {
             assert!(w[1] + 1e-12 >= w[0], "{contour:?}");
         }

@@ -27,9 +27,7 @@ pub fn total_time_normalized(p: &ModelParams) -> f64 {
 /// of equation (5). The leading un-hidden `X_decision` is *not* included;
 /// it is amortized away as `n_calls → ∞` (equation (7)).
 pub fn steady_state_per_call_normalized(p: &ModelParams) -> f64 {
-    p.times.x_control
-        + p.miss_ratio() * missed_call_cost(p)
-        + p.hit_ratio * hit_call_cost(p)
+    p.times.x_control + p.miss_ratio() * missed_call_cost(p) + p.hit_ratio * hit_call_cost(p)
 }
 
 /// Normalized cost contribution of one **missed** call (Figure 4(a)):

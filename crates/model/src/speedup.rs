@@ -157,8 +157,7 @@ mod tests {
             x_decision: 0.05,
             x_prtr: 0.1,
         };
-        let s_inf =
-            asymptotic_speedup(&ModelParams::new(times, 0.5, 1).unwrap());
+        let s_inf = asymptotic_speedup(&ModelParams::new(times, 0.5, 1).unwrap());
         let mut prev = 0.0;
         for n in [1u64, 10, 100, 10_000, 1_000_000] {
             let s = speedup(&ModelParams::new(times, 0.5, n).unwrap());

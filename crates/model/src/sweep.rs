@@ -131,7 +131,10 @@ pub fn figure5_family(
     })
     .expect("sweep worker panicked");
 
-    Ok(curves.into_iter().map(|c| c.expect("all slots filled")).collect())
+    Ok(curves
+        .into_iter()
+        .map(|c| c.expect("all slots filled"))
+        .collect())
 }
 
 /// Sweep of the *finite* speedup `S(n_calls)` versus `X_task` for one fixed
@@ -196,9 +199,27 @@ mod tests {
 
     #[test]
     fn degenerate_axes_rejected() {
-        assert!(Axis::Linear { lo: 1.0, hi: 1.0, points: 5 }.samples().is_err());
-        assert!(Axis::Linear { lo: 0.0, hi: 1.0, points: 1 }.samples().is_err());
-        assert!(Axis::Log { lo: 0.0, hi: 1.0, points: 5 }.samples().is_err());
+        assert!(Axis::Linear {
+            lo: 1.0,
+            hi: 1.0,
+            points: 5
+        }
+        .samples()
+        .is_err());
+        assert!(Axis::Linear {
+            lo: 0.0,
+            hi: 1.0,
+            points: 1
+        }
+        .samples()
+        .is_err());
+        assert!(Axis::Log {
+            lo: 0.0,
+            hi: 1.0,
+            points: 5
+        }
+        .samples()
+        .is_err());
     }
 
     #[test]

@@ -150,7 +150,9 @@ mod tests {
 
     #[test]
     fn summary_aggregates() {
-        let mut ms: Vec<Measurement> = (1..=10).map(|i| exact_measurement(i as f64 * 0.1)).collect();
+        let mut ms: Vec<Measurement> = (1..=10)
+            .map(|i| exact_measurement(i as f64 * 0.1))
+            .collect();
         ms[3].frtr_total *= 1.10;
         let (comparisons, summary) = validate(&ms);
         assert_eq!(comparisons.len(), 10);

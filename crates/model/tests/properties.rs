@@ -9,10 +9,10 @@ use proptest::prelude::*;
 
 fn times_strategy() -> impl Strategy<Value = NormalizedTimes> {
     (
-        0.0..10.0f64,   // x_task
-        0.0..0.5f64,    // x_control
-        0.0..0.5f64,    // x_decision
-        1e-4..1.0f64,   // x_prtr (partial config never exceeds a full config)
+        0.0..10.0f64, // x_task
+        0.0..0.5f64,  // x_control
+        0.0..0.5f64,  // x_decision
+        1e-4..1.0f64, // x_prtr (partial config never exceeds a full config)
     )
         .prop_map(|(x_task, x_control, x_decision, x_prtr)| NormalizedTimes {
             x_task,
@@ -23,9 +23,8 @@ fn times_strategy() -> impl Strategy<Value = NormalizedTimes> {
 }
 
 fn params_strategy() -> impl Strategy<Value = ModelParams> {
-    (times_strategy(), 0.0..=1.0f64, 1u64..100_000).prop_map(|(t, h, n)| {
-        ModelParams::new(t, h, n).expect("strategy yields valid parameters")
-    })
+    (times_strategy(), 0.0..=1.0f64, 1u64..100_000)
+        .prop_map(|(t, h, n)| ModelParams::new(t, h, n).expect("strategy yields valid parameters"))
 }
 
 proptest! {

@@ -1,0 +1,75 @@
+//! Chrome trace-event export.
+//!
+//! The [Chrome trace-event format] is a JSON array of event objects;
+//! complete events (`"ph": "X"`) carry a start timestamp `ts` and
+//! duration `dur`, both in microseconds, and are grouped into rows by
+//! `(pid, tid)`. Files in this format load directly in
+//! `chrome://tracing` and <https://ui.perfetto.dev>.
+//!
+//! This crate only defines the event type; producers (the simulator's
+//! `Timeline`) convert their own representations into `Vec<ChromeEvent>`
+//! and serialize the vector.
+//!
+//! [Chrome trace-event format]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use serde::Serialize;
+
+/// One complete ("X") trace event.
+///
+/// Field order matches the conventional layout
+/// `{"name", "ph", "ts", "dur", "pid", "tid"}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ChromeEvent {
+    /// Event label shown on the slice.
+    pub name: String,
+    /// Phase; always `"X"` (complete event) for our exports.
+    pub ph: String,
+    /// Start time in microseconds.
+    pub ts: u64,
+    /// Duration in microseconds.
+    pub dur: u64,
+    /// Process id; used as the top-level row group.
+    pub pid: u64,
+    /// Thread id; one per timeline lane.
+    pub tid: u64,
+}
+
+impl ChromeEvent {
+    /// Builds a complete event.
+    pub fn complete(name: impl Into<String>, ts: u64, dur: u64, pid: u64, tid: u64) -> Self {
+        ChromeEvent {
+            name: name.into(),
+            ph: "X".to_string(),
+            ts,
+            dur,
+            pid,
+            tid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_with_expected_keys() {
+        let ev = ChromeEvent::complete("exec", 10, 5, 1, 2);
+        let json = ev.to_json_value().to_string();
+        assert_eq!(
+            json,
+            r#"{"name":"exec","ph":"X","ts":10,"dur":5,"pid":1,"tid":2}"#
+        );
+    }
+
+    #[test]
+    fn vector_serializes_as_array() {
+        let evs = vec![
+            ChromeEvent::complete("a", 0, 1, 1, 0),
+            ChromeEvent::complete("b", 1, 1, 1, 0),
+        ];
+        let json = evs.to_json_value().to_string();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+}

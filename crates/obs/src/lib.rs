@@ -1,0 +1,43 @@
+//! # hprc-obs
+//!
+//! Observability for the HPRC substrates: counters, gauges, quantile
+//! histograms, and hierarchical timed spans, all reachable through a
+//! single cheap [`Registry`] handle, plus the [`ChromeEvent`] type for
+//! exporting simulator timelines in Chrome trace-event format
+//! (loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)).
+//!
+//! The design constraint is that instrumentation must be free to leave
+//! in hot paths: the default [`Registry::noop`] handle is a `None` and
+//! every recording call on it is a branch on an `Option` — no
+//! allocation, no locking, no clock read. An active registry
+//! ([`Registry::new`]) hands out `Arc`-backed instrument handles that
+//! callers hoist out of loops; recording on a hoisted [`Counter`] is a
+//! single relaxed atomic add.
+//!
+//! ```
+//! use hprc_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! let calls = reg.counter("sim.calls");
+//! let latency = reg.histogram("sim.call_latency_s");
+//! for i in 0..100 {
+//!     let _span = reg.span("call");
+//!     calls.inc();
+//!     latency.record(i as f64 * 1e-3);
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counters["sim.calls"], 100);
+//! assert!(snap.histograms["sim.call_latency_s"].p50 > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use chrome::ChromeEvent;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
+pub use registry::{Registry, Snapshot};
+pub use span::{Span, SpanRecord};

@@ -1,0 +1,207 @@
+//! Instrument handles: [`Counter`], [`Gauge`], [`Histogram`], and the
+//! [`HistogramSummary`] quantile digest reported in snapshots.
+//!
+//! Handles are cheap clones of `Arc`-backed cells. A handle obtained
+//! from [`Registry::noop`](crate::Registry::noop) carries `None` and
+//! every recording call is a single branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// Monotonically increasing event count.
+///
+/// Recording is a relaxed atomic add; the counter is safe to share
+/// across threads.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins floating-point value (utilizations, ratios, sizes).
+///
+/// Stored as the `f64` bit pattern in an atomic so recording stays
+/// lock-free.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for a no-op handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Distribution of observed values; quantiles are computed at snapshot
+/// time from the raw samples (exact, nearest-rank).
+///
+/// Samples are kept unaggregated because experiment runs record at
+/// most a few hundred thousand values; exactness matters more here
+/// than bounded memory.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<Mutex<Vec<f64>>>>);
+
+impl Histogram {
+    /// Records one sample. Non-finite samples are dropped.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            if value.is_finite() {
+                cell.lock().push(value);
+            }
+        }
+    }
+
+    /// Number of recorded samples (0 for a no-op handle).
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, |c| c.lock().len())
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Summarizes the samples recorded so far.
+    pub fn summary(&self) -> HistogramSummary {
+        match &self.0 {
+            None => HistogramSummary::default(),
+            Some(cell) => HistogramSummary::from_samples(&cell.lock()),
+        }
+    }
+}
+
+/// Quantile digest of a [`Histogram`], serialized into the metrics
+/// summary JSON.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median, nearest-rank.
+    pub p50: f64,
+    /// 95th percentile, nearest-rank.
+    pub p95: f64,
+    /// 99th percentile, nearest-rank.
+    pub p99: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl HistogramSummary {
+    /// Computes the digest from raw samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        let sum: f64 = sorted.iter().sum();
+        let rank = |q: f64| -> f64 {
+            // Nearest-rank: ceil(q * n) clamped to [1, n], 1-indexed.
+            let n = sorted.len();
+            let r = ((q * n as f64).ceil() as usize).clamp(1, n);
+            sorted[r - 1]
+        };
+        HistogramSummary {
+            count: sorted.len() as u64,
+            min: sorted[0],
+            mean: sum / sorted.len() as f64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            max: *sorted.last().expect("non-empty"),
+            sum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handles_record_nothing() {
+        let c = Counter::default();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::default();
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+
+        let h = Histogram::default();
+        h.record(1.0);
+        assert!(h.is_empty());
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn summary_quantiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = HistogramSummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = HistogramSummary::from_samples(&[2.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 2.5);
+        assert_eq!(s.p50, 2.5);
+        assert_eq!(s.p99, 2.5);
+        assert_eq!(s.max, 2.5);
+    }
+
+    #[test]
+    fn non_finite_samples_dropped() {
+        let h = Histogram(Some(Default::default()));
+        h.record(1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.len(), 1);
+    }
+}

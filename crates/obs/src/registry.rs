@@ -1,0 +1,245 @@
+//! The [`Registry`] handle and [`Snapshot`] export.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use serde::Serialize;
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSummary};
+use crate::span::{Span, SpanRecord};
+
+/// Shared state behind an active registry.
+#[derive(Debug)]
+pub(crate) struct Inner {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Mutex<Vec<f64>>>>>,
+    pub(crate) spans: Mutex<Vec<SpanRecord>>,
+    pub(crate) epoch: Instant,
+}
+
+/// Handle to a metrics registry, threaded through the simulator,
+/// scheduler, and experiment runner.
+///
+/// Cloning is cheap (an `Arc` clone, or nothing for a no-op handle).
+/// The [`Default`] handle is [`Registry::noop`], so instrumented code
+/// paths cost a branch when observability is off.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Registry {
+    /// Creates an active registry that records everything.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(Arc::new(Inner {
+                counters: RwLock::new(BTreeMap::new()),
+                gauges: RwLock::new(BTreeMap::new()),
+                histograms: RwLock::new(BTreeMap::new()),
+                spans: Mutex::new(Vec::new()),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Creates a disabled registry; every instrument it hands out is
+    /// inert.
+    pub fn noop() -> Self {
+        Registry { inner: None }
+    }
+
+    /// True when this handle records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. Hoist the returned handle out of hot loops.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            if let Some(cell) = inner.counters.read().get(name) {
+                return Arc::clone(cell);
+            }
+            Arc::clone(inner.counters.write().entry(name.to_string()).or_default())
+        }))
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            if let Some(cell) = inner.gauges.read().get(name) {
+                return Arc::clone(cell);
+            }
+            Arc::clone(inner.gauges.write().entry(name.to_string()).or_default())
+        }))
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|inner| {
+            if let Some(cell) = inner.histograms.read().get(name) {
+                return Arc::clone(cell);
+            }
+            Arc::clone(
+                inner
+                    .histograms
+                    .write()
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Opens a timed span; it records itself when dropped. Spans nest
+    /// per thread (see [`SpanRecord::depth`]).
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.inner {
+            None => Span::noop(),
+            Some(inner) => Span::enter(Arc::clone(inner), name),
+        }
+    }
+
+    /// Captures the current state of every instrument.
+    ///
+    /// A no-op registry snapshots to empty maps, which serialize to
+    /// the same JSON schema as an active one.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(std::sync::atomic::Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    f64::from_bits(v.load(std::sync::atomic::Ordering::Relaxed)),
+                )
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), HistogramSummary::from_samples(&v.lock())))
+            .collect();
+        let spans = inner.spans.lock().clone();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+}
+
+/// Point-in-time export of a registry, serialized as the
+/// `<id>.metrics.json` artifact.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram digests by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("calls");
+        let b = reg.counter("calls");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.snapshot().counters["calls"], 3);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let reg = Registry::new();
+        reg.gauge("util").set(0.25);
+        reg.gauge("util").set(0.75);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["util"], 0.75);
+    }
+
+    #[test]
+    fn histogram_digest_in_snapshot() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for i in 1..=10 {
+            h.record(i as f64);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["lat"].count, 10);
+        assert_eq!(snap.histograms["lat"].p50, 5.0);
+    }
+
+    #[test]
+    fn noop_registry_is_empty_and_disabled() {
+        let reg = Registry::noop();
+        assert!(!reg.is_enabled());
+        reg.counter("x").inc();
+        reg.gauge("y").set(1.0);
+        reg.histogram("z").record(1.0);
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn default_is_noop() {
+        assert!(!Registry::default().is_enabled());
+    }
+
+    #[test]
+    fn snapshot_serializes_stable_schema() {
+        let reg = Registry::new();
+        reg.counter("c").inc();
+        reg.gauge("g").set(2.0);
+        reg.histogram("h").record(1.0);
+        let json = reg.snapshot().to_json_value().to_string();
+        for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"spans\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn cross_thread_recording() {
+        let reg = Registry::new();
+        let c = reg.counter("threaded");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counters["threaded"], 4000);
+    }
+}

@@ -1,0 +1,132 @@
+//! Hierarchical timed spans.
+//!
+//! A [`Span`] is an RAII guard: created by
+//! [`Registry::span`](crate::Registry::span), it measures wall time
+//! until dropped and appends a [`SpanRecord`] to the registry. Nesting
+//! depth is tracked per thread so a snapshot can reconstruct the call
+//! hierarchy without parent pointers.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crate::registry::Inner;
+use std::sync::Arc;
+
+thread_local! {
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// One completed span, as reported in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanRecord {
+    /// Span name as passed to `Registry::span`.
+    pub name: String,
+    /// Nesting depth at entry (0 = top level on its thread).
+    pub depth: u32,
+    /// Start offset from registry creation, microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// RAII timing guard returned by
+/// [`Registry::span`](crate::Registry::span).
+///
+/// Holds the thread-local depth for its lifetime; records on drop.
+/// For a no-op registry the guard is inert (no clock read).
+#[derive(Debug)]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+#[derive(Debug)]
+struct SpanState {
+    inner: Arc<Inner>,
+    name: &'static str,
+    depth: u32,
+    entered: Instant,
+}
+
+impl Span {
+    pub(crate) fn noop() -> Self {
+        Span { state: None }
+    }
+
+    pub(crate) fn enter(inner: Arc<Inner>, name: &'static str) -> Self {
+        let depth = SPAN_DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        Span {
+            state: Some(SpanState {
+                inner,
+                name,
+                depth,
+                entered: Instant::now(),
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            let start_us = state.entered.duration_since(state.inner.epoch).as_micros() as u64;
+            let dur_us = state.entered.elapsed().as_micros() as u64;
+            state.inner.spans.lock().push(SpanRecord {
+                name: state.name.to_string(),
+                depth: state.depth,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn spans_nest_and_record_in_completion_order() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("outer");
+            {
+                let _inner = reg.span("inner");
+            }
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        // Inner completes (and records) first.
+        assert_eq!(snap.spans[0].name, "inner");
+        assert_eq!(snap.spans[0].depth, 1);
+        assert_eq!(snap.spans[1].name, "outer");
+        assert_eq!(snap.spans[1].depth, 0);
+        assert!(snap.spans[1].dur_us >= snap.spans[0].dur_us);
+    }
+
+    #[test]
+    fn noop_span_is_inert() {
+        let reg = Registry::noop();
+        let _s = reg.span("ignored");
+        assert!(reg.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn depth_resets_after_drop() {
+        let reg = Registry::new();
+        {
+            let _a = reg.span("a");
+        }
+        {
+            let _b = reg.span("b");
+        }
+        let snap = reg.snapshot();
+        assert!(snap.spans.iter().all(|s| s.depth == 0));
+    }
+}

@@ -35,5 +35,5 @@ pub mod traces;
 
 pub use cache::{CacheStats, ConfigCache, TaskId};
 pub use policy::Policy;
-pub use simulate::{simulate, CallOutcome, SimulationOutcome};
+pub use simulate::{simulate, simulate_with, CallOutcome, SimulationOutcome};
 pub use traces::TraceSpec;

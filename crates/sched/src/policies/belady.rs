@@ -67,7 +67,7 @@ mod tests {
         let mut c = ConfigCache::new(2);
         c.load(0, TaskId(0)); // next use at 3
         c.load(1, TaskId(1)); // next use at 4
-        // At call index 2 (task 2 arrives): evict task 1 (used later).
+                              // At call index 2 (task 2 arrives): evict task 1 (used later).
         assert_eq!(p.choose_victim(&c, TaskId(2), 2), 1);
     }
 

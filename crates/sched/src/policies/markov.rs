@@ -97,6 +97,9 @@ mod tests {
     #[test]
     fn decision_latency_configurable() {
         assert_eq!(Markov::new().decision_latency_s(), 0.0);
-        assert_eq!(Markov::with_decision_latency(1e-5).decision_latency_s(), 1e-5);
+        assert_eq!(
+            Markov::with_decision_latency(1e-5).decision_latency_s(),
+            1e-5
+        );
     }
 }

@@ -74,6 +74,68 @@ pub fn simulate(
     policy: &mut dyn Policy,
     prefetch: bool,
 ) -> SimulationOutcome {
+    simulate_with(trace, slots, policy, prefetch, &hprc_obs::Registry::noop())
+}
+
+/// [`simulate`] with per-policy cache metrics recorded into `registry`.
+///
+/// Instruments are namespaced by the policy's [`Policy::name`], so one
+/// registry can hold several policies side by side:
+///
+/// * counters `sched.{policy}.calls` / `.hits` / `.misses` /
+///   `.evictions` / `.prefetch_loads` / `.useful_prefetches`;
+/// * gauge `sched.{policy}.hit_ratio` — the measured `H` that feeds the
+///   analytical model's equation (5).
+pub fn simulate_with(
+    trace: &[TaskId],
+    slots: usize,
+    policy: &mut dyn Policy,
+    prefetch: bool,
+    registry: &hprc_obs::Registry,
+) -> SimulationOutcome {
+    let _span = registry.span("sched.simulate");
+    let outcome = simulate_inner(trace, slots, policy, prefetch);
+    if registry.is_enabled() {
+        let prefix = format!("sched.{}", policy.name());
+        let s = &outcome.stats;
+        registry.counter(&format!("{prefix}.calls")).add(s.calls);
+        registry.counter(&format!("{prefix}.hits")).add(s.hits);
+        registry.counter(&format!("{prefix}.misses")).add(s.misses);
+        let evictions = outcome
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    CallOutcome::Miss {
+                        evicted: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        registry
+            .counter(&format!("{prefix}.evictions"))
+            .add(evictions);
+        registry
+            .counter(&format!("{prefix}.prefetch_loads"))
+            .add(s.prefetch_loads);
+        registry
+            .counter(&format!("{prefix}.useful_prefetches"))
+            .add(s.useful_prefetches);
+        registry
+            .gauge(&format!("{prefix}.hit_ratio"))
+            .set(outcome.hit_ratio());
+    }
+    outcome
+}
+
+fn simulate_inner(
+    trace: &[TaskId],
+    slots: usize,
+    policy: &mut dyn Policy,
+    prefetch: bool,
+) -> SimulationOutcome {
     let mut cache = ConfigCache::new(slots);
     policy.observe_trace(trace);
     let mut stats = CacheStats::default();
@@ -199,11 +261,7 @@ mod tests {
         let plain = simulate(&trace, 2, &mut Lru::new(), false);
         let pf = simulate(&trace, 2, &mut Markov::new(), true);
         assert_eq!(plain.stats.hits, 0);
-        assert!(
-            pf.hit_ratio() > 0.5,
-            "prefetching H = {}",
-            pf.hit_ratio()
-        );
+        assert!(pf.hit_ratio() > 0.5, "prefetching H = {}", pf.hit_ratio());
     }
 
     #[test]
@@ -222,5 +280,64 @@ mod tests {
         let out = simulate(&trace, 1, &mut Lru::new(), false);
         assert_eq!(out.stats.hits, 2);
         assert_eq!(out.stats.misses, 3);
+    }
+
+    #[test]
+    fn instrumented_simulation_measures_h_per_policy() {
+        let trace = ids(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        let reg = hprc_obs::Registry::new();
+        let lru = simulate_with(&trace, 2, &mut Lru::new(), false, &reg);
+        let miss = simulate_with(&trace, 2, &mut AlwaysMiss::new(), false, &reg);
+        let snap = reg.snapshot();
+
+        // Per-policy namespacing keeps both measurements side by side.
+        assert_eq!(snap.counters["sched.lru.calls"], 8);
+        assert_eq!(snap.counters["sched.lru.hits"], 6);
+        assert_eq!(snap.counters["sched.lru.misses"], 2);
+        assert_eq!(snap.counters["sched.always-miss.misses"], 8);
+
+        // The gauge is the measured H — identical to the outcome's.
+        assert_eq!(snap.gauges["sched.lru.hit_ratio"], lru.hit_ratio());
+        assert_eq!(snap.gauges["sched.always-miss.hit_ratio"], miss.hit_ratio());
+
+        // Counter-derived H equals the outcome-derived H exactly.
+        let h = snap.counters["sched.lru.hits"] as f64 / snap.counters["sched.lru.calls"] as f64;
+        assert_eq!(h, lru.hit_ratio());
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_outcomes() {
+        let trace = ids(&[0, 1, 2].repeat(20));
+        let plain = simulate(&trace, 2, &mut Belady::new(), false);
+        let traced = simulate_with(
+            &trace,
+            2,
+            &mut Belady::new(),
+            false,
+            &hprc_obs::Registry::new(),
+        );
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn eviction_counter_matches_outcomes() {
+        let trace = ids(&[0, 1, 2, 0, 1, 2]);
+        let reg = hprc_obs::Registry::new();
+        let out = simulate_with(&trace, 2, &mut Lru::new(), false, &reg);
+        let evictions = out
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    CallOutcome::Miss {
+                        evicted: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        assert_eq!(reg.snapshot().counters["sched.lru.evictions"], evictions);
+        assert!(evictions > 0);
     }
 }

@@ -66,12 +66,17 @@ impl TraceSpec {
         match *self {
             TraceSpec::Uniform { n_tasks, len } => {
                 assert!(n_tasks > 0, "need at least one task");
-                (0..len).map(|_| TaskId(rng.gen_range(0..n_tasks))).collect()
+                (0..len)
+                    .map(|_| TaskId(rng.gen_range(0..n_tasks)))
+                    .collect()
             }
-            TraceSpec::Zipf { n_tasks, alpha, len } => {
+            TraceSpec::Zipf {
+                n_tasks,
+                alpha,
+                len,
+            } => {
                 assert!(n_tasks > 0 && alpha > 0.0, "need tasks and alpha > 0");
-                let weights: Vec<f64> =
-                    (1..=n_tasks).map(|k| (k as f64).powf(-alpha)).collect();
+                let weights: Vec<f64> = (1..=n_tasks).map(|k| (k as f64).powf(-alpha)).collect();
                 let dist = WeightedIndex::new(&weights).expect("positive weights");
                 (0..len).map(|_| TaskId(dist.sample(&mut rng))).collect()
             }
@@ -211,11 +216,7 @@ mod tests {
             len: 300,
         };
         let t = spec.generate(7);
-        let deviations = t
-            .iter()
-            .enumerate()
-            .filter(|(i, t)| t.0 != i % 3)
-            .count();
+        let deviations = t.iter().enumerate().filter(|(i, t)| t.0 != i % 3).count();
         assert!(deviations > 50, "{deviations} deviations");
     }
 
@@ -241,8 +242,7 @@ mod tests {
                 len: 1,
             },
         ];
-        let labels: std::collections::HashSet<String> =
-            specs.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<String> = specs.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), specs.len());
     }
 

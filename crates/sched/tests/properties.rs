@@ -7,9 +7,8 @@ use hprc_sched::{Policy, TaskId};
 use proptest::prelude::*;
 
 fn arb_trace() -> impl Strategy<Value = Vec<TaskId>> {
-    (2usize..8, 10usize..200, any::<u64>()).prop_map(|(n_tasks, len, seed)| {
-        TraceSpec::Uniform { n_tasks, len }.generate(seed)
-    })
+    (2usize..8, 10usize..200, any::<u64>())
+        .prop_map(|(n_tasks, len, seed)| TraceSpec::Uniform { n_tasks, len }.generate(seed))
 }
 
 fn all_policies(seed: u64) -> Vec<Box<dyn Policy>> {

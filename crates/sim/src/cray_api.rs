@@ -87,6 +87,32 @@ impl CrayConfigApi {
         ))
     }
 
+    /// [`CrayConfigApi::configure`] with call accounting recorded into
+    /// `registry`: `sim.cray_api.calls` counts every attempt,
+    /// `sim.cray_api.rejections` the size/DONE failures, and
+    /// `sim.cray_api.busy_s` histograms the accepted calls' durations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CrayConfigApi::configure`].
+    pub fn configure_with(
+        &self,
+        bytes: u64,
+        is_partial: bool,
+        done_high: bool,
+        registry: &hprc_obs::Registry,
+    ) -> Result<SimDuration, SimError> {
+        registry.counter("sim.cray_api.calls").inc();
+        let result = self.configure(bytes, is_partial, done_high);
+        match &result {
+            Ok(d) => registry
+                .histogram("sim.cray_api.busy_s")
+                .record(d.as_secs_f64()),
+            Err(_) => registry.counter("sim.cray_api.rejections").inc(),
+        }
+        result
+    }
+
     /// Full-configuration time in seconds (the `T_FRTR` this API induces).
     pub fn full_configuration_time_s(&self) -> f64 {
         self.software_overhead_s + self.full_bitstream_bytes as f64 / self.port_bytes_per_sec
@@ -129,6 +155,18 @@ mod tests {
         let api = CrayConfigApi::xd1_measured(FULL);
         let err = api.configure(FULL, true, true).unwrap_err();
         assert!(err.to_string().contains("DONE"));
+    }
+
+    #[test]
+    fn configure_with_counts_calls_and_rejections() {
+        let reg = hprc_obs::Registry::new();
+        let api = CrayConfigApi::xd1_measured(FULL);
+        api.configure_with(FULL, false, false, &reg).unwrap();
+        api.configure_with(404_168, true, true, &reg).unwrap_err();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.cray_api.calls"], 2);
+        assert_eq!(snap.counters["sim.cray_api.rejections"], 1);
+        assert_eq!(snap.histograms["sim.cray_api.busy_s"].count, 1);
     }
 
     #[test]

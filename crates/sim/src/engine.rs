@@ -39,6 +39,9 @@ pub struct EventQueue<E: Eq> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     now: SimTime,
+    // Default (no-op) counters unless built via `instrumented`.
+    scheduled: hprc_obs::Counter,
+    popped: hprc_obs::Counter,
 }
 
 impl<E: Eq> EventQueue<E> {
@@ -48,6 +51,18 @@ impl<E: Eq> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            scheduled: hprc_obs::Counter::default(),
+            popped: hprc_obs::Counter::default(),
+        }
+    }
+
+    /// An empty queue whose traffic is counted in `registry` as
+    /// `sim.queue.scheduled` / `sim.queue.popped`.
+    pub fn instrumented(registry: &hprc_obs::Registry) -> Self {
+        EventQueue {
+            scheduled: registry.counter("sim.queue.scheduled"),
+            popped: registry.counter("sim.queue.popped"),
+            ..Self::new()
         }
     }
 
@@ -76,12 +91,14 @@ impl<E: Eq> EventQueue<E> {
             payload,
         }));
         self.seq += 1;
+        self.scheduled.inc();
     }
 
     /// Pops the next event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(e) = self.heap.pop()?;
         self.now = e.time;
+        self.popped.inc();
         Some((e.time, e.payload))
     }
 
@@ -149,6 +166,18 @@ mod tests {
         q.schedule(t(5.0), ());
         q.pop();
         q.schedule(t(1.0), ());
+    }
+
+    #[test]
+    fn instrumented_queue_counts_traffic() {
+        let reg = hprc_obs::Registry::new();
+        let mut q = EventQueue::instrumented(&reg);
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        q.pop().unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.queue.scheduled"], 2);
+        assert_eq!(snap.counters["sim.queue.popped"], 1);
     }
 
     #[test]

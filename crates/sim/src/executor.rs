@@ -27,6 +27,7 @@
 //! ignores, which is precisely what makes simulator-vs-model validation
 //! meaningful.
 
+use hprc_obs::Registry;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
@@ -79,6 +80,26 @@ impl ExecutionReport {
 /// Propagates vendor-API rejections (impossible for well-formed full
 /// bitstreams).
 pub fn run_frtr(node: &NodeConfig, calls: &[TaskCall]) -> Result<ExecutionReport, SimError> {
+    run_frtr_with(node, calls, &Registry::noop())
+}
+
+/// [`run_frtr`] with metrics recorded into `registry`: call/config
+/// counters, per-call latency histogram, and the timeline's per-lane
+/// busy gauges under the `sim.frtr` prefix.
+///
+/// # Errors
+///
+/// Same as [`run_frtr`].
+pub fn run_frtr_with(
+    node: &NodeConfig,
+    calls: &[TaskCall],
+    registry: &Registry,
+) -> Result<ExecutionReport, SimError> {
+    let _span = registry.span("sim.run_frtr");
+    let m_calls = registry.counter("sim.frtr.calls");
+    let m_configs = registry.counter("sim.frtr.full_configs");
+    let m_latency = registry.histogram("sim.frtr.call_latency_s");
+
     let mut now = SimTime::ZERO;
     let mut timeline = Timeline::default();
     let mut timings = Vec::with_capacity(calls.len());
@@ -86,7 +107,9 @@ pub fn run_frtr(node: &NodeConfig, calls: &[TaskCall]) -> Result<ExecutionReport
     for call in calls {
         let config_start = now;
         // A full bitstream resets the device, so DONE is irrelevant here.
-        let d = node.full_config.configure(full_bytes, false, false)?;
+        let d = node
+            .full_config
+            .configure_with(full_bytes, false, false, registry)?;
         let config_end = config_start + d;
         timeline.push(
             Lane::ConfigPort,
@@ -114,8 +137,12 @@ pub fn run_frtr(node: &NodeConfig, calls: &[TaskCall]) -> Result<ExecutionReport
             exec_start,
             exec_end,
         });
+        m_calls.inc();
+        m_configs.inc();
+        m_latency.record((exec_end - config_start).as_secs_f64());
         now = exec_end;
     }
+    timeline.record_metrics(registry, "sim.frtr");
     Ok(ExecutionReport {
         total: now - SimTime::ZERO,
         n_config: calls.len() as u64,
@@ -132,6 +159,21 @@ pub fn run_frtr(node: &NodeConfig, calls: &[TaskCall]) -> Result<ExecutionReport
 /// [`SimError::InvalidRun`] when a slot index exceeds the node's PRR count
 /// or the call list is empty.
 pub fn run_prtr(node: &NodeConfig, calls: &[PrtrCall]) -> Result<ExecutionReport, SimError> {
+    run_prtr_with(node, calls, &Registry::noop())
+}
+
+/// [`run_prtr`] with metrics recorded into `registry`: hit/miss/config
+/// counters, per-call latency histogram, ICAP transfer accounting, and
+/// the timeline's per-lane busy gauges under the `sim.prtr` prefix.
+///
+/// # Errors
+///
+/// Same as [`run_prtr`].
+pub fn run_prtr_with(
+    node: &NodeConfig,
+    calls: &[PrtrCall],
+    registry: &Registry,
+) -> Result<ExecutionReport, SimError> {
     if calls.is_empty() {
         return Err(SimError::InvalidRun("empty call sequence".into()));
     }
@@ -141,6 +183,15 @@ pub fn run_prtr(node: &NodeConfig, calls: &[PrtrCall]) -> Result<ExecutionReport
             bad.slot, node.n_prrs
         )));
     }
+
+    let _span = registry.span("sim.run_prtr");
+    let m_calls = registry.counter("sim.prtr.calls");
+    let m_hits = registry.counter("sim.prtr.hits");
+    let m_misses = registry.counter("sim.prtr.misses");
+    let m_configs = registry.counter("sim.prtr.partial_configs");
+    let m_latency = registry.histogram("sim.prtr.call_latency_s");
+    let m_icap_transfers = registry.counter("sim.icap.transfers");
+    let m_icap_bytes = registry.counter("sim.icap.bytes");
 
     let t_decision = SimDuration::from_secs_f64(node.decision_latency_s);
     let t_control = SimDuration::from_secs_f64(node.control_overhead_s);
@@ -233,7 +284,14 @@ pub fn run_prtr(node: &NodeConfig, calls: &[PrtrCall]) -> Result<ExecutionReport
         );
         let exec_start = control_end;
         let exec_end = exec_start + SimDuration::from_secs_f64(call.task.task_time_s(node));
-        push_exec_events(&mut timeline, node, &call.task, call.slot, exec_start, exec_end);
+        push_exec_events(
+            &mut timeline,
+            node,
+            &call.task,
+            call.slot,
+            exec_start,
+            exec_end,
+        );
 
         timings.push(CallTiming {
             name: call.task.name.clone(),
@@ -243,9 +301,28 @@ pub fn run_prtr(node: &NodeConfig, calls: &[PrtrCall]) -> Result<ExecutionReport
             exec_start,
             exec_end,
         });
+
+        m_calls.inc();
+        if call.hit {
+            m_hits.inc();
+        } else {
+            m_misses.inc();
+        }
+        if config_start.is_some() {
+            m_configs.inc();
+            m_icap_transfers.inc();
+            m_icap_bytes.add(node.prr_bitstream_bytes);
+        }
+        // Marginal wall-clock cost of this call — in steady state this
+        // is the model's per-call increment, e.g.
+        // max(T_task + T_decision, T_PRTR) + T_control on a miss.
+        let prev_end = prev.map_or(SimTime::ZERO, |(_, end, _)| end);
+        m_latency.record((exec_end - prev_end).as_secs_f64());
+
         prev = Some((exec_start, exec_end, call.task.bytes_in));
     }
 
+    timeline.record_metrics(registry, "sim.prtr");
     let total = timings.last().expect("non-empty").exec_end - SimTime::ZERO;
     Ok(ExecutionReport {
         total,
@@ -300,7 +377,12 @@ mod tests {
         NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr())
     }
 
-    fn uniform_prtr_calls(node: &NodeConfig, t_task: f64, n: usize, all_miss: bool) -> Vec<PrtrCall> {
+    fn uniform_prtr_calls(
+        node: &NodeConfig,
+        t_task: f64,
+        n: usize,
+        all_miss: bool,
+    ) -> Vec<PrtrCall> {
         (0..n)
             .map(|i| PrtrCall {
                 task: TaskCall::with_task_time(format!("task{}", i % 3), node, t_task),
@@ -339,8 +421,7 @@ mod tests {
         let report = run_prtr(&node, &calls).unwrap();
         let t_task_actual = calls[0].task.task_time_s(&node);
         // First call pays its full config; the remaining 9 only task+control.
-        let expected = node.t_prtr_s()
-            + 10.0 * (node.control_overhead_s + t_task_actual);
+        let expected = node.t_prtr_s() + 10.0 * (node.control_overhead_s + t_task_actual);
         assert!(
             (report.total_s() - expected).abs() / expected < 1e-6,
             "sim {} vs {}",
@@ -367,7 +448,12 @@ mod tests {
             + n as f64 * node.control_overhead_s
             + t_task_actual;
         let rel = (report.total_s() - expected).abs() / expected;
-        assert!(rel < 0.02, "sim {} vs {} (rel {rel})", report.total_s(), expected);
+        assert!(
+            rel < 0.02,
+            "sim {} vs {} (rel {rel})",
+            report.total_s(),
+            expected
+        );
     }
 
     #[test]
@@ -378,8 +464,7 @@ mod tests {
         // Only the first (cold) call configures.
         assert_eq!(report.n_config, 1);
         let t_task_actual = calls[0].task.task_time_s(&node);
-        let expected =
-            node.t_prtr_s() + 10.0 * (node.control_overhead_s + t_task_actual);
+        let expected = node.t_prtr_s() + 10.0 * (node.control_overhead_s + t_task_actual);
         assert!((report.total_s() - expected).abs() / expected < 1e-6);
     }
 
@@ -389,8 +474,7 @@ mod tests {
         let t_task = node.t_prtr_s(); // the peak-speedup operating point
         let n = 100;
         let prtr_calls = uniform_prtr_calls(&node, t_task, n, true);
-        let frtr_calls: Vec<TaskCall> =
-            prtr_calls.iter().map(|c| c.task.clone()).collect();
+        let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
         let frtr = run_frtr(&node, &frtr_calls).unwrap();
         let prtr = run_prtr(&node, &prtr_calls).unwrap();
         let speedup = frtr.total_s() / prtr.total_s();
@@ -440,6 +524,51 @@ mod tests {
             slot: 99,
         }];
         assert!(run_prtr(&node, &calls).is_err());
+    }
+
+    #[test]
+    fn instrumented_runs_are_timing_neutral_and_accounted() {
+        let node = node();
+        let calls = uniform_prtr_calls(&node, 0.05, 20, false);
+        let plain = run_prtr(&node, &calls).unwrap();
+        let reg = hprc_obs::Registry::new();
+        let traced = run_prtr_with(&node, &calls, &reg).unwrap();
+        assert_eq!(plain, traced, "instrumentation must not perturb timing");
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.prtr.calls"], 20);
+        assert_eq!(snap.counters["sim.prtr.hits"], 19);
+        assert_eq!(snap.counters["sim.prtr.misses"], 1);
+        assert_eq!(snap.counters["sim.prtr.partial_configs"], traced.n_config);
+        assert_eq!(
+            snap.counters["sim.icap.bytes"],
+            traced.n_config * node.prr_bitstream_bytes
+        );
+        assert_eq!(snap.histograms["sim.prtr.call_latency_s"].count, 20);
+        // Lane-busy gauges mirror the timeline.
+        let busy = traced.timeline.lane_busy_s(Lane::ConfigPort);
+        assert!((snap.gauges["sim.prtr.lane_busy_s.config"] - busy).abs() < 1e-12);
+        let util = busy / traced.total_s();
+        assert!((snap.gauges["sim.prtr.config_port.utilization"] - util).abs() < 1e-9);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "sim.run_prtr");
+    }
+
+    #[test]
+    fn frtr_instrumentation_counts_api_calls() {
+        let node = node();
+        let calls: Vec<TaskCall> = (0..4)
+            .map(|i| TaskCall::with_task_time(format!("t{i}"), &node, 0.01))
+            .collect();
+        let reg = hprc_obs::Registry::new();
+        let report = run_frtr_with(&node, &calls, &reg).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.frtr.calls"], 4);
+        assert_eq!(snap.counters["sim.frtr.full_configs"], 4);
+        assert_eq!(snap.counters["sim.cray_api.calls"], 4);
+        assert!(!snap.counters.contains_key("sim.cray_api.rejections"));
+        assert!(snap.gauges["sim.frtr.makespan_s"] > 0.0);
+        assert_eq!(report.n_config, 4);
     }
 
     #[test]

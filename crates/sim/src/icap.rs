@@ -74,8 +74,8 @@ impl IcapPath {
         let first_fill =
             (self.bram_buffer_bytes as f64 / 2.0).min(bytes as f64) / self.link_bytes_per_sec;
         let bursts = (bytes as f64 / self.burst_bytes as f64).ceil();
-        let cycles = bytes as f64 * self.cycles_per_byte as f64
-            + bursts * self.cycles_per_burst as f64;
+        let cycles =
+            bytes as f64 * self.cycles_per_byte as f64 + bursts * self.cycles_per_burst as f64;
         let drain = cycles / self.clock_hz;
         // A link slower than the drain rate would throttle the FSM instead.
         let link_bound = bytes as f64 / self.link_bytes_per_sec;
@@ -86,6 +86,23 @@ impl IcapPath {
     pub fn transfer_duration(&self, bytes: u64) -> SimDuration {
         SimDuration::from_secs_f64(self.transfer_time_s(bytes))
     }
+
+    /// [`IcapPath::transfer_duration`] with the transfer recorded into
+    /// `registry` (`sim.icap.transfers` / `sim.icap.bytes` counters and
+    /// a `sim.icap.transfer_s` histogram).
+    ///
+    /// The PRTR executor batches its accounting instead (one bitstream
+    /// size for the whole run); this entry point serves callers pushing
+    /// variable-size partial bitstreams.
+    pub fn transfer_duration_with(&self, bytes: u64, registry: &hprc_obs::Registry) -> SimDuration {
+        let d = self.transfer_duration(bytes);
+        registry.counter("sim.icap.transfers").inc();
+        registry.counter("sim.icap.bytes").add(bytes);
+        registry
+            .histogram("sim.icap.transfer_s")
+            .record(d.as_secs_f64());
+        d
+    }
 }
 
 #[cfg(test)]
@@ -95,7 +112,7 @@ mod tests {
     #[test]
     fn calibrated_rate_is_about_20_mb_per_s() {
         let r = IcapPath::xd1().effective_bytes_per_sec();
-        assert!((r / 1e6 - 20.43) .abs() < 0.01, "rate = {} MB/s", r / 1e6);
+        assert!((r / 1e6 - 20.43).abs() < 0.01, "rate = {} MB/s", r / 1e6);
     }
 
     #[test]
@@ -130,6 +147,19 @@ mod tests {
     #[test]
     fn zero_bytes_take_zero_time() {
         assert_eq!(IcapPath::xd1().transfer_time_s(0), 0.0);
+    }
+
+    #[test]
+    fn transfer_with_records_accounting() {
+        let reg = hprc_obs::Registry::new();
+        let p = IcapPath::xd1();
+        let d1 = p.transfer_duration_with(404_168, &reg);
+        let d2 = p.transfer_duration(404_168);
+        assert_eq!(d1, d2, "instrumented path is timing-neutral");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.icap.transfers"], 1);
+        assert_eq!(snap.counters["sim.icap.bytes"], 404_168);
+        assert_eq!(snap.histograms["sim.icap.transfer_s"].count, 1);
     }
 
     #[test]

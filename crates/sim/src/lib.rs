@@ -45,7 +45,7 @@ pub mod trace;
 pub use cray_api::CrayConfigApi;
 pub use engine::EventQueue;
 pub use error::SimError;
-pub use executor::{run_frtr, run_prtr, CallTiming, ExecutionReport};
+pub use executor::{run_frtr, run_frtr_with, run_prtr, run_prtr_with, CallTiming, ExecutionReport};
 pub use icap::IcapPath;
 pub use node::NodeConfig;
 pub use rtcore::{Fifo, MemoryBank, RtCore};

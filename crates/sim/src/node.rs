@@ -125,7 +125,11 @@ mod tests {
         assert!((node.t_frtr_s() * 1e3 - 1678.04).abs() < 0.1);
         assert!((node.t_prtr_s() * 1e3 - 19.77).abs() < 0.1);
         // Table 2: measured dual-PRR X_PRTR = 0.012.
-        assert!((node.x_prtr() - 0.012).abs() < 0.0005, "x = {}", node.x_prtr());
+        assert!(
+            (node.x_prtr() - 0.012).abs() < 0.0005,
+            "x = {}",
+            node.x_prtr()
+        );
     }
 
     #[test]
@@ -134,14 +138,22 @@ mod tests {
         assert!((node.t_frtr_s() * 1e3 - 36.09).abs() < 0.05);
         assert!((node.t_prtr_s() * 1e3 - 6.12).abs() < 0.05);
         // Table 2: estimated dual-PRR X_PRTR = 0.17.
-        assert!((node.x_prtr() - 0.17).abs() < 0.002, "x = {}", node.x_prtr());
+        assert!(
+            (node.x_prtr() - 0.17).abs() < 0.002,
+            "x = {}",
+            node.x_prtr()
+        );
     }
 
     #[test]
     fn single_prr_ratios() {
         let node = NodeConfig::xd1_estimated(&Floorplan::xd1_single_prr());
         // Table 2: estimated single-PRR X_PRTR = 0.37 (ours: 889,648 B).
-        assert!((node.x_prtr() - 0.37).abs() < 0.005, "x = {}", node.x_prtr());
+        assert!(
+            (node.x_prtr() - 0.37).abs() < 0.005,
+            "x = {}",
+            node.x_prtr()
+        );
         assert_eq!(node.n_prrs, 1);
     }
 

@@ -21,13 +21,28 @@ pub enum Lane {
 }
 
 impl Lane {
-    fn label(&self) -> String {
+    /// Short human name, also used as the metric-key suffix in
+    /// [`Timeline::record_metrics`].
+    pub fn label(&self) -> String {
         match self {
             Lane::Host => "host".into(),
             Lane::ConfigPort => "config".into(),
             Lane::Prr(i) => format!("PRR{i}"),
             Lane::LinkIn => "link-in".into(),
             Lane::LinkOut => "link-out".into(),
+        }
+    }
+
+    /// Thread id under which this lane's events appear in a Chrome
+    /// trace. Fixed lanes take low ids; PRR lanes start at 10 so any
+    /// number of regions sorts after them.
+    pub fn chrome_tid(&self) -> u64 {
+        match self {
+            Lane::Host => 0,
+            Lane::ConfigPort => 1,
+            Lane::LinkIn => 2,
+            Lane::LinkOut => 3,
+            Lane::Prr(i) => 10 + *i as u64,
         }
     }
 }
@@ -90,7 +105,14 @@ pub struct Timeline {
 
 impl Timeline {
     /// Records an event (zero-length events are dropped).
-    pub fn push(&mut self, lane: Lane, kind: EventKind, label: impl Into<String>, start: SimTime, end: SimTime) {
+    pub fn push(
+        &mut self,
+        lane: Lane,
+        kind: EventKind,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
         if end > start {
             self.events.push(TraceEvent {
                 lane,
@@ -118,6 +140,55 @@ impl Timeline {
             .filter(|e| e.lane == lane)
             .map(|e| (e.end - e.start).as_secs_f64())
             .sum()
+    }
+
+    /// Converts the timeline to Chrome trace-event format, one `tid`
+    /// row per lane (see [`Lane::chrome_tid`]), all under `pid`.
+    ///
+    /// Timestamps are floored from nanoseconds to microseconds and
+    /// durations computed as `floor(end) - floor(start)`, so events
+    /// that do not overlap in simulation time never overlap in the
+    /// exported trace and `ts + dur` never exceeds the floored
+    /// simulation end time.
+    pub fn chrome_events(&self, pid: u64) -> Vec<hprc_obs::ChromeEvent> {
+        self.events
+            .iter()
+            .map(|e| {
+                let ts = e.start.0 / 1_000;
+                let dur = e.end.0 / 1_000 - ts;
+                hprc_obs::ChromeEvent::complete(e.label.clone(), ts, dur, pid, e.lane.chrome_tid())
+            })
+            .collect()
+    }
+
+    /// Records per-lane busy time and configuration-port utilization
+    /// as gauges under `prefix`:
+    ///
+    /// * `{prefix}.lane_busy_s.{lane}` — busy seconds per lane;
+    /// * `{prefix}.makespan_s` — end of the last event;
+    /// * `{prefix}.config_port.utilization` — config-port busy time
+    ///   over the makespan.
+    pub fn record_metrics(&self, registry: &hprc_obs::Registry, prefix: &str) {
+        if !registry.is_enabled() {
+            return;
+        }
+        let mut lanes: Vec<Lane> = self.events.iter().map(|e| e.lane).collect();
+        lanes.sort();
+        lanes.dedup();
+        for lane in &lanes {
+            registry
+                .gauge(&format!("{prefix}.lane_busy_s.{}", lane.label()))
+                .set(self.lane_busy_s(*lane));
+        }
+        let makespan = self.span_end().as_secs_f64();
+        registry
+            .gauge(&format!("{prefix}.makespan_s"))
+            .set(makespan);
+        if makespan > 0.0 {
+            registry
+                .gauge(&format!("{prefix}.config_port.utilization"))
+                .set(self.lane_busy_s(Lane::ConfigPort) / makespan);
+        }
     }
 
     /// Renders an ASCII Gantt chart, `width` columns wide — the
@@ -157,7 +228,12 @@ impl Timeline {
         out.push_str(&format!(
             "{:>label_w$} |{}\n",
             "",
-            format_args!("0 {:.<pad$} {:.4}s", "", end, pad = width.saturating_sub(12))
+            format_args!(
+                "0 {:.<pad$} {:.4}s",
+                "",
+                end,
+                pad = width.saturating_sub(12)
+            )
         ));
         out
     }
@@ -184,7 +260,13 @@ mod tests {
     #[test]
     fn span_and_busy_accounting() {
         let mut tl = Timeline::default();
-        tl.push(Lane::ConfigPort, EventKind::PartialConfig, "m", t(0.0), t(0.5));
+        tl.push(
+            Lane::ConfigPort,
+            EventKind::PartialConfig,
+            "m",
+            t(0.0),
+            t(0.5),
+        );
         tl.push(Lane::Prr(0), EventKind::Exec, "m", t(0.5), t(2.0));
         tl.push(Lane::Prr(0), EventKind::Exec, "m2", t(2.0), t(2.5));
         assert!((tl.span_end().as_secs_f64() - 2.5).abs() < 1e-9);
@@ -195,7 +277,13 @@ mod tests {
     #[test]
     fn render_contains_lanes_and_glyphs() {
         let mut tl = Timeline::default();
-        tl.push(Lane::ConfigPort, EventKind::FullConfig, "full", t(0.0), t(1.0));
+        tl.push(
+            Lane::ConfigPort,
+            EventKind::FullConfig,
+            "full",
+            t(0.0),
+            t(1.0),
+        );
         tl.push(Lane::Prr(0), EventKind::Exec, "task", t(1.0), t(2.0));
         let s = tl.render_text(60);
         assert!(s.contains("config"));
@@ -207,5 +295,63 @@ mod tests {
     #[test]
     fn render_empty_timeline() {
         assert!(Timeline::default().render_text(40).contains("empty"));
+    }
+
+    #[test]
+    fn chrome_events_floor_to_microseconds() {
+        let mut tl = Timeline::default();
+        // 1500 ns .. 3999 ns: floors to ts=1 µs, dur=(3 - 1)=2 µs.
+        tl.push(
+            Lane::ConfigPort,
+            EventKind::PartialConfig,
+            "m",
+            SimTime(1_500),
+            SimTime(3_999),
+        );
+        tl.push(
+            Lane::Prr(1),
+            EventKind::Exec,
+            "m",
+            SimTime(4_000),
+            SimTime(9_000),
+        );
+        let evs = tl.chrome_events(7);
+        assert_eq!(evs.len(), 2);
+        assert_eq!((evs[0].ts, evs[0].dur), (1, 2));
+        assert_eq!((evs[0].pid, evs[0].tid), (7, 1));
+        assert_eq!(evs[0].ph, "X");
+        assert_eq!(evs[1].tid, 11); // PRR1
+                                    // ts + dur never exceeds the floored simulation end.
+        let end_us = tl.span_end().0 / 1_000;
+        assert!(evs.iter().all(|e| e.ts + e.dur <= end_us));
+    }
+
+    #[test]
+    fn record_metrics_exports_lane_busy_and_utilization() {
+        let mut tl = Timeline::default();
+        tl.push(
+            Lane::ConfigPort,
+            EventKind::PartialConfig,
+            "m",
+            t(0.0),
+            t(1.0),
+        );
+        tl.push(Lane::Prr(0), EventKind::Exec, "m", t(1.0), t(4.0));
+        let reg = hprc_obs::Registry::new();
+        tl.record_metrics(&reg, "sim");
+        let snap = reg.snapshot();
+        assert!((snap.gauges["sim.lane_busy_s.config"] - 1.0).abs() < 1e-9);
+        assert!((snap.gauges["sim.lane_busy_s.PRR0"] - 3.0).abs() < 1e-9);
+        assert!((snap.gauges["sim.makespan_s"] - 4.0).abs() < 1e-9);
+        assert!((snap.gauges["sim.config_port.utilization"] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_metrics_noop_registry_is_free() {
+        let mut tl = Timeline::default();
+        tl.push(Lane::Host, EventKind::Control, "c", t(0.0), t(1.0));
+        let reg = hprc_obs::Registry::noop();
+        tl.record_metrics(&reg, "sim");
+        assert!(reg.snapshot().gauges.is_empty());
     }
 }

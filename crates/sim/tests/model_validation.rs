@@ -45,7 +45,11 @@ fn frtr_matches_equation_2_exactly_for_any_n() {
         let params = model_params(&node, t_task_actual, 0.0, n as u64);
         let predicted = frtr::total_time_normalized(&params) * node.t_frtr_s();
         let rel = (report.total_s() - predicted).abs() / predicted;
-        assert!(rel < 1e-9, "n={n}: sim {} vs eq(2) {predicted}", report.total_s());
+        assert!(
+            rel < 1e-9,
+            "n={n}: sim {} vs eq(2) {predicted}",
+            report.total_s()
+        );
     }
 }
 
@@ -142,7 +146,12 @@ fn decision_latency_validation() {
     let params = model_params(&node, t_task_actual, 0.0, n as u64);
     let predicted = prtr::total_time_normalized(&params) * node.t_frtr_s();
     let rel = (report.total_s() - predicted).abs() / predicted;
-    assert!(rel < 0.005, "sim {} vs {} (rel {rel})", report.total_s(), predicted);
+    assert!(
+        rel < 0.005,
+        "sim {} vs {} (rel {rel})",
+        report.total_s(),
+        predicted
+    );
 }
 
 #[test]

@@ -45,7 +45,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(VirtError::NoApplications.to_string().contains("no applications"));
+        assert!(VirtError::NoApplications
+            .to_string()
+            .contains("no applications"));
         assert!(VirtError::BadAppIds.to_string().contains("index"));
     }
 }

@@ -144,7 +144,10 @@ pub fn run_flexible(
     }
     let window_width = window.len();
     for app in apps {
-        if let Some(c) = app.calls.iter().find(|c| c.width_cols > window_width || c.width_cols == 0)
+        if let Some(c) = app
+            .calls
+            .iter()
+            .find(|c| c.width_cols > window_width || c.width_cols == 0)
         {
             return Err(VirtError::ModuleTooWide {
                 module: c.module.clone(),
@@ -154,8 +157,7 @@ pub fn run_flexible(
         }
     }
 
-    let mut alloc =
-        WindowAllocator::new(device, window).map_err(|_| VirtError::BadAppIds)?;
+    let mut alloc = WindowAllocator::new(device, window).map_err(|_| VirtError::BadAppIds)?;
     let mut residents: HashMap<String, Resident> = HashMap::new();
     let mut icap_free = SimTime::ZERO;
     let t_control = SimDuration::from_secs_f64(node.control_overhead_s);
@@ -193,15 +195,15 @@ pub fn run_flexible(
             now.max(r.free_at)
         } else {
             // Demand allocation.
-            report.peak_fragmentation =
-                report.peak_fragmentation.max(alloc.external_fragmentation());
+            report.peak_fragmentation = report
+                .peak_fragmentation
+                .max(alloc.external_fragmentation());
             let mut earliest = now;
             while alloc.allocate(&call.module, call.width_cols).is_err() {
                 // Blocked. Defragment only when fragmentation (not raw
                 // capacity) is the blocker: enough free columns exist but
                 // no contiguous run fits.
-                if config.defrag == DefragPolicy::OnBlock
-                    && alloc.free_columns() >= call.width_cols
+                if config.defrag == DefragPolicy::OnBlock && alloc.free_columns() >= call.width_cols
                 {
                     let plan = alloc.defragment();
                     if !plan.moves.is_empty() {
@@ -333,7 +335,12 @@ mod tests {
     fn resident_working_set_hits() {
         let (node, device, window) = setup();
         // Three 4-column modules fit the 13-column window together.
-        let a = app(0, &[("x", 4, 0.001), ("y", 4, 0.001), ("z", 4, 0.001)], 30, 0.0);
+        let a = app(
+            0,
+            &[("x", 4, 0.001), ("y", 4, 0.001), ("z", 4, 0.001)],
+            30,
+            0.0,
+        );
         let r = run_flexible(
             &node,
             &device,
@@ -355,7 +362,12 @@ mod tests {
         // Four 4-column modules cannot all fit 13 columns.
         let a = app(
             0,
-            &[("a", 4, 0.001), ("b", 4, 0.001), ("c", 4, 0.001), ("d", 4, 0.001)],
+            &[
+                ("a", 4, 0.001),
+                ("b", 4, 0.001),
+                ("c", 4, 0.001),
+                ("d", 4, 0.001),
+            ],
             10,
             0.0,
         );
@@ -440,7 +452,11 @@ mod tests {
         assert_eq!(r.hits, 38);
         // Apps execute concurrently in their own regions: the makespan is
         // close to one app's serial execution, not two.
-        assert!(r.makespan_s < 0.003 * 25.0 + 0.2, "makespan {}", r.makespan_s);
+        assert!(
+            r.makespan_s < 0.003 * 25.0 + 0.2,
+            "makespan {}",
+            r.makespan_s
+        );
     }
 
     #[test]

@@ -36,11 +36,11 @@
 #![warn(missing_docs)]
 
 pub mod app;
-pub mod flexible;
 pub mod error;
+pub mod flexible;
 pub mod runtime;
 
 pub use app::{App, VirtCall};
 pub use error::VirtError;
 pub use flexible::{run_flexible, DefragPolicy, FlexApp, FlexCall, FlexConfig, FlexReport};
-pub use runtime::{run, ReconfigMode, RunReport, RuntimeConfig, SchedulerKind};
+pub use runtime::{run, run_with, ReconfigMode, RunReport, RuntimeConfig, SchedulerKind};

@@ -190,12 +190,39 @@ pub fn run(
     apps: &[App],
     config: &RuntimeConfig,
 ) -> Result<RunReport, VirtError> {
+    run_with(node, apps, config, &hprc_obs::Registry::noop())
+}
+
+/// [`run`] with runtime metrics recorded into `registry`:
+///
+/// * histogram `virt.dispatch_latency_s` — per call, time from issue to
+///   execution start (the queueing + configuration + control cost the
+///   caller observes);
+/// * counters `virt.calls` / `virt.hits` / `virt.configs`;
+/// * gauges `virt.makespan_s`, `virt.hit_ratio`, and the timeline's
+///   per-lane busy time under the `virt` prefix;
+/// * span `virt.run` covering the whole simulation.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with(
+    node: &NodeConfig,
+    apps: &[App],
+    config: &RuntimeConfig,
+    registry: &hprc_obs::Registry,
+) -> Result<RunReport, VirtError> {
+    let _span = registry.span("virt.run");
     if apps.is_empty() {
         return Err(VirtError::NoApplications);
     }
     if apps.iter().enumerate().any(|(i, a)| a.id != i) {
         return Err(VirtError::BadAppIds);
     }
+    let m_dispatch = registry.histogram("virt.dispatch_latency_s");
+    let m_calls = registry.counter("virt.calls");
+    let m_hits = registry.counter("virt.hits");
+    let m_configs = registry.counter("virt.configs");
 
     let n_slots = match config.mode {
         ReconfigMode::Frtr => 1,
@@ -232,7 +259,7 @@ pub fn run(
         })
         .collect();
 
-    let mut queue: EventQueue<Issue> = EventQueue::new();
+    let mut queue: EventQueue<Issue> = EventQueue::instrumented(registry);
     for app in apps {
         if !app.calls.is_empty() {
             let prio = match config.scheduler {
@@ -323,13 +350,15 @@ pub fn run(
             exec_start,
             exec_end,
         });
+        m_calls.inc();
+        if hit {
+            m_hits.inc();
+        }
+        m_dispatch.record((exec_start - now).as_secs_f64());
 
         // Optional overlap: configure this app's next module during the
         // current execution (PRTR only; needs a second slot).
-        if config.prefetch_next
-            && config.mode == ReconfigMode::Prtr
-            && slots.len() > 1
-        {
+        if config.prefetch_next && config.mode == ReconfigMode::Prtr && slots.len() > 1 {
             if let Some(next) = app.calls.get(next_call[app_id] + 1) {
                 let already = slots
                     .iter()
@@ -339,9 +368,7 @@ pub fn run(
                         .filter(|&i| i != slot_idx)
                         .min_by_key(|&i| (slots[i].free_at, slots[i].last_used, i))
                         .expect("len > 1");
-                    let cfg_start = exec_start
-                        .max(slots[victim].free_at)
-                        .max(config_port_free);
+                    let cfg_start = exec_start.max(slots[victim].free_at).max(config_port_free);
                     let cfg_end = cfg_start + t_config;
                     config_port_free = cfg_end;
                     config_busy_s += t_config.as_secs_f64();
@@ -376,14 +403,21 @@ pub fn run(
         .iter()
         .map(|r| r.exec_end.as_secs_f64())
         .fold(0.0, f64::max);
-    Ok(RunReport {
+    let report = RunReport {
         makespan_s,
         per_app: stats,
         records,
         n_config,
         config_busy_s,
         timeline,
-    })
+    };
+    m_configs.add(report.n_config);
+    if registry.is_enabled() {
+        registry.gauge("virt.makespan_s").set(report.makespan_s);
+        registry.gauge("virt.hit_ratio").set(report.hit_ratio());
+        report.timeline.record_metrics(registry, "virt");
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -415,7 +449,11 @@ mod tests {
         let t_ctl = node.control_overhead_s;
         let expected = node.t_prtr_s() + n as f64 * (t_ctl + t_task.max(node.t_prtr_s()));
         let rel = (report.makespan_s - expected).abs() / expected;
-        assert!(rel < 0.01, "virt {} vs executor-form {expected}", report.makespan_s);
+        assert!(
+            rel < 0.01,
+            "virt {} vs executor-form {expected}",
+            report.makespan_s
+        );
         assert_eq!(report.n_config as usize, n, "one config per call");
         // Every call after the first finds its module prefetched.
         let hits: u64 = report.per_app.iter().map(|a| a.hits).sum();
@@ -572,6 +610,34 @@ mod tests {
             run(&node(), &[app], &RuntimeConfig::frtr()),
             Err(VirtError::BadAppIds)
         ));
+    }
+
+    #[test]
+    fn instrumented_run_records_dispatch_latency() {
+        let node = node();
+        let mk = || App::cycling(0, "a", &cores(), 30, 0.005, 0.0);
+        let plain = run(&node, &[mk()], &RuntimeConfig::prtr_demand()).unwrap();
+        let reg = hprc_obs::Registry::new();
+        let traced = run_with(&node, &[mk()], &RuntimeConfig::prtr_demand(), &reg).unwrap();
+        assert_eq!(
+            plain, traced,
+            "instrumentation must not perturb the schedule"
+        );
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["virt.calls"], 30);
+        assert_eq!(snap.counters["virt.configs"], traced.n_config);
+        let d = &snap.histograms["virt.dispatch_latency_s"];
+        assert_eq!(d.count, 30);
+        // Demand PRTR: every miss waits for a full T_PRTR before
+        // executing, so the p99 dispatch latency is at least that.
+        assert!(d.max >= node.t_prtr_s(), "max dispatch {}", d.max);
+        assert!((snap.gauges["virt.makespan_s"] - traced.makespan_s).abs() < 1e-12);
+        assert!((snap.gauges["virt.lane_busy_s.config"] - traced.config_busy_s).abs() < 1e-9);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "virt.run");
+        // The event queue was instrumented too.
+        assert!(snap.counters["sim.queue.popped"] >= 30);
     }
 
     #[test]

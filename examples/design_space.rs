@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example design_space`
 
+use prtr_bounds::fpga::bitstream::{difference_based_inventory, module_based_inventory};
 use prtr_bounds::fpga::estimate::{FilterOp, KernelSpec};
 use prtr_bounds::fpga::module::{HwModule, ModuleClass};
 use prtr_bounds::fpga::placement::place_in_prr;
-use prtr_bounds::fpga::bitstream::{difference_based_inventory, module_based_inventory};
 use prtr_bounds::prelude::*;
 
 fn main() {
@@ -69,7 +69,10 @@ fn main() {
     // Suppose the workload's tasks take ~12 ms. The paper's rule: choose
     // partitions so X_PRTR = X_task.
     let t_task = 0.012;
-    println!("\nGranularity choice for T_task = {:.0} ms tasks:", t_task * 1e3);
+    println!(
+        "\nGranularity choice for T_task = {:.0} ms tasks:",
+        t_task * 1e3
+    );
     println!(
         "{:<12} {:>12} {:>10} {:>12}",
         "layout", "T_PRTR (ms)", "X_PRTR", "S_inf @ task"

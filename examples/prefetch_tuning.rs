@@ -78,9 +78,7 @@ fn main() {
     // Where does a given H land on the speedup landscape? Evaluate the
     // model at the configuration-bound point T_task = 0.25 * T_PRTR.
     let x_task = 0.25 * node.x_prtr();
-    println!(
-        "\nModel speedup at X_task = {x_task:.4} (configuration-bound) as H grows:"
-    );
+    println!("\nModel speedup at X_task = {x_task:.4} (configuration-bound) as H grows:");
     println!("{:>6}  {:>8}", "H", "S_inf");
     for h in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99] {
         let params = ModelParams::new(

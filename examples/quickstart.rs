@@ -29,11 +29,7 @@ fn main() {
     for factor in [0.1, 0.5, 1.0, 2.0, 10.0, 1.0 / node.x_prtr()] {
         let x_task = factor * node.x_prtr();
         let params = ModelParams::experimental(x_task, node.x_prtr(), 0.0, 1);
-        println!(
-            "{:>10.4}  {:>8.2}",
-            x_task,
-            asymptotic_speedup(&params)
-        );
+        println!("{:>10.4}  {:>8.2}", x_task, asymptotic_speedup(&params));
     }
     let peak = ModelParams::experimental(node.x_prtr(), node.x_prtr(), 0.0, 1);
     println!(

@@ -18,6 +18,9 @@
 //!   functions as real, testable Rust code plus the task-time model;
 //! * [`virt`] (`hprc-virt`) — the hardware-virtualization/multi-tasking
 //!   runtime (the paper's future-work direction);
+//! * [`obs`] (`hprc-obs`) — zero-dependency metrics (counters, gauges,
+//!   histograms), hierarchical timed spans, and Chrome trace-event
+//!   export, wired through the simulator, scheduler, and runner;
 //! * [`exp`] (`hprc-exp`) — the harness regenerating every table and
 //!   figure.
 //!
@@ -43,6 +46,7 @@ pub use hprc_exp as exp;
 pub use hprc_fpga as fpga;
 pub use hprc_kernels as kernels;
 pub use hprc_model as model;
+pub use hprc_obs as obs;
 pub use hprc_sched as sched;
 pub use hprc_sim as sim;
 pub use hprc_virt as virt;
@@ -56,12 +60,13 @@ pub mod prelude {
     pub use hprc_kernels::{FilterKind, Image, Pipeline, TaskTimeModel};
     pub use hprc_model::params::{ModelParams, NormalizedTimes, TimingParams};
     pub use hprc_model::speedup::{asymptotic_speedup, speedup};
+    pub use hprc_obs::Registry;
     pub use hprc_sched::policies::{AlwaysMiss, Belady, Lru, Markov};
     pub use hprc_sched::simulate::simulate;
     pub use hprc_sched::traces::TraceSpec;
     pub use hprc_sim::executor::{run_frtr, run_prtr};
     pub use hprc_sim::node::NodeConfig;
+    pub use hprc_sim::task::{PrtrCall, TaskCall};
     pub use hprc_virt::app::App;
     pub use hprc_virt::runtime::{run as run_virtualized, RuntimeConfig};
-    pub use hprc_sim::task::{PrtrCall, TaskCall};
 }

@@ -122,13 +122,11 @@ fn configuration_costs_trace_to_frames() {
     let bytes = frames * fp.device.frame_bytes as u64 + fp.device.partial_overhead_bytes as u64;
     assert_eq!(bytes, node.prr_bitstream_bytes);
     // Executor-visible T_PRTR is exactly the ICAP time for those bytes.
-    let calls = vec![
-        PrtrCall {
-            task: TaskCall::symmetric("Sobel Filter", 1024),
-            hit: false,
-            slot: 0,
-        },
-    ];
+    let calls = vec![PrtrCall {
+        task: TaskCall::symmetric("Sobel Filter", 1024),
+        hit: false,
+        slot: 0,
+    }];
     let report = run_prtr(&node, &calls).unwrap();
     let timing = &report.calls[0];
     let cfg = (timing.config_end.unwrap() - timing.config_start.unwrap()).as_secs_f64();

@@ -1,10 +1,10 @@
 //! Every quantitative claim the paper makes, checked against this
 //! reproduction. Section references are to the paper.
 
-use prtr_bounds::prelude::*;
 use prtr_bounds::fpga::ports::ConfigPort;
 use prtr_bounds::model::bounds;
 use prtr_bounds::model::frtr;
+use prtr_bounds::prelude::*;
 
 /// §1: "applications on some systems spend 25% to 98.5% of their execution
 /// time performing reconfiguration" — the FRTR model spans that range.
@@ -118,12 +118,18 @@ fn claim_table2_measured_times() {
 fn claim_figure9_peaks() {
     let est = NodeConfig::xd1_estimated(&Floorplan::xd1_dual_prr());
     let peak_est = 1.0 + 1.0 / est.x_prtr();
-    assert!(peak_est > 6.5 && peak_est < 7.1, "estimated peak {peak_est}");
+    assert!(
+        peak_est > 6.5 && peak_est < 7.1,
+        "estimated peak {peak_est}"
+    );
 
     let meas = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
     let peak_meas = 1.0 + 1.0 / meas.x_prtr();
     // The paper rounds up to "87x"; the exact Table 2 ratio gives ~85.8x.
-    assert!(peak_meas > 83.0 && peak_meas < 88.0, "measured peak {peak_meas}");
+    assert!(
+        peak_meas > 83.0 && peak_meas < 88.0,
+        "measured peak {peak_meas}"
+    );
 }
 
 /// §5: with estimated times, "most of the data-intensive tasks require
@@ -160,8 +166,16 @@ fn claim_table1_fits() {
     for (name, luts_pct, ffs_pct, bram_pct) in expect {
         let m = lib.get(name).unwrap();
         let u = m.resources.utilization(&cap);
-        assert_eq!(Utilization::percent_truncated(u.luts), luts_pct, "{name} LUTs");
+        assert_eq!(
+            Utilization::percent_truncated(u.luts),
+            luts_pct,
+            "{name} LUTs"
+        );
         assert_eq!(Utilization::percent_truncated(u.ffs), ffs_pct, "{name} FFs");
-        assert_eq!(Utilization::percent_truncated(u.brams), bram_pct, "{name} BRAM");
+        assert_eq!(
+            Utilization::percent_truncated(u.brams),
+            bram_pct,
+            "{name} BRAM"
+        );
     }
 }

@@ -1,0 +1,85 @@
+//! Offline stand-in for `crossbeam`, covering `crossbeam::thread::scope`.
+
+/// Scoped threads over `std::thread::scope`.
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Argument passed to [`Scope::spawn`] closures.
+    ///
+    /// Real crossbeam passes the scope itself so spawned threads can
+    /// spawn further threads; every call site in this workspace ignores
+    /// the argument (`|_|`), so nested spawning is not supported here.
+    #[derive(Debug)]
+    pub struct SpawnArg(());
+
+    /// A scope for spawning borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&SpawnArg) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&SpawnArg(()))),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before
+    /// this returns. Unlike crossbeam, a panicking child propagates
+    /// the panic (via `std::thread::scope`) rather than yielding
+    /// `Err` — every caller in the workspace unwraps the result, so
+    /// the observable behavior is the same.
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let mut data = vec![0u64; 4];
+        crate::thread::scope(|s| {
+            for chunk in data.chunks_mut(2) {
+                s.spawn(move |_| {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out = crate::thread::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

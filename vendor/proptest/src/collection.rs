@@ -1,0 +1,147 @@
+//! Collection strategies: [`vec`] and [`btree_set`].
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Allowed collection sizes, half-open `[min, max_excl)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_excl: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.min < self.max_excl, "empty size range");
+        self.min + rng.below((self.max_excl - self.min) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max_excl: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_excl: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_excl: n + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a size drawn from `size`.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng).max(self.size.min);
+        let mut set = BTreeSet::new();
+        // Duplicate draws don't grow the set; cap attempts so a
+        // narrow element domain can't loop forever (the set is then
+        // smaller than requested, like upstream under exhaustion).
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < 100 * (target + 1) {
+            set.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let mut rng = TestRng::from_name("vec");
+        let strat = vec(0u64..10, 2..5);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        let mut rng = TestRng::from_name("nested");
+        let strat = vec((0usize..5, 1u64..50), 1..12);
+        let v = strat.new_value(&mut rng);
+        assert!(!v.is_empty() && v.len() < 12);
+    }
+
+    #[test]
+    fn btree_set_distinct_and_sized() {
+        let mut rng = TestRng::from_name("set");
+        let strat = btree_set(0usize..40, 1..6);
+        for _ in 0..100 {
+            let s = strat.new_value(&mut rng);
+            assert!((1..6).contains(&s.len()));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Reimplements the subset of proptest the workspace's property tests
+//! use: the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`] macros, the [`strategy::Strategy`] trait with
+//! range/tuple/map strategies, [`arbitrary::any`], and
+//! [`collection::{vec, btree_set}`](collection). Cases are generated
+//! from a deterministic per-test RNG; there is no shrinking and no
+//! failure persistence, so a failing property reports the generated
+//! inputs via its assertion message instead of a minimized case.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` body
+/// runs against `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let __strats = ( $($strat,)+ );
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(10).max(10);
+            while __passed < __config.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                let __values =
+                    $crate::strategy::Strategy::new_value(&__strats, &mut __rng);
+                // Destructure via `let` (not closure params) so each
+                // binding keeps the strategy's concrete `Value` type;
+                // unannotated closure parameters would be inferred
+                // from coercion sites in the body (e.g. `&v` used as
+                // `&[T]` would force `v: [T]`).
+                let ( $($pat,)+ ) = __values;
+                let __outcome = (move ||
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body;
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject,
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        panic!(
+                            "proptest `{}` failed on case {}: {}",
+                            stringify!($name),
+                            __passed,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{:?}` == `{:?}`",
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __l,
+                    __r,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current case (retried with fresh inputs) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = u64> {
+        (0u64..100).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mapped strategies and tuple destructuring both work.
+        #[test]
+        fn mapped_values_are_even(n in doubled(), (a, b) in (0usize..5, 0usize..5)) {
+            prop_assert_eq!(n % 2, 0u64);
+            prop_assert!(a < 5 && b < 5, "a={} b={}", a, b);
+        }
+
+        /// Assumptions reject without failing.
+        #[test]
+        fn assume_filters(n in 0u64..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+    }
+
+    proptest! {
+        /// Default config path (no inner attribute).
+        #[test]
+        fn default_config_runs(x in 0.0..=1.0f64) {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    proptest! {
+        /// Failures surface as panics with the formatted message.
+        #[test]
+        #[should_panic(expected = "proptest `always_fails` failed")]
+        fn always_fails(n in 0u64..10) {
+            prop_assert!(n > 100, "n was {}", n);
+        }
+    }
+}

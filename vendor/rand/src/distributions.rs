@@ -1,0 +1,163 @@
+//! Distributions: [`Distribution`], [`Standard`], and [`WeightedIndex`].
+
+use crate::{Rng, RngCore, SampleRange, StandardSample};
+
+/// Types that generate values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution (full-range ints, unit-interval floats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl<T: StandardSample> Distribution<T> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::standard_sample(rng)
+    }
+}
+
+/// Uniform distribution over a range.
+#[derive(Debug, Clone)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: Copy> Uniform<T> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        Uniform { lo, hi }
+    }
+}
+
+impl<T: Copy> Distribution<T> for Uniform<T>
+where
+    std::ops::Range<T>: SampleRange<T>,
+{
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (self.lo..self.hi).sample_single(rng)
+    }
+}
+
+/// Error from [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were provided.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            WeightedError::NoItem => "no weights provided",
+            WeightedError::InvalidWeight => "negative or non-finite weight",
+            WeightedError::AllWeightsZero => "all weights are zero",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` with probability proportional to `weights[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    /// Cumulative weight up to and including each index.
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Builds the distribution from non-negative `f64` weights.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty input, negative/non-finite weights, or an
+    /// all-zero total.
+    pub fn new(weights: &[f64]) -> Result<WeightedIndex, WeightedError> {
+        if weights.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0f64;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let target = <f64 as StandardSample>::standard_sample(rng) * self.total;
+        // First index whose cumulative weight exceeds the target.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("finite weights"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+// `Distribution::sample` takes `R: Rng + ?Sized`, so it also works
+// through `&mut rng` (callers write `dist.sample(&mut rng)`).
+impl<R: RngCore + ?Sized> crate::RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    struct Sm(SplitMix64);
+    impl crate::RngCore for Sm {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    #[test]
+    fn weighted_index_errors() {
+        assert_eq!(WeightedIndex::new(&[]), Err(WeightedError::NoItem));
+        assert_eq!(
+            WeightedIndex::new(&[1.0, -1.0]),
+            Err(WeightedError::InvalidWeight)
+        );
+        assert_eq!(
+            WeightedIndex::new(&[0.0, 0.0]),
+            Err(WeightedError::AllWeightsZero)
+        );
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let dist = WeightedIndex::new(&[0.0, 1.0, 3.0]).unwrap();
+        let mut rng = Sm(SplitMix64 { state: 99 });
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero-weight index never drawn");
+        // Index 2 should be drawn roughly 3x as often as index 1.
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((2.0..4.5).contains(&ratio), "ratio {ratio} out of range");
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment resolves no external registry, so this crate
+//! provides the small part of serde's API surface the workspace uses:
+//!
+//! * a [`Serialize`] trait rendering values into a JSON [`Value`] tree
+//!   (consumed by the vendored `serde_json`);
+//! * a [`Deserialize`] marker trait (nothing in the workspace parses
+//!   back into typed structs — only [`Value`] round-trips);
+//! * `#[derive(Serialize, Deserialize)]` via the vendored `serde_derive`.
+//!
+//! The derive output matches real serde's *externally tagged* data model
+//! for the shapes the workspace uses: structs become objects, newtype
+//! structs are transparent, unit enum variants become strings, and
+//! data-carrying variants become single-key objects.
+
+pub mod ser;
+pub mod value;
+
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+pub mod de {
+    //! Deserialization marker traits.
+    //!
+    //! The workspace never deserializes into typed structs, so
+    //! `Deserialize` carries no behavior; a blanket impl makes every
+    //! type satisfy `T: Deserialize` bounds.
+
+    /// Marker trait; blanket-implemented for all sized types.
+    pub trait Deserialize<'de>: Sized {}
+
+    impl<'de, T> Deserialize<'de> for T {}
+
+    /// Marker for owned deserialization; blanket-implemented.
+    pub trait DeserializeOwned: Sized {}
+
+    impl<T> DeserializeOwned for T {}
+}

@@ -1,0 +1,196 @@
+//! The [`Serialize`] trait and impls for std types.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::value::{Number, Value};
+
+/// Types renderable as a JSON [`Value`].
+///
+/// This is the whole serialization contract of the vendored serde: no
+/// `Serializer` abstraction, just a value tree (every consumer in the
+/// workspace ultimately wants JSON text or a [`Value`]).
+pub trait Serialize {
+    /// Renders `self` into a JSON value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    };
+}
+
+impl_serialize_tuple!(A: 0);
+impl_serialize_tuple!(A: 0, B: 1);
+impl_serialize_tuple!(A: 0, B: 1, C: 2);
+impl_serialize_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        // Sort for deterministic output (HashMap iteration order varies).
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_json_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_json_value(&self) -> Value {
+        // Matches upstream serde: a struct with `start`/`end` fields.
+        Value::Object(vec![
+            ("start".to_string(), self.start.to_json_value()),
+            ("end".to_string(), self.end.to_json_value()),
+        ])
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_containers() {
+        assert_eq!(1u32.to_json_value().to_string(), "1");
+        assert_eq!((-5i64).to_json_value().to_string(), "-5");
+        assert_eq!(true.to_json_value().to_string(), "true");
+        assert_eq!("hi".to_json_value().to_string(), "\"hi\"");
+        assert_eq!(vec![1u8, 2].to_json_value().to_string(), "[1,2]");
+        assert_eq!(Option::<u8>::None.to_json_value().to_string(), "null");
+        assert_eq!((1u8, "x").to_json_value().to_string(), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn maps_are_objects() {
+        let mut m = BTreeMap::new();
+        m.insert("b", 2u8);
+        m.insert("a", 1u8);
+        assert_eq!(m.to_json_value().to_string(), r#"{"a":1,"b":2}"#);
+    }
+}

@@ -1,0 +1,336 @@
+//! The JSON value tree shared by the vendored `serde` and `serde_json`.
+
+use std::fmt;
+
+/// A JSON number: integer or float, preserving integer-ness for output.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `i64` if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::I64(v) => Some(v),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    /// Numeric equality: `U64(1)`, `I64(1)`, and `F64(1.0)` all
+    /// compare equal, so values built by `json!` (integer literals
+    /// serialize as `I64`) match values produced by the parser
+    /// (non-negative integers parse as `U64`).
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i128(), other.as_i128()) {
+            (Some(a), Some(b)) => a == b,
+            (None, None) => self.as_f64() == other.as_f64(),
+            // Integer vs float: equal only if the float is that integer.
+            (Some(a), None) => other.as_f64() == a as f64 && a as f64 as i128 == a,
+            (None, Some(b)) => self.as_f64() == b as f64 && b as f64 as i128 == b,
+        }
+    }
+}
+
+impl Number {
+    fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Number::U64(v) => Some(v as i128),
+            Number::I64(v) => Some(v as i128),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            // `{}` on f64 prints the shortest representation that
+            // round-trips, which is always valid JSON for finite values.
+            Number::F64(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    // JSON has no NaN/Infinity; match serde_json's
+                    // `arbitrary_precision`-less behavior of null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value.
+///
+/// Objects preserve insertion order (the derive emits fields in
+/// declaration order), which keeps serialized artifacts readable and
+/// diffs stable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (ordered key/value pairs).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key, or element of an array by index-as-key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as ordered object pairs, if an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self.as_str())
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object member access; yields `Null` for missing keys/non-objects,
+    /// matching `serde_json`'s `Index` behavior.
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self.get(key) {
+            Some(v) => v,
+            None => {
+                // A 'static null to return by reference.
+                static STATIC_NULL: Value = NULL;
+                &STATIC_NULL
+            }
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        static STATIC_NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&STATIC_NULL),
+            _ => &STATIC_NULL,
+        }
+    }
+}
+
+/// Escapes a string into JSON string syntax (with surrounding quotes).
+pub fn escape_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => {
+                let mut buf = String::new();
+                escape_json_string(s, &mut buf);
+                write!(f, "{buf}")
+            }
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut buf = String::new();
+                    escape_json_string(k, &mut buf);
+                    write!(f, "{buf}:{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::U64(1))),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        assert_eq!(Value::Number(Number::F64(0.1)).to_string(), "0.1");
+        assert_eq!(Value::Number(Number::F64(f64::NAN)).to_string(), "null");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Object(vec![("k".into(), Value::Number(Number::I64(-3)))]);
+        assert_eq!(v["k"].as_i64(), Some(-3));
+        assert!(v["missing"].is_null());
+        assert_eq!(v.get("k").and_then(Value::as_f64), Some(-3.0));
+    }
+}

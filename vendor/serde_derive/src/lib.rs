@@ -1,0 +1,286 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes the workspace uses — non-generic structs (named, tuple, unit)
+//! and enums (unit, tuple, and struct variants) — by walking the raw
+//! token stream directly (no `syn`/`quote`, which are unavailable in the
+//! offline build environment) and emitting the impl as parsed source.
+//!
+//! `Serialize` output follows real serde's externally tagged data model:
+//! named structs become objects, one-field tuple structs are transparent
+//! (newtype), unit enum variants become strings, and data-carrying
+//! variants become `{"Variant": ...}` objects.
+//!
+//! `Deserialize` emits nothing: the vendored `serde` blanket-implements
+//! its marker `Deserialize` trait, so the derive only has to exist.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::to_json_value(&self.{f}))")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::Value::Object(vec![{pairs}])")
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("serde::Serialize::to_json_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::Value::Array(vec![{items}])")
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms = variants
+                .iter()
+                .map(|v| variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> serde::Value {{\n{body}\n}}\n}}",
+        name = item.name
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` — a no-op, see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{enum_name}::{vn} => serde::Value::String(\"{vn}\".to_string()),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vn}(__f0) => serde::Value::Object(vec![(\
+             \"{vn}\".to_string(), serde::Serialize::to_json_value(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binders = (0..*n)
+                .map(|i| format!("__f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let items = (0..*n)
+                .map(|i| format!("serde::Serialize::to_json_value(__f{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vn}({binders}) => serde::Value::Object(vec![(\
+                 \"{vn}\".to_string(), serde::Value::Array(vec![{items}]))]),"
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binders = fields.join(", ");
+            let pairs = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_json_value({f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vn} {{ {binders} }} => serde::Value::Object(vec![(\
+                 \"{vn}\".to_string(), serde::Value::Object(vec![{pairs}]))]),"
+            )
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "vendored serde_derive does not support generic type `{name}` — \
+             implement Serialize manually"
+        );
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                shape: Shape::UnitStruct,
+            },
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields, returning the names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect ':', then skip the type up to a top-level ','.
+        debug_assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected ':' after field name"
+        );
+        i += 1;
+        skip_to_toplevel_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_toplevel_comma(&tokens, &mut i);
+    }
+    count
+}
+
+/// Parses enum variants: `Name`, `Name(T, ...)`, `Name { f: T, ... }`,
+/// each optionally followed by `= disc` and a comma.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        skip_to_toplevel_comma(&tokens, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Skips tokens until just past a comma at angle-bracket depth 0.
+/// (Parens/brackets/braces are single `Group` tokens, so only `<...>`
+/// nesting needs explicit tracking.)
+fn skip_to_toplevel_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}

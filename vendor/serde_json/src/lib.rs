@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the API surface the workspace uses over the vendored
+//! [`serde`] value tree: [`to_value`], [`to_string`], [`to_string_pretty`],
+//! a full [`from_str`] parser, and the [`json!`] macro.
+
+pub use serde::value::{Number, Value};
+
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error with a message.
+    pub fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders any [`serde::Serialize`] value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Serializes to pretty-printed JSON text (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    const STEP: usize = 2;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(item, indent + STEP, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                out.push_str(&" ".repeat(indent + STEP));
+                serde::value::escape_json_string(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + STEP, out);
+                if i + 1 < pairs.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`Error`] with a byte offset on malformed input.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F64(f)))
+            .map_err(|_| Error::new(format!("invalid number at byte {start}")))
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax, mirroring `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => { $crate::json_internal!(@array [] $($tt)+) };
+    ({}) => { $crate::Value::Object(vec![]) };
+    ({ $($tt:tt)+ }) => { $crate::json_internal!(@object [] () $($tt)+) };
+    ($other:expr) => {
+        serde::Serialize::to_json_value(&$other)
+    };
+}
+
+/// Internal tt-muncher for [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- arrays: accumulate comma-separated elements ----
+    (@array [$($elems:expr),*]) => {
+        $crate::Value::Array(vec![$($elems),*])
+    };
+    // Next element is a nested structure or literal keyword.
+    (@array [$($elems:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(null)] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] true $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(true)] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] false $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(false)] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!([$($arr)*])] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] {$($obj:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({$($obj)*})] $($($rest)*)?)
+    };
+    // Next element is a general expression up to the next comma.
+    (@array [$($elems:expr),*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!($next)] $($($rest)*)?)
+    };
+
+    // ---- objects: accumulate (key, value) pairs ----
+    (@object [$($pairs:expr),*] ()) => {
+        $crate::Value::Object(vec![$($pairs),*])
+    };
+    // Entry with a structural / keyword value.
+    (@object [$($pairs:expr),*] () $key:tt : null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* ($key.to_string(), $crate::json!(null))] () $($($rest)*)?)
+    };
+    (@object [$($pairs:expr),*] () $key:tt : true $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* ($key.to_string(), $crate::json!(true))] () $($($rest)*)?)
+    };
+    (@object [$($pairs:expr),*] () $key:tt : false $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* ($key.to_string(), $crate::json!(false))] () $($($rest)*)?)
+    };
+    (@object [$($pairs:expr),*] () $key:tt : [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* ($key.to_string(), $crate::json!([$($arr)*]))] () $($($rest)*)?)
+    };
+    (@object [$($pairs:expr),*] () $key:tt : {$($obj:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* ($key.to_string(), $crate::json!({$($obj)*}))] () $($($rest)*)?)
+    };
+    // Entry with a general expression value.
+    (@object [$($pairs:expr),*] () $key:tt : $value:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* ($key.to_string(), $crate::json!($value))] () $($($rest)*)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([1, 2, 3]).to_string(), "[1,2,3]");
+        assert_eq!(json!({"k": 1}).to_string(), r#"{"k":1}"#);
+        let nested = json!({"a": [1, {"b": true}], "c": "s"});
+        assert_eq!(nested.to_string(), r#"{"a":[1,{"b":true}],"c":"s"}"#);
+        let x = 2.5f64;
+        assert_eq!(json!({"x": x * 2.0}).to_string(), r#"{"x":5}"#);
+    }
+
+    #[test]
+    fn round_trip_parse() {
+        let text = r#"{"a": [1, -2, 3.5e2], "b": "x\ny", "c": null, "d": false}"#;
+        let v = from_str(text).unwrap();
+        assert_eq!(v["a"][2].as_f64(), Some(350.0));
+        assert_eq!(v["b"].as_str(), Some("x\ny"));
+        assert!(v["c"].is_null());
+        assert_eq!(v["d"].as_bool(), Some(false));
+        // to_string output parses back to the same tree.
+        let again = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let v = json!({"x": [1, 2], "y": {"z": 0.25}});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"x\": [\n"));
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = from_str(r#""éA""#).unwrap();
+        assert_eq!(v.as_str(), Some("éA"));
+    }
+}
