@@ -3,6 +3,7 @@
 //! measured configuration times).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hprc_ctx::ExecCtx;
 use hprc_exp::scenario::figure9_point;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::executor::{run_frtr, run_prtr};
@@ -26,10 +27,24 @@ fn bench_executors(c: &mut Criterion) {
         let prtr_calls = calls(&node, n);
         let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
         g.bench_with_input(BenchmarkId::new("frtr", n), &n, |b, _| {
-            b.iter(|| run_frtr(black_box(&node), black_box(&frtr_calls)).unwrap())
+            b.iter(|| {
+                run_frtr(
+                    black_box(&node),
+                    black_box(&frtr_calls),
+                    &ExecCtx::default(),
+                )
+                .unwrap()
+            })
         });
         g.bench_with_input(BenchmarkId::new("prtr", n), &n, |b, _| {
-            b.iter(|| run_prtr(black_box(&node), black_box(&prtr_calls)).unwrap())
+            b.iter(|| {
+                run_prtr(
+                    black_box(&node),
+                    black_box(&prtr_calls),
+                    &ExecCtx::default(),
+                )
+                .unwrap()
+            })
         });
     }
     g.finish();
@@ -49,7 +64,7 @@ fn bench_sweep_point(c: &mut Criterion) {
         ),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| figure9_point(black_box(&fp), fp.t_prtr_s(), 300))
+            b.iter(|| figure9_point(black_box(&fp), fp.t_prtr_s(), 300, &ExecCtx::default()))
         });
     }
     g.finish();

@@ -2,6 +2,7 @@
 //! policies and workload shapes.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hprc_ctx::ExecCtx;
 use hprc_sched::policies::{AlwaysMiss, Belady, Fifo, Lfu, Lru, Markov, RandomPolicy};
 use hprc_sched::policy::Policy;
 use hprc_sched::simulate::simulate;
@@ -31,7 +32,13 @@ fn bench_policies(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let mut p = make();
-                simulate(black_box(&trace), 2, p.as_mut(), prefetch)
+                simulate(
+                    black_box(&trace),
+                    2,
+                    p.as_mut(),
+                    prefetch,
+                    &ExecCtx::default(),
+                )
             })
         });
     }

@@ -2,6 +2,7 @@
 //! FRTR/PRTR scheduling modes.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::node::NodeConfig;
 use hprc_virt::app::App;
@@ -26,7 +27,15 @@ fn bench_runtime_modes(c: &mut Criterion) {
         ("prtr_overlapped", RuntimeConfig::prtr_overlapped()),
     ] {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| run(black_box(&node), black_box(&workload), &cfg).unwrap())
+            b.iter(|| {
+                run(
+                    black_box(&node),
+                    black_box(&workload),
+                    &cfg,
+                    &ExecCtx::default(),
+                )
+                .unwrap()
+            })
         });
     }
     g.finish();
@@ -45,6 +54,7 @@ fn bench_scaling_in_apps(c: &mut Criterion) {
                     black_box(&node),
                     black_box(w),
                     &RuntimeConfig::prtr_overlapped(),
+                    &ExecCtx::default(),
                 )
                 .unwrap()
             })

@@ -3,6 +3,7 @@
 //! out of them with `hprc-model::fit` — the calibration workflow a user
 //! of this library would run against their own HPRC.
 
+use hprc_ctx::ExecCtx;
 use hprc_model::fit::{fit, Observation};
 use hprc_model::params::NormalizedTimes;
 use serde::Serialize;
@@ -23,13 +24,14 @@ struct Row {
 }
 
 /// Fits both Figure 9 panels' sweeps.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.ext_fit");
     let mut rows = Vec::new();
     for (name, panel) in [
         ("estimated", Panel::Estimated),
         ("measured", Panel::Measured),
     ] {
-        let (node, points) = sweep(panel, 25);
+        let (node, points) = sweep(panel, 25, ctx);
         let overheads = NormalizedTimes {
             x_task: 1.0,
             x_control: node.control_overhead_s / node.t_frtr_s(),
@@ -108,7 +110,7 @@ mod tests {
 
     #[test]
     fn fit_recovers_both_panels() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         for row in r.json.as_array().unwrap() {
             let err = row["x_prtr_rel_err"].as_f64().unwrap();
             assert!(err < 0.05, "{}: X_PRTR err {err}", row["panel"]);

@@ -3,6 +3,7 @@
 //! defragmentation trade — the continuous version of the paper's
 //! "partitions must be fine grained to match the task time requirements".
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::device::Device;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::node::NodeConfig;
@@ -89,7 +90,8 @@ fn fitting_app(repeat: usize) -> FlexApp {
 }
 
 /// Runs the fitting and oversubscribed scenarios under both policies.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.ext_flexible");
     let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
     let device = Device::xc2vp50();
     let mut rows = Vec::new();
@@ -110,6 +112,7 @@ pub fn run() -> Report {
                 window(&device),
                 std::slice::from_ref(&app),
                 &FlexConfig { defrag: policy },
+                ctx,
             )
             .expect("valid scenario");
             rows.push(Row {
@@ -192,7 +195,7 @@ mod tests {
 
     #[test]
     fn fitting_scenario_is_all_hits_after_warmup() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         let fitting = &rows[0];
         assert_eq!(fitting["configs"].as_u64().unwrap(), 4);
@@ -201,7 +204,7 @@ mod tests {
 
     #[test]
     fn defrag_wins_on_fragmentation_prone_workloads() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         let evict_only = &rows[2];
         let defrag = &rows[3];
@@ -215,7 +218,7 @@ mod tests {
 
     #[test]
     fn defrag_cannot_help_capacity_thrash() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         let evict_only = &rows[4];
         let defrag = &rows[5];

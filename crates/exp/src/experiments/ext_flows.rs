@@ -3,6 +3,7 @@
 //! paper's warning that "the current design cycle for PRTR increases
 //! exponentially with the number of implemented tasks and PRRs".
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::bitstream::{difference_based_inventory, module_based_inventory};
 use hprc_fpga::device::Device;
 use hprc_fpga::floorplan::Floorplan;
@@ -23,7 +24,8 @@ struct Row {
 
 /// Runs the inventory comparison for 2..=8 modules over one dual-layout
 /// PRR.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.ext_flows");
     let device = Device::xc2vp50();
     let fp = Floorplan::xd1_dual_prr();
     let columns = fp.prrs[0].region.column_indices();
@@ -100,7 +102,7 @@ mod tests {
 
     #[test]
     fn counts_follow_n_and_n_squared() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         for row in rows {
             let n = row["n_modules"].as_u64().unwrap() as usize;
@@ -114,7 +116,7 @@ mod tests {
 
     #[test]
     fn difference_flow_storage_grows_faster() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         let last = rows.last().unwrap();
         assert!(

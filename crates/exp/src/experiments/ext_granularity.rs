@@ -3,6 +3,7 @@
 //! requirements, i.e. X_PRTR = X_task". This extension compares the
 //! single-, dual-, and quad-PRR layouts end to end.
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::node::NodeConfig;
 use serde::Serialize;
@@ -24,7 +25,8 @@ struct Row {
 }
 
 /// Measures the peak speedup of each layout on the measured node.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.ext_granularity");
     let layouts: Vec<(&str, Floorplan)> = vec![
         ("single PRR", Floorplan::xd1_single_prr()),
         ("dual PRR", Floorplan::xd1_dual_prr()),
@@ -39,7 +41,7 @@ pub fn run() -> Report {
         let mut sim_peak = 0.0f64;
         let mut sim_peak_x = 0.0;
         for factor in [0.5, 0.8, 1.0, 1.25, 2.0] {
-            let p = figure9_point(&node, factor * node.t_prtr_s(), 300);
+            let p = figure9_point(&node, factor * node.t_prtr_s(), 300, ctx).0;
             if p.speedup_sim > sim_peak {
                 sim_peak = p.speedup_sim;
                 sim_peak_x = p.x_task;
@@ -113,7 +115,7 @@ mod tests {
 
     #[test]
     fn finer_granularity_raises_the_peak() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         assert_eq!(rows.len(), 3);
         let peaks: Vec<f64> = rows
@@ -131,7 +133,7 @@ mod tests {
 
     #[test]
     fn model_and_sim_peaks_agree() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         for row in r.json.as_array().unwrap() {
             let m = row["model_peak"].as_f64().unwrap();
             let s = row["sim_peak"].as_f64().unwrap();

@@ -7,6 +7,7 @@
 //! This ablation sweeps the FSM efficiency and toggles the shared-link
 //! constraint to show how much performance each recovers.
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::icap::IcapPath;
 use hprc_sim::node::NodeConfig;
@@ -25,15 +26,20 @@ struct Row {
     peak_speedup_sim: f64,
 }
 
-fn peak(node: &NodeConfig) -> f64 {
+fn peak(node: &NodeConfig, ctx: &ExecCtx) -> f64 {
     [0.5, 0.8, 1.0, 1.25, 2.0]
         .iter()
-        .map(|f| figure9_point(node, f * node.t_prtr_s(), 300).speedup_sim)
+        .map(|f| {
+            figure9_point(node, f * node.t_prtr_s(), 300, ctx)
+                .0
+                .speedup_sim
+        })
         .fold(0.0, f64::max)
 }
 
 /// Runs the ablation on the measured dual-PRR node.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.ext_icap");
     let fp = Floorplan::xd1_dual_prr();
     let base = NodeConfig::xd1_measured(&fp);
 
@@ -83,7 +89,7 @@ pub fn run() -> Report {
             effective_mb_per_s: icap.effective_bytes_per_sec() / 1e6,
             t_prtr_ms: node.t_prtr_s() * 1e3,
             x_prtr: node.x_prtr(),
-            peak_speedup_sim: peak(&node),
+            peak_speedup_sim: peak(&node, ctx),
         });
     }
 
@@ -129,7 +135,7 @@ mod tests {
 
     #[test]
     fn better_icap_paths_raise_the_peak() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         let get = |i: usize| rows[i]["peak_speedup_sim"].as_f64().unwrap();
         // measured < 2cyc < ideal < v4-class.
@@ -140,7 +146,7 @@ mod tests {
 
     #[test]
     fn effective_rates_ordered() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         let measured = rows[0]["effective_mb_per_s"].as_f64().unwrap();
         let ideal = rows[3]["effective_mb_per_s"].as_f64().unwrap();

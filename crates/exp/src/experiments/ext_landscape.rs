@@ -1,6 +1,7 @@
 //! E10 — The full `(X_task, H)` speedup landscape at the measured XD1
 //! operating point, with design contours ("what hit ratio buys what").
 
+use hprc_ctx::ExecCtx;
 use hprc_model::landscape::{compute, Landscape};
 use hprc_model::params::NormalizedTimes;
 use hprc_model::sweep::Axis;
@@ -45,7 +46,8 @@ fn ascii_heatmap(l: &Landscape) -> String {
 }
 
 /// Computes the landscape and its 10x/30x/60x contours.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.ext_landscape");
     let x_prtr = 19.77 / 1678.04;
     let l = compute(
         NormalizedTimes::ideal(1.0, x_prtr),
@@ -145,7 +147,7 @@ mod tests {
 
     #[test]
     fn landscape_report_is_consistent() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let max = r.json["max_speedup"].as_f64().unwrap();
         assert!(max > 500.0);
         assert_eq!(r.json["max_h"].as_f64().unwrap(), 1.0);
@@ -157,7 +159,7 @@ mod tests {
 
     #[test]
     fn heatmap_renders_every_row() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         assert_eq!(
             r.body.matches("H=").count(),
             9,

@@ -3,11 +3,11 @@
 //! multi-tasking applications, and hardware virtualization"), quantified
 //! with the `hprc-virt` runtime.
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
-use hprc_obs::Registry;
 use hprc_sim::node::NodeConfig;
 use hprc_virt::app::App;
-use hprc_virt::runtime::{run_with as run_virt_with, RuntimeConfig};
+use hprc_virt::runtime::{run as run_virt, RuntimeConfig};
 use serde::Serialize;
 
 use crate::report::Report;
@@ -56,16 +56,11 @@ fn mixed_apps(n: usize, calls: usize, t_task: f64) -> Vec<App> {
 }
 
 /// Runs the multi-tasking comparison on the measured dual-PRR and
-/// quad-PRR nodes.
-pub fn run() -> Report {
-    run_with(&Registry::noop())
-}
-
-/// [`run`] with every scenario's runtime activity (dispatch latencies,
-/// lane gauges, hit/config counters) recorded into `registry`,
-/// aggregated across all scenario × mode runs.
-pub fn run_with(registry: &Registry) -> Report {
-    let _span = registry.span("exp.ext_multitask");
+/// quad-PRR nodes. Every scenario's runtime activity (dispatch
+/// latencies, lane gauges, hit/config counters) lands in
+/// `ctx.registry`, aggregated across all scenario × mode runs.
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.ext_multitask");
     let t_task = 0.005;
     let calls = 40;
     let mut rows = Vec::new();
@@ -98,7 +93,7 @@ pub fn run_with(registry: &Registry) -> Report {
             ("FRTR", RuntimeConfig::frtr()),
             ("PRTR", RuntimeConfig::prtr_overlapped()),
         ] {
-            let report = run_virt_with(&node, &apps, &cfg, registry).expect("valid scenario");
+            let report = run_virt(&node, &apps, &cfg, ctx).expect("valid scenario");
             let mean_turnaround = report.per_app.iter().map(|a| a.turnaround_s).sum::<f64>()
                 / report.per_app.len() as f64;
             rows.push(Row {
@@ -179,7 +174,7 @@ mod tests {
 
     #[test]
     fn prtr_wins_every_scenario() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         assert_eq!(rows.len(), 8);
         for pair in rows.chunks(2) {
@@ -191,7 +186,7 @@ mod tests {
 
     #[test]
     fn loyal_apps_get_near_perfect_hit_ratio_under_prtr() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         let loyal_prtr = &rows[1];
         assert_eq!(loyal_prtr["mode"], "PRTR");
@@ -201,8 +196,8 @@ mod tests {
 
     #[test]
     fn instrumented_run_aggregates_all_scenarios() {
-        let reg = Registry::new();
-        let r = run_with(&reg);
+        let reg = hprc_obs::Registry::new();
+        let r = run(&ExecCtx::default().with_registry(reg.clone()));
         let snap = reg.snapshot();
         // 4 scenarios x 2 modes; loyal/mixed apps issue 40 calls each:
         // (2 + 4 + 2 + 2) apps x 40 calls x 2 modes.
@@ -218,7 +213,7 @@ mod tests {
 
     #[test]
     fn quad_prr_handles_pipeline_apps_better_than_dual() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         let dual = rows[5]["makespan_s"].as_f64().unwrap(); // 2 pipeline apps / dual, PRTR
         let quad = rows[7]["makespan_s"].as_f64().unwrap(); // 2 pipeline apps / quad, PRTR

@@ -10,6 +10,7 @@
 //! them — that absence is the paper's point), so only *relative structure*
 //! should be read from them.
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::device::Device;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::cray_api::CrayConfigApi;
@@ -100,7 +101,8 @@ fn rasc_class() -> NodeConfig {
 }
 
 /// Projects the three HPRC platforms.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.ext_platforms");
     let platforms: Vec<(String, String, NodeConfig, bool)> = vec![
         (
             "Cray XD1 (paper, measured)".into(),
@@ -127,7 +129,11 @@ pub fn run() -> Report {
         let model_peak = 1.0 + 1.0 / node.x_prtr();
         let mut sim_peak = 0.0f64;
         for f in [0.6, 1.0, 1.5] {
-            sim_peak = sim_peak.max(figure9_point(&node, f * node.t_prtr_s(), 300).speedup_sim);
+            sim_peak = sim_peak.max(
+                figure9_point(&node, f * node.t_prtr_s(), 300, ctx)
+                    .0
+                    .speedup_sim,
+            );
         }
         rows.push(Row {
             platform,
@@ -200,7 +206,7 @@ mod tests {
 
     #[test]
     fn three_platforms_projected() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         assert_eq!(rows.len(), 3);
         // XD1 row is the paper's measured configuration.
@@ -216,7 +222,7 @@ mod tests {
 
     #[test]
     fn v4_class_platform_has_the_smallest_x_prtr() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         let x: Vec<f64> = rows.iter().map(|r| r["x_prtr"].as_f64().unwrap()).collect();
         assert!(x[2] < x[0] && x[2] < x[1], "{x:?}");

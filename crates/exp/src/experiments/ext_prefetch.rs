@@ -3,6 +3,7 @@
 //! this extension measures the hit ratio real policies achieve on
 //! locality-bearing workloads and the end-to-end speedup that follows.
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sched::policies::{AlwaysMiss, Belady, Fifo, Lfu, Lru, Markov, RandomPolicy};
 use hprc_sched::policy::Policy;
@@ -68,15 +69,16 @@ fn traces(len: usize) -> Vec<TraceSpec> {
 
 /// Runs the policy × workload grid at the configuration-bound operating
 /// point (`T_task = 0.25 × T_PRTR`), where prefetching matters most.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.ext_prefetch");
     let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
     let t_task = 0.25 * node.t_prtr_s();
     let len = 600;
 
     let mut rows = Vec::new();
     for spec in traces(len) {
-        for (mut policy, prefetch) in policies(42) {
-            let p = run_point(&node, &spec, 42, policy.as_mut(), prefetch, t_task);
+        for (mut policy, prefetch) in policies(ctx.seed_for(42)) {
+            let p = run_point(&node, &spec, 42, policy.as_mut(), prefetch, t_task, ctx).0;
             rows.push(Row {
                 trace: spec.label(),
                 policy: policy.name().to_string(),
@@ -138,7 +140,7 @@ mod tests {
 
     #[test]
     fn prefetch_grid_is_consistent() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         assert_eq!(rows.len(), 5 * 7);
         for row in rows {
@@ -156,7 +158,7 @@ mod tests {
 
     #[test]
     fn markov_beats_always_miss_on_the_clean_loop() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let rows = r.json.as_array().unwrap();
         let find = |policy: &str| {
             rows.iter()

@@ -2,6 +2,7 @@
 //! `S∞(X_task)` for hit ratios and partial-configuration ratios, with
 //! `X_decision = X_control = 0`.
 
+use hprc_ctx::ExecCtx;
 use hprc_model::bounds;
 use hprc_model::params::NormalizedTimes;
 use hprc_model::sweep::{figure5_family, Axis};
@@ -33,7 +34,8 @@ pub const HIT_RATIOS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 pub const X_PRTRS: [f64; 4] = [0.012, 0.1, 0.17, 0.37];
 
 /// Regenerates Figure 5.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.fig5");
     let axis = Axis::Log {
         lo: 1e-3,
         hi: 100.0,
@@ -174,7 +176,7 @@ mod tests {
 
     #[test]
     fn fig5_reproduces_headline_numbers() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let curves = r.json["curves"].as_array().unwrap();
         assert_eq!(curves.len(), HIT_RATIOS.len() * X_PRTRS.len());
         for c in curves {

@@ -4,14 +4,15 @@
 //! T_control ≈ 10 µs, task time swept via data size, exactly as in
 //! section 4.3.
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
-use hprc_obs::Registry;
 use hprc_sim::node::NodeConfig;
 use hprc_sim::trace::Timeline;
 use serde::Serialize;
 
 use crate::report::Report;
-use crate::scenario::{figure9_point_with, SweepPoint};
+use crate::runner::par_indexed;
+use crate::scenario::{figure9_point, SweepPoint};
 use crate::table::{Align, TextTable};
 
 /// Which of the two panels to regenerate.
@@ -48,49 +49,39 @@ pub fn panel_node(panel: Panel) -> NodeConfig {
     }
 }
 
-/// Runs one panel's sweep.
-pub fn sweep(panel: Panel, points: usize) -> (NodeConfig, Vec<SweepPoint>) {
-    sweep_with(panel, points, &Registry::noop())
-}
-
-/// [`sweep`] with every point's cache and executor activity recorded
-/// into `registry` (aggregated across the sweep).
-pub fn sweep_with(
-    panel: Panel,
-    points: usize,
-    registry: &Registry,
-) -> (NodeConfig, Vec<SweepPoint>) {
+/// Runs one panel's sweep, recording every point's cache and executor
+/// activity into `ctx.registry` (aggregated across the sweep).
+///
+/// The sweep fans out across `ctx.jobs` workers via the deterministic
+/// [`par_indexed`] runner: every point runs in its own child context
+/// and the per-point registries merge back in index order, so results
+/// and metrics are identical at any `--jobs`.
+pub fn sweep(panel: Panel, points: usize, ctx: &ExecCtx) -> (NodeConfig, Vec<SweepPoint>) {
     let node = panel_node(panel);
     // X_task from well below X_PRTR to the data-intensive regime.
     let lo: f64 = (node.x_prtr() / 20.0).max(1e-4);
     let hi: f64 = 10.0;
-    let sweep_points: Vec<SweepPoint> = (0..points)
-        .map(|i| {
-            let x = (lo.ln() + (hi.ln() - lo.ln()) * i as f64 / (points - 1) as f64).exp();
-            figure9_point_with(&node, x * node.t_frtr_s(), CALLS_PER_POINT, registry).0
-        })
-        .collect();
+    let sweep_points = par_indexed(points, ctx, |i, child| {
+        let x = (lo.ln() + (hi.ln() - lo.ln()) * i as f64 / (points - 1) as f64).exp();
+        figure9_point(&node, x * node.t_frtr_s(), CALLS_PER_POINT, child).0
+    });
     (node, sweep_points)
 }
 
 /// The PRTR timeline at a panel's peak operating point
 /// (`T_task = T_PRTR`), sized to `calls` calls — the representative
 /// execution profile exported as the panel's Chrome trace.
-pub fn peak_timeline(panel: Panel, calls: usize) -> Timeline {
+pub fn peak_timeline(panel: Panel, calls: usize, ctx: &ExecCtx) -> Timeline {
     let node = panel_node(panel);
-    figure9_point_with(&node, node.t_prtr_s(), calls, &Registry::noop()).1
+    figure9_point(&node, node.t_prtr_s(), calls, ctx).1
 }
 
-/// Regenerates one panel of Figure 9.
-pub fn run(panel: Panel) -> Report {
-    run_with(panel, &Registry::noop())
-}
-
-/// [`run`] with the sweep's metrics recorded into `registry`, plus
-/// summary gauges `exp.fig9.peak_speedup` / `exp.fig9.peak_x_task`.
-pub fn run_with(panel: Panel, registry: &Registry) -> Report {
-    let _span = registry.span("exp.fig9");
-    let (node, points) = sweep_with(panel, 41, registry);
+/// Regenerates one panel of Figure 9: the sweep's metrics land in
+/// `ctx.registry`, plus summary gauges `exp.fig9.peak_speedup` /
+/// `exp.fig9.peak_x_task`.
+pub fn run(panel: Panel, ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.fig9");
+    let (node, points) = sweep(panel, 41, ctx);
     let (id, title, paper_peak) = match panel {
         Panel::Estimated => (
             "fig9a",
@@ -108,10 +99,10 @@ pub fn run_with(panel: Panel, registry: &Registry) -> Report {
         .iter()
         .max_by(|a, b| a.speedup_sim.total_cmp(&b.speedup_sim))
         .expect("non-empty sweep");
-    registry
+    ctx.registry
         .gauge("exp.fig9.peak_speedup")
         .set(peak.speedup_sim);
-    registry.gauge("exp.fig9.peak_x_task").set(peak.x_task);
+    ctx.registry.gauge("exp.fig9.peak_x_task").set(peak.x_task);
 
     let mut t = TextTable::new(vec![
         "X_task",
@@ -176,8 +167,8 @@ pub fn run_with(panel: Panel, registry: &Registry) -> Report {
 }
 
 /// Curve series (sim + model) for CSV output.
-pub fn series(panel: Panel) -> Vec<(String, Vec<(f64, f64)>)> {
-    let (_, points) = sweep(panel, 41);
+pub fn series(panel: Panel, ctx: &ExecCtx) -> Vec<(String, Vec<(f64, f64)>)> {
+    let (_, points) = sweep(panel, 41, ctx);
     vec![
         (
             "simulator".into(),
@@ -193,10 +184,15 @@ pub fn series(panel: Panel) -> Vec<(String, Vec<(f64, f64)>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hprc_obs::Registry;
+
+    fn dctx() -> ExecCtx {
+        ExecCtx::default()
+    }
 
     #[test]
     fn fig9a_peak_is_about_7x() {
-        let (node, points) = sweep(Panel::Estimated, 21);
+        let (node, points) = sweep(Panel::Estimated, 21, &dctx());
         let peak = points.iter().map(|p| p.speedup_sim).fold(0.0f64, f64::max);
         assert!(peak > 6.0 && peak < 7.2, "peak = {peak}");
         assert!((node.x_prtr() - 0.17).abs() < 0.01);
@@ -204,7 +200,7 @@ mod tests {
 
     #[test]
     fn fig9b_peak_is_about_87x() {
-        let (node, points) = sweep(Panel::Measured, 21);
+        let (node, points) = sweep(Panel::Measured, 21, &dctx());
         let peak = points.iter().map(|p| p.speedup_sim).fold(0.0f64, f64::max);
         assert!(peak > 75.0 && peak < 88.0, "peak = {peak}");
         assert!((node.x_prtr() - 0.0118).abs() < 0.001);
@@ -213,7 +209,7 @@ mod tests {
     #[test]
     fn simulator_tracks_model_on_both_panels() {
         for panel in [Panel::Estimated, Panel::Measured] {
-            let (_, points) = sweep(panel, 11);
+            let (_, points) = sweep(panel, 11, &dctx());
             for p in points {
                 let rel = (p.speedup_sim - p.speedup_model).abs() / p.speedup_model;
                 assert!(rel < 0.02, "{panel:?} at X={}: rel {rel}", p.x_task);
@@ -224,7 +220,8 @@ mod tests {
     #[test]
     fn instrumented_sweep_reports_measured_quantities() {
         let reg = Registry::new();
-        let (node, points) = sweep_with(Panel::Measured, 5, &reg);
+        let ctx = ExecCtx::default().with_registry(reg.clone());
+        let (node, points) = sweep(Panel::Measured, 5, &ctx);
         let snap = reg.snapshot();
         // H = 0 workload: every call misses.
         let calls = snap.counters["sched.always-miss.calls"];
@@ -241,8 +238,15 @@ mod tests {
     }
 
     #[test]
+    fn sweep_is_jobs_invariant() {
+        let serial = sweep(Panel::Measured, 9, &ExecCtx::default().with_jobs(1)).1;
+        let par = sweep(Panel::Measured, 9, &ExecCtx::default().with_jobs(4)).1;
+        assert_eq!(serial, par);
+    }
+
+    #[test]
     fn peak_timeline_is_nonempty_and_config_bound() {
-        let tl = peak_timeline(Panel::Measured, 30);
+        let tl = peak_timeline(Panel::Measured, 30, &dctx());
         assert!(!tl.events.is_empty());
         // At T_task = T_PRTR the ICAP is busy roughly half the makespan.
         let util = tl.lane_busy_s(hprc_sim::trace::Lane::ConfigPort) / tl.span_end().as_secs_f64();
@@ -251,7 +255,7 @@ mod tests {
 
     #[test]
     fn data_intensive_tail_capped_at_2x() {
-        let (_, points) = sweep(Panel::Measured, 21);
+        let (_, points) = sweep(Panel::Measured, 21, &dctx());
         for p in points.iter().filter(|p| p.x_task >= 1.0) {
             assert!(p.speedup_sim <= 2.01, "X={}: S={}", p.x_task, p.speedup_sim);
         }

@@ -2,6 +2,7 @@
 //! timelines) — FRTR's serial config/control/task pattern versus PRTR's
 //! overlapped configuration for missed and pre-fetched tasks.
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::executor::{run_frtr, run_prtr};
 use hprc_sim::node::NodeConfig;
@@ -18,7 +19,9 @@ struct Payload {
 }
 
 /// The three profiled runs: FRTR, PRTR all-miss, PRTR pre-fetched.
-fn build() -> (
+fn build(
+    ctx: &ExecCtx,
+) -> (
     NodeConfig,
     f64,
     hprc_sim::executor::ExecutionReport,
@@ -39,7 +42,7 @@ fn build() -> (
         .iter()
         .map(|n| TaskCall::with_task_time(*n, &node, t_task))
         .collect();
-    let frtr = run_frtr(&node, &frtr_calls).unwrap();
+    let frtr = run_frtr(&node, &frtr_calls, ctx).unwrap();
 
     let miss_calls: Vec<PrtrCall> = frtr_calls
         .iter()
@@ -50,7 +53,7 @@ fn build() -> (
             slot: i % 2,
         })
         .collect();
-    let prtr_miss = run_prtr(&node, &miss_calls).unwrap();
+    let prtr_miss = run_prtr(&node, &miss_calls, ctx).unwrap();
 
     let hit_calls: Vec<PrtrCall> = miss_calls
         .iter()
@@ -60,15 +63,15 @@ fn build() -> (
             ..c.clone()
         })
         .collect();
-    let prtr_hit = run_prtr(&node, &hit_calls).unwrap();
+    let prtr_hit = run_prtr(&node, &hit_calls, ctx).unwrap();
     (node, t_task, frtr, prtr_miss, prtr_hit)
 }
 
 /// The three profiles as one Chrome trace: FRTR under pid 1, PRTR
 /// all-miss under pid 2, PRTR pre-fetched under pid 3 — Figures 3 and 4
 /// side by side in Perfetto.
-pub fn chrome_trace() -> Vec<hprc_obs::ChromeEvent> {
-    let (_, _, frtr, prtr_miss, prtr_hit) = build();
+pub fn chrome_trace(ctx: &ExecCtx) -> Vec<hprc_obs::ChromeEvent> {
+    let (_, _, frtr, prtr_miss, prtr_hit) = build(ctx);
     let mut events = frtr.timeline.chrome_events(1);
     events.extend(prtr_miss.timeline.chrome_events(2));
     events.extend(prtr_hit.timeline.chrome_events(3));
@@ -77,8 +80,9 @@ pub fn chrome_trace() -> Vec<hprc_obs::ChromeEvent> {
 
 /// Renders the three execution profiles for a 4-call sequence with
 /// `T_task ≈ 2 × T_PRTR` (so overlap is visible).
-pub fn run() -> Report {
-    let (node, t_task, frtr, prtr_miss, prtr_hit) = build();
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.profiles");
+    let (node, t_task, frtr, prtr_miss, prtr_hit) = build(ctx);
 
     let body = format!(
         "Task: 4 calls, T_task = {:.2} ms, T_PRTR = {:.2} ms, T_FRTR = {:.2} ms.\n\
@@ -116,7 +120,7 @@ mod tests {
 
     #[test]
     fn profiles_show_expected_ordering() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let frtr = r.json["frtr_total_s"].as_f64().unwrap();
         let miss = r.json["prtr_miss_total_s"].as_f64().unwrap();
         let hit = r.json["prtr_hit_total_s"].as_f64().unwrap();

@@ -1,6 +1,7 @@
 //! The one-screen digest: every headline paper number against this
 //! reproduction's measurement, regenerated live.
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::node::NodeConfig;
 use serde::Serialize;
@@ -17,7 +18,8 @@ struct Row {
 }
 
 /// Regenerates the headline comparison table.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.summary");
     let fp = Floorplan::xd1_dual_prr();
     let meas = NodeConfig::xd1_measured(&fp);
     let est = NodeConfig::xd1_estimated(&fp);
@@ -25,13 +27,19 @@ pub fn run() -> Report {
     let peak = |node: &NodeConfig| {
         [0.8, 1.0, 1.25]
             .iter()
-            .map(|f| figure9_point(node, f * node.t_prtr_s(), 300).speedup_sim)
+            .map(|f| {
+                figure9_point(node, f * node.t_prtr_s(), 300, ctx)
+                    .0
+                    .speedup_sim
+            })
             .fold(0.0f64, f64::max)
     };
     let peak_est = peak(&est);
     let peak_meas = peak(&meas);
 
-    let x1 = figure9_point(&meas, meas.t_frtr_s(), 300).speedup_sim;
+    let x1 = figure9_point(&meas, meas.t_frtr_s(), 300, ctx)
+        .0
+        .speedup_sim;
 
     let mut rows = vec![
         Row {
@@ -99,7 +107,7 @@ mod tests {
 
     #[test]
     fn summary_headlines_hold() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         assert!(r.body.contains("2381764"));
         assert!(r.body.contains("1678.04"));
         let rows = r.json.as_array().unwrap();

@@ -2,6 +2,7 @@
 //! the reproduction's analogue of the paper's "results are in good
 //! agreement with what is predicted by the model".
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_model::validate::{validate, Measurement};
 use hprc_sim::executor::{run_frtr, run_prtr};
@@ -36,7 +37,8 @@ fn hit_pattern(n: usize, h: f64) -> Vec<bool> {
 }
 
 /// Runs the validation grid: `x_task` × `H` on the measured XD1 node.
-pub fn run() -> Report {
+pub fn run(ctx: &ExecCtx) -> Report {
+    let _span = ctx.registry.span("exp.validate");
     let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
     let n = 1500usize;
     let x_tasks = [0.002, 0.0118, 0.05, 0.2, 1.0, 3.0];
@@ -58,8 +60,8 @@ pub fn run() -> Report {
                 .collect();
             let t_task_actual = calls[0].task.task_time_s(&node);
             let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
-            let frtr_total = run_frtr(&node, &frtr_calls).unwrap().total_s();
-            let prtr_total = run_prtr(&node, &calls).unwrap().total_s();
+            let frtr_total = run_frtr(&node, &frtr_calls, ctx).unwrap().total_s();
+            let prtr_total = run_prtr(&node, &calls, ctx).unwrap().total_s();
             let params = model_params_for(&node, t_task_actual, actual_h, n as u64);
             measurements.push(Measurement {
                 params,
@@ -120,7 +122,7 @@ mod tests {
 
     #[test]
     fn validation_grid_agrees_within_one_percent() {
-        let r = run();
+        let r = run(&ExecCtx::default());
         let max_err = r.json["max_speedup_rel_error"].as_f64().unwrap();
         assert!(max_err < 0.01, "max speedup error {max_err}");
         let max_total = r.json["max_total_rel_error"].as_f64().unwrap();

@@ -11,17 +11,24 @@
 //! ```text
 //! cargo run --release -p hprc-exp -- all
 //! cargo run --release -p hprc-exp -- fig9b table2
+//! cargo run --release -p hprc-exp -- all --jobs 4 --seed 7
 //! ```
+//!
+//! `--jobs` only changes wall-clock time: the [`runner`] fans sweeps
+//! and experiments out deterministically, so every artifact is
+//! byte-identical at any parallelism.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod report;
+pub mod runner;
 pub mod scenario;
 pub mod table;
 
 use std::path::Path;
 
+use hprc_ctx::ExecCtx;
 use report::Report;
 
 /// All experiment ids, in presentation order.
@@ -50,64 +57,69 @@ pub const ALL_EXPERIMENTS: [&str; 21] = [
 ];
 
 /// Runs one experiment by id (see [`ALL_EXPERIMENTS`]).
-pub fn run_experiment(id: &str) -> Option<Report> {
-    run_experiment_with(id, &hprc_obs::Registry::noop())
+///
+/// The context carries everything cross-cutting: substrate metrics and
+/// per-experiment spans land in `ctx.registry`, workload RNG streams
+/// derive from `ctx.seed`, and sweeps fan out across `ctx.jobs` worker
+/// threads (deterministically — results are identical at any budget).
+/// `ExecCtx::default()` is the plain serial, uninstrumented run.
+pub fn run_experiment(id: &str, ctx: &ExecCtx) -> Option<Report> {
+    Some(match id {
+        "summary" => experiments::summary::run(ctx),
+        "table1" => experiments::table1::run(ctx),
+        "table2" => experiments::table2::run(ctx),
+        "fig5" => experiments::fig5::run(ctx),
+        "fig9a" => experiments::fig9::run(experiments::fig9::Panel::Estimated, ctx),
+        "fig9b" => experiments::fig9::run(experiments::fig9::Panel::Measured, ctx),
+        "profiles" => experiments::profiles::run(ctx),
+        "validate" => experiments::validate::run(ctx),
+        "ext-prefetch" => experiments::ext_prefetch::run(ctx),
+        "ext-decision" => experiments::ext_decision::run(ctx),
+        "ext-flows" => experiments::ext_flows::run(ctx),
+        "ext-granularity" => experiments::ext_granularity::run(ctx),
+        "ext-compress" => experiments::ext_compress::run(ctx),
+        "ext-multitask" => experiments::ext_multitask::run(ctx),
+        "ext-hybrid" => experiments::ext_hybrid::run(ctx),
+        "ext-landscape" => experiments::ext_landscape::run(ctx),
+        "ext-defrag" => experiments::ext_defrag::run(ctx),
+        "ext-fit" => experiments::ext_fit::run(ctx),
+        "ext-platforms" => experiments::ext_platforms::run(ctx),
+        "ext-flexible" => experiments::ext_flexible::run(ctx),
+        "ext-icap" => experiments::ext_icap::run(ctx),
+        _ => return None,
+    })
 }
 
-/// [`run_experiment`] with metrics recorded into `registry`.
-///
-/// The instrumented experiments (`fig9a`, `fig9b`, `ext-multitask`)
-/// record their full cache/executor/runtime activity; the rest run
-/// uninstrumented under a timing span, so the trace export still shows
-/// wall-clock per experiment.
-pub fn run_experiment_with(id: &str, registry: &hprc_obs::Registry) -> Option<Report> {
-    Some(match id {
-        "fig9a" => experiments::fig9::run_with(experiments::fig9::Panel::Estimated, registry),
-        "fig9b" => experiments::fig9::run_with(experiments::fig9::Panel::Measured, registry),
-        "ext-multitask" => experiments::ext_multitask::run_with(registry),
-        _ => {
-            let _span = registry.span("exp.run_experiment");
-            match id {
-                "summary" => experiments::summary::run(),
-                "table1" => experiments::table1::run(),
-                "table2" => experiments::table2::run(),
-                "fig5" => experiments::fig5::run(),
-                "profiles" => experiments::profiles::run(),
-                "validate" => experiments::validate::run(),
-                "ext-prefetch" => experiments::ext_prefetch::run(),
-                "ext-decision" => experiments::ext_decision::run(),
-                "ext-flows" => experiments::ext_flows::run(),
-                "ext-granularity" => experiments::ext_granularity::run(),
-                "ext-compress" => experiments::ext_compress::run(),
-                "ext-hybrid" => experiments::ext_hybrid::run(),
-                "ext-landscape" => experiments::ext_landscape::run(),
-                "ext-defrag" => experiments::ext_defrag::run(),
-                "ext-fit" => experiments::ext_fit::run(),
-                "ext-platforms" => experiments::ext_platforms::run(),
-                "ext-flexible" => experiments::ext_flexible::run(),
-                "ext-icap" => experiments::ext_icap::run(),
-                _ => return None,
-            }
-        }
-    })
+/// A copy of `ctx` with recording silenced: used for side-artifacts
+/// (Chrome traces, CSV series) that re-run scenarios, so they don't
+/// double-count activity in the experiment's own metrics.
+fn quiet(ctx: &ExecCtx) -> ExecCtx {
+    ExecCtx {
+        registry: hprc_obs::Registry::noop(),
+        ..ctx.clone()
+    }
 }
 
 /// A representative Chrome trace (trace-event format) for experiments
 /// that have one: the peak-speedup PRTR timeline for the Figure 9
 /// panels, the three Figures 2-4 profiles for `profiles`.
-pub fn chrome_trace(id: &str) -> Option<Vec<hprc_obs::ChromeEvent>> {
+pub fn chrome_trace(id: &str, ctx: &ExecCtx) -> Option<Vec<hprc_obs::ChromeEvent>> {
+    let quiet = quiet(ctx);
     Some(match id {
-        "fig9a" => experiments::fig9::peak_timeline(experiments::fig9::Panel::Estimated, 30)
+        "fig9a" => {
+            experiments::fig9::peak_timeline(experiments::fig9::Panel::Estimated, 30, &quiet)
+                .chrome_events(1)
+        }
+        "fig9b" => experiments::fig9::peak_timeline(experiments::fig9::Panel::Measured, 30, &quiet)
             .chrome_events(1),
-        "fig9b" => experiments::fig9::peak_timeline(experiments::fig9::Panel::Measured, 30)
-            .chrome_events(1),
-        "profiles" => experiments::profiles::chrome_trace(),
+        "profiles" => experiments::profiles::chrome_trace(&quiet),
         _ => return None,
     })
 }
 
 /// Writes an experiment's CSV side-artifacts (curve series), if it has any.
-pub fn write_series(id: &str, dir: &Path) -> std::io::Result<()> {
+pub fn write_series(id: &str, dir: &Path, ctx: &ExecCtx) -> std::io::Result<()> {
+    let quiet = quiet(ctx);
     match id {
         "fig5" => {
             report::write_series_csv(dir, "fig5", &experiments::fig5::series())?;
@@ -116,14 +128,14 @@ pub fn write_series(id: &str, dir: &Path) -> std::io::Result<()> {
             report::write_series_csv(
                 dir,
                 "fig9a",
-                &experiments::fig9::series(experiments::fig9::Panel::Estimated),
+                &experiments::fig9::series(experiments::fig9::Panel::Estimated, &quiet),
             )?;
         }
         "fig9b" => {
             report::write_series_csv(
                 dir,
                 "fig9b",
-                &experiments::fig9::series(experiments::fig9::Panel::Measured),
+                &experiments::fig9::series(experiments::fig9::Panel::Measured, &quiet),
             )?;
         }
         "ext-landscape" => {

@@ -1,9 +1,14 @@
 //! `hprc-exp` — regenerate the paper's tables and figures.
 //!
-//! Usage: `hprc-exp [--out DIR] [--trace DIR] [all | <experiment-id>...]`
-//! Known ids: table1 table2 fig5 fig9a fig9b profiles validate
-//! ext-prefetch ext-decision ext-flows ext-granularity ext-icap
-//! ext-compress ext-multitask ext-hybrid
+//! Usage: `hprc-exp [--out DIR] [--trace DIR] [--jobs N] [--seed S]
+//! [all | <experiment-id>...]`
+//!
+//! Experiments run under one [`ExecCtx`]: `--seed` shifts every
+//! workload RNG stream, and `--jobs` sets the worker-thread budget for
+//! the deterministic parallel runner — artifacts are byte-identical at
+//! any `--jobs`, only wall-clock time changes. With several ids the
+//! budget fans out across experiments; with a single id it goes to that
+//! experiment's internal sweep.
 //!
 //! With `--trace DIR`, each experiment runs against a live metrics
 //! registry and writes `<id>.metrics.json` (counters, gauges, histogram
@@ -13,15 +18,38 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use hprc_ctx::ExecCtx;
 use hprc_obs::Registry;
 
-fn write_trace_artifacts(id: &str, registry: &Registry, dir: &Path) -> std::io::Result<()> {
+fn usage() -> String {
+    format!(
+        "usage: hprc-exp [--out DIR] [--trace DIR] [--jobs N] [--seed S] [all | id...]\n\
+         \n\
+         --out DIR    write reports and CSV artifacts under DIR (default: results)\n\
+         --trace DIR  run instrumented; write <id>.metrics.json and <id>.trace.json under DIR\n\
+         --jobs N     worker threads (default: available cores); results are\n\
+         \x20            byte-identical at any N, only wall-clock time changes\n\
+         --seed S     base RNG seed XOR-ed into every workload stream (default: 0)\n\
+         \n\
+         ids: {}",
+        hprc_exp::ALL_EXPERIMENTS.join(" ")
+    )
+}
+
+fn write_trace_artifacts(
+    id: &str,
+    registry: &Registry,
+    ctx: &ExecCtx,
+    dir: &Path,
+) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let snapshot = registry.snapshot();
     let metrics = serde_json::to_string_pretty(&snapshot)?;
     std::fs::write(dir.join(format!("{id}.metrics.json")), metrics)?;
-    if let Some(events) = hprc_exp::chrome_trace(id) {
+    if let Some(events) = hprc_exp::chrome_trace(id, ctx) {
         let trace = serde_json::to_string(&events)?;
         std::fs::write(dir.join(format!("{id}.trace.json")), trace)?;
     }
@@ -31,6 +59,8 @@ fn write_trace_artifacts(id: &str, registry: &Registry, dir: &Path) -> std::io::
 fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut trace_dir: Option<PathBuf> = None;
+    let mut jobs: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut seed: u64 = 0;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,12 +79,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => jobs = n,
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!(
-                    "usage: hprc-exp [--out DIR] [--trace DIR] [all | id...]\nids: {}",
-                    hprc_exp::ALL_EXPERIMENTS.join(" ")
-                );
+                println!("{}", usage());
                 return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}\n\n{}", usage());
+                return ExitCode::FAILURE;
             }
             other => ids.push(other.to_string()),
         }
@@ -65,39 +110,93 @@ fn main() -> ExitCode {
             .map(|s| s.to_string())
             .collect();
     }
+    // Validate every id before running anything: a typo fails fast
+    // instead of surfacing after minutes of earlier experiments.
+    let unknown: Vec<&String> = ids
+        .iter()
+        .filter(|id| !hprc_exp::ALL_EXPERIMENTS.contains(&id.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for id in unknown {
+            eprintln!("unknown experiment: {id}");
+        }
+        eprintln!("\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    // One context per experiment, all sharing the seed base so a run of
+    // `all` produces exactly the same artifacts as 21 single-id runs.
+    // The jobs budget goes to whichever level can use it: across
+    // experiments when several ids run, into the experiment's own sweep
+    // runner when only one does. Each experiment gets its own registry
+    // so metrics files don't bleed into each other.
+    let inner_jobs = if ids.len() == 1 { jobs } else { 1 };
+    let contexts: Vec<ExecCtx> = ids
+        .iter()
+        .map(|_| {
+            ExecCtx::default()
+                .with_registry(if trace_dir.is_some() {
+                    Registry::new()
+                } else {
+                    Registry::noop()
+                })
+                .with_seed(seed)
+                .with_jobs(inner_jobs)
+        })
+        .collect();
+
+    // Deterministic fan-out across experiments: workers pull indices
+    // from a dispenser; reports are reassembled and written in id
+    // order, so output and artifacts don't depend on the budget.
+    let n = ids.len();
+    let workers = jobs.min(n).max(1);
+    let mut reports: Vec<Option<hprc_exp::report::Report>> = Vec::with_capacity(n);
+    reports.resize_with(n, || None);
+    if workers <= 1 {
+        for (i, id) in ids.iter().enumerate() {
+            reports[i] = hprc_exp::run_experiment(id, &contexts[i]);
+        }
+    } else {
+        let slots = Mutex::new(std::mem::take(&mut reports));
+        let next = AtomicUsize::new(0);
+        let (ids, contexts) = (&ids, &contexts);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let report = hprc_exp::run_experiment(&ids[i], &contexts[i]);
+                    slots.lock().expect("report slots lock")[i] = report;
+                });
+            }
+        })
+        .expect("experiment scope");
+        reports = slots.into_inner().expect("report slots lock");
+    }
 
     // Artifact-write failures are reported per file but don't abort the
     // remaining experiments; any failure makes the exit code non-zero.
     let mut write_errors = 0usize;
-    for id in &ids {
-        // One registry per experiment so metrics files don't bleed into
-        // each other when several ids are run in one invocation.
-        let registry = if trace_dir.is_some() {
-            Registry::new()
-        } else {
-            Registry::noop()
+    for ((id, ctx), report) in ids.iter().zip(&contexts).zip(reports) {
+        let Some(report) = report else {
+            eprintln!("unknown experiment: {id} (try --help)");
+            return ExitCode::FAILURE;
         };
-        match hprc_exp::run_experiment_with(id, &registry) {
-            Some(report) => {
-                println!("{}\n", report.render());
-                if let Err(e) = report.write_json(&out_dir) {
-                    eprintln!("error: could not write {id}.json: {e}");
-                    write_errors += 1;
-                }
-                if let Err(e) = hprc_exp::write_series(id, &out_dir) {
-                    eprintln!("error: could not write {id} series: {e}");
-                    write_errors += 1;
-                }
-                if let Some(dir) = &trace_dir {
-                    if let Err(e) = write_trace_artifacts(id, &registry, dir) {
-                        eprintln!("error: could not write {id} trace artifacts: {e}");
-                        write_errors += 1;
-                    }
-                }
-            }
-            None => {
-                eprintln!("unknown experiment: {id} (try --help)");
-                return ExitCode::FAILURE;
+        println!("{}\n", report.render());
+        if let Err(e) = report.write_json(&out_dir) {
+            eprintln!("error: could not write {id}.json: {e}");
+            write_errors += 1;
+        }
+        if let Err(e) = hprc_exp::write_series(id, &out_dir, ctx) {
+            eprintln!("error: could not write {id} series: {e}");
+            write_errors += 1;
+        }
+        if let Some(dir) = &trace_dir {
+            if let Err(e) = write_trace_artifacts(id, &ctx.registry, ctx, dir) {
+                eprintln!("error: could not write {id} trace artifacts: {e}");
+                write_errors += 1;
             }
         }
     }

@@ -3,13 +3,13 @@
 //! the per-call outcomes into simulator calls (`hprc-sim`), and lining up
 //! the equivalent analytical parameters (`hprc-model`).
 
+use hprc_ctx::ExecCtx;
 use hprc_model::params::{ModelParams, NormalizedTimes};
-use hprc_obs::Registry;
 use hprc_sched::cache::TaskId;
 use hprc_sched::policy::Policy;
-use hprc_sched::simulate::{simulate_with, CallOutcome, SimulationOutcome};
+use hprc_sched::simulate::{simulate, CallOutcome, SimulationOutcome};
 use hprc_sched::traces::TraceSpec;
-use hprc_sim::executor::{run_frtr_with, run_prtr_with};
+use hprc_sim::executor::{run_frtr, run_prtr};
 use hprc_sim::node::NodeConfig;
 use hprc_sim::task::{PrtrCall, TaskCall};
 use hprc_sim::trace::Timeline;
@@ -77,9 +77,16 @@ pub struct SweepPoint {
     pub speedup_model: f64,
 }
 
-/// Runs one sweep point: generates the workload, simulates the cache with
-/// `policy`, executes both FRTR and PRTR on the node simulator, and
-/// evaluates the model at the *measured* hit ratio.
+/// Runs one sweep point: generates the workload (seeded via
+/// [`ExecCtx::seed_for`], so the context's base seed perturbs every
+/// stream uniformly), simulates the cache with `policy`, executes both
+/// FRTR and PRTR on the node simulator, and evaluates the model at the
+/// *measured* hit ratio.
+///
+/// All three substrates record into `ctx.registry` (cache counters per
+/// policy, executor counters and lane gauges, the measured `H` gauge);
+/// the PRTR timeline is returned alongside the point so callers can
+/// export it as a trace.
 pub fn run_point(
     node: &NodeConfig,
     trace_spec: &TraceSpec,
@@ -87,41 +94,17 @@ pub fn run_point(
     policy: &mut dyn Policy,
     prefetch: bool,
     t_task: f64,
-) -> SweepPoint {
-    run_point_with(
-        node,
-        trace_spec,
-        seed,
-        policy,
-        prefetch,
-        t_task,
-        &Registry::noop(),
-    )
-    .0
-}
-
-/// [`run_point`] with all three substrates recording into `registry`
-/// (cache counters per policy, executor counters and lane gauges, the
-/// measured `H` gauge), also returning the PRTR timeline so callers can
-/// export it as a trace.
-pub fn run_point_with(
-    node: &NodeConfig,
-    trace_spec: &TraceSpec,
-    seed: u64,
-    policy: &mut dyn Policy,
-    prefetch: bool,
-    t_task: f64,
-    registry: &Registry,
+    ctx: &ExecCtx,
 ) -> (SweepPoint, Timeline) {
-    let trace = trace_spec.generate(seed);
-    let outcome = simulate_with(&trace, node.n_prrs, policy, prefetch, registry);
+    let trace = trace_spec.generate(ctx.seed_for(seed));
+    let outcome = simulate(&trace, node.n_prrs, policy, prefetch, ctx);
     let calls = prtr_calls(node, &trace, &outcome, t_task);
     let t_task_actual = calls[0].task.task_time_s(node);
     let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
-    let frtr = run_frtr_with(node, &frtr_calls, registry).expect("FRTR run");
-    let prtr = run_prtr_with(node, &calls, registry).expect("PRTR run");
+    let frtr = run_frtr(node, &frtr_calls, ctx).expect("FRTR run");
+    let prtr = run_prtr(node, &calls, ctx).expect("PRTR run");
     let params = model_params_for(node, t_task_actual, outcome.hit_ratio(), trace.len() as u64);
-    registry
+    ctx.registry
         .gauge("exp.measured_hit_ratio")
         .set(outcome.hit_ratio());
     let point = SweepPoint {
@@ -136,17 +119,12 @@ pub fn run_point_with(
 
 /// The paper's Figure 9 workload: the three image filters cycling through
 /// the PRRs, no prefetching (H = 0) — `n` calls at each task time.
-pub fn figure9_point(node: &NodeConfig, t_task: f64, n: usize) -> SweepPoint {
-    figure9_point_with(node, t_task, n, &Registry::noop()).0
-}
-
-/// [`figure9_point`] with metrics recorded into `registry`; also
-/// returns the PRTR timeline.
-pub fn figure9_point_with(
+/// Metrics go to `ctx.registry`; the PRTR timeline is returned.
+pub fn figure9_point(
     node: &NodeConfig,
     t_task: f64,
     n: usize,
-    registry: &Registry,
+    ctx: &ExecCtx,
 ) -> (SweepPoint, Timeline) {
     let spec = TraceSpec::Looping {
         stages: 3,
@@ -155,7 +133,7 @@ pub fn figure9_point_with(
         len: n,
     };
     let mut policy = hprc_sched::policies::AlwaysMiss::new();
-    run_point_with(node, &spec, 1, &mut policy, false, t_task, registry)
+    run_point(node, &spec, 1, &mut policy, false, t_task, ctx)
 }
 
 #[cfg(test)]
@@ -164,10 +142,14 @@ mod tests {
     use hprc_fpga::floorplan::Floorplan;
     use hprc_sched::policies::{AlwaysMiss, Markov};
 
+    fn dctx() -> ExecCtx {
+        ExecCtx::default()
+    }
+
     #[test]
     fn figure9_point_matches_model_closely() {
         let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
-        let p = figure9_point(&node, node.t_prtr_s(), 400);
+        let p = figure9_point(&node, node.t_prtr_s(), 400, &dctx()).0;
         assert_eq!(p.hit_ratio, 0.0);
         let rel = (p.speedup_sim - p.speedup_model).abs() / p.speedup_model;
         assert!(
@@ -190,7 +172,7 @@ mod tests {
         };
         // Two tasks, two PRRs, LRU: everything hits after warmup.
         let mut lru = hprc_sched::policies::Lru::new();
-        let p = run_point(&node, &spec, 3, &mut lru, false, 0.05);
+        let p = run_point(&node, &spec, 3, &mut lru, false, 0.05, &dctx()).0;
         assert!(p.hit_ratio > 0.95, "H = {}", p.hit_ratio);
         assert!(p.speedup_sim > 1.0);
     }
@@ -205,8 +187,17 @@ mod tests {
             len: 300,
         };
         let t_task = 0.2 * node.t_prtr_s(); // config-bound regime
-        let base = run_point(&node, &spec, 5, &mut AlwaysMiss::new(), false, t_task);
-        let pf = run_point(&node, &spec, 5, &mut Markov::new(), true, t_task);
+        let base = run_point(
+            &node,
+            &spec,
+            5,
+            &mut AlwaysMiss::new(),
+            false,
+            t_task,
+            &dctx(),
+        )
+        .0;
+        let pf = run_point(&node, &spec, 5, &mut Markov::new(), true, t_task, &dctx()).0;
         assert!(pf.hit_ratio > base.hit_ratio);
         assert!(pf.speedup_sim > base.speedup_sim);
     }

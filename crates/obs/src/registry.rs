@@ -105,6 +105,54 @@ impl Registry {
         }
     }
 
+    /// Folds another registry's recordings into this one, in a single
+    /// deterministic pass: counters add, gauges overwrite (last merge
+    /// wins), histograms append their raw samples in recording order,
+    /// and spans append with `start_us` re-based onto this registry's
+    /// epoch. Merging per-shard registries back in shard-index order
+    /// therefore reproduces the exact instrument state of an
+    /// equivalent serial run (spans keep wall-clock timing, which is
+    /// inherently nondeterministic).
+    ///
+    /// No-op if either handle is disabled or both are the same
+    /// registry.
+    pub fn merge_from(&self, other: &Registry) {
+        let (Some(dst), Some(src)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(dst, src) {
+            return;
+        }
+        for (name, cell) in src.counters.read().iter() {
+            self.counter(name)
+                .add(cell.load(std::sync::atomic::Ordering::Relaxed));
+        }
+        for (name, cell) in src.gauges.read().iter() {
+            self.gauge(name).set(f64::from_bits(
+                cell.load(std::sync::atomic::Ordering::Relaxed),
+            ));
+        }
+        for (name, cell) in src.histograms.read().iter() {
+            let samples = cell.lock();
+            let handle = self.histogram(name);
+            for &sample in samples.iter() {
+                handle.record(sample);
+            }
+        }
+        // Spans carry offsets from their own registry's epoch; shift
+        // them onto ours (a source created before us clamps to 0).
+        let delta_us = src
+            .epoch
+            .checked_duration_since(dst.epoch)
+            .map_or(0, |d| d.as_micros() as u64);
+        let src_spans = src.spans.lock().clone();
+        let mut spans = dst.spans.lock();
+        for mut record in src_spans {
+            record.start_us += delta_us;
+            spans.push(record);
+        }
+    }
+
     /// Captures the current state of every instrument.
     ///
     /// A no-op registry snapshots to empty maps, which serialize to
@@ -224,6 +272,69 @@ mod tests {
         for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"spans\""] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn merge_combines_instruments_deterministically() {
+        let parent = Registry::new();
+        parent.counter("calls").add(5);
+        parent.gauge("level").set(1.0);
+        parent.histogram("lat").record(1.0);
+
+        let shard = Registry::new();
+        shard.counter("calls").add(3);
+        shard.counter("only_shard").inc();
+        shard.gauge("level").set(2.0);
+        shard.histogram("lat").record(2.0);
+        shard.histogram("lat").record(3.0);
+        {
+            let _s = shard.span("shard.work");
+        }
+
+        parent.merge_from(&shard);
+        let snap = parent.snapshot();
+        assert_eq!(snap.counters["calls"], 8);
+        assert_eq!(snap.counters["only_shard"], 1);
+        assert_eq!(snap.gauges["level"], 2.0);
+        assert_eq!(snap.histograms["lat"].count, 3);
+        assert_eq!(snap.histograms["lat"].max, 3.0);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "shard.work");
+    }
+
+    #[test]
+    fn merge_order_reproduces_serial_sample_order() {
+        let serial = Registry::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            serial.histogram("h").record(x);
+        }
+
+        let merged = Registry::new();
+        let shards: Vec<Registry> = (0..2).map(|_| Registry::new()).collect();
+        shards[0].histogram("h").record(1.0);
+        shards[0].histogram("h").record(2.0);
+        shards[1].histogram("h").record(3.0);
+        shards[1].histogram("h").record(4.0);
+        for shard in &shards {
+            merged.merge_from(shard);
+        }
+        assert_eq!(
+            merged.snapshot().to_json_value()["histograms"],
+            serial.snapshot().to_json_value()["histograms"]
+        );
+    }
+
+    #[test]
+    fn merge_is_inert_for_noop_or_self() {
+        let active = Registry::new();
+        active.counter("c").inc();
+        active.merge_from(&Registry::noop());
+        active.merge_from(&active.clone()); // same Arc: must not deadlock
+        assert_eq!(active.snapshot().counters["c"], 1);
+
+        let noop = Registry::noop();
+        noop.merge_from(&active);
+        assert!(noop.snapshot().counters.is_empty());
     }
 
     #[test]

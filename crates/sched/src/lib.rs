@@ -14,6 +14,7 @@
 //!   looping pipelines).
 //!
 //! ```
+//! use hprc_ctx::ExecCtx;
 //! use hprc_sched::policies::Markov;
 //! use hprc_sched::simulate::simulate;
 //! use hprc_sched::traces::TraceSpec;
@@ -21,7 +22,7 @@
 //! // An image pipeline cycling 3 cores through 2 PRRs defeats plain LRU,
 //! // but a next-task prefetcher hides most reconfigurations.
 //! let trace = TraceSpec::Looping { stages: 3, n_tasks: 3, noise: 0.0, len: 300 }.generate(1);
-//! let outcome = simulate(&trace, 2, &mut Markov::new(), true);
+//! let outcome = simulate(&trace, 2, &mut Markov::new(), true, &ExecCtx::default());
 //! assert!(outcome.hit_ratio() > 0.5);
 //! ```
 
@@ -35,5 +36,5 @@ pub mod traces;
 
 pub use cache::{CacheStats, ConfigCache, TaskId};
 pub use policy::Policy;
-pub use simulate::{simulate, simulate_with, CallOutcome, SimulationOutcome};
+pub use simulate::{simulate, CallOutcome, SimulationOutcome};
 pub use traces::TraceSpec;

@@ -182,7 +182,13 @@ mod tests {
             len: 300,
         }
         .generate(1);
-        let out = simulate(&trace, 2, &mut AssociationRule::new(2, 0.5), true);
+        let out = simulate(
+            &trace,
+            2,
+            &mut AssociationRule::new(2, 0.5),
+            true,
+            &hprc_ctx::ExecCtx::default(),
+        );
         assert!(out.hit_ratio() > 0.6, "H = {}", out.hit_ratio());
     }
 
@@ -200,8 +206,20 @@ mod tests {
             len: 600,
         }
         .generate(3);
-        let plain2 = simulate(&trace, 2, &mut Lru::new(), false);
-        let arm2 = simulate(&trace, 2, &mut AssociationRule::new(3, 0.4), true);
+        let plain2 = simulate(
+            &trace,
+            2,
+            &mut Lru::new(),
+            false,
+            &hprc_ctx::ExecCtx::default(),
+        );
+        let arm2 = simulate(
+            &trace,
+            2,
+            &mut AssociationRule::new(3, 0.4),
+            true,
+            &hprc_ctx::ExecCtx::default(),
+        );
         assert!(
             arm2.stats.hits < plain2.stats.hits,
             "pollution expected: arm {} vs lru {}",
@@ -209,8 +227,20 @@ mod tests {
             plain2.stats.hits
         );
         // With 4 slots the working set fits and ARM at least matches LRU.
-        let plain4 = simulate(&trace, 4, &mut Lru::new(), false);
-        let arm4 = simulate(&trace, 4, &mut AssociationRule::new(3, 0.4), true);
+        let plain4 = simulate(
+            &trace,
+            4,
+            &mut Lru::new(),
+            false,
+            &hprc_ctx::ExecCtx::default(),
+        );
+        let arm4 = simulate(
+            &trace,
+            4,
+            &mut AssociationRule::new(3, 0.4),
+            true,
+            &hprc_ctx::ExecCtx::default(),
+        );
         assert!(
             arm4.stats.hits >= plain4.stats.hits,
             "arm {} vs lru {}",

@@ -57,14 +57,26 @@ impl SimulationOutcome {
 /// a victim slot (never the slot of the task that just ran — it is still
 /// executing while the prefetch would proceed, exactly the overlap of
 /// Figure 4(b)).
+///
+/// Per-policy cache metrics go to `ctx.registry`
+/// ([`ExecCtx::default`](hprc_ctx::ExecCtx::default) records nothing).
+/// Instruments are namespaced by the policy's [`Policy::name`], so one
+/// registry can hold several policies side by side:
+///
+/// * counters `sched.{policy}.calls` / `.hits` / `.misses` /
+///   `.evictions` / `.prefetch_loads` / `.useful_prefetches`;
+/// * gauge `sched.{policy}.hit_ratio` — the measured `H` that feeds the
+///   analytical model's equation (5).
+///
 /// ```
+/// use hprc_ctx::ExecCtx;
 /// use hprc_sched::policies::Lru;
 /// use hprc_sched::simulate::simulate;
 /// use hprc_sched::TaskId;
 ///
 /// // Two tasks alternating over two PRRs: cold misses, then all hits.
 /// let trace: Vec<TaskId> = (0..10).map(|i| TaskId(i % 2)).collect();
-/// let outcome = simulate(&trace, 2, &mut Lru::new(), false);
+/// let outcome = simulate(&trace, 2, &mut Lru::new(), false, &ExecCtx::default());
 /// assert_eq!(outcome.stats.misses, 2);
 /// assert_eq!(outcome.stats.hits, 8);
 /// ```
@@ -73,26 +85,9 @@ pub fn simulate(
     slots: usize,
     policy: &mut dyn Policy,
     prefetch: bool,
+    ctx: &hprc_ctx::ExecCtx,
 ) -> SimulationOutcome {
-    simulate_with(trace, slots, policy, prefetch, &hprc_obs::Registry::noop())
-}
-
-/// [`simulate`] with per-policy cache metrics recorded into `registry`.
-///
-/// Instruments are namespaced by the policy's [`Policy::name`], so one
-/// registry can hold several policies side by side:
-///
-/// * counters `sched.{policy}.calls` / `.hits` / `.misses` /
-///   `.evictions` / `.prefetch_loads` / `.useful_prefetches`;
-/// * gauge `sched.{policy}.hit_ratio` — the measured `H` that feeds the
-///   analytical model's equation (5).
-pub fn simulate_with(
-    trace: &[TaskId],
-    slots: usize,
-    policy: &mut dyn Policy,
-    prefetch: bool,
-    registry: &hprc_obs::Registry,
-) -> SimulationOutcome {
+    let registry = &ctx.registry;
     let _span = registry.span("sched.simulate");
     let outcome = simulate_inner(trace, slots, policy, prefetch);
     if registry.is_enabled() {
@@ -209,10 +204,14 @@ mod tests {
         v.iter().map(|&i| TaskId(i)).collect()
     }
 
+    fn dctx() -> hprc_ctx::ExecCtx {
+        hprc_ctx::ExecCtx::default()
+    }
+
     #[test]
     fn always_miss_yields_h_zero() {
         let trace = ids(&[0, 1, 0, 1, 0, 1]);
-        let out = simulate(&trace, 2, &mut AlwaysMiss::new(), false);
+        let out = simulate(&trace, 2, &mut AlwaysMiss::new(), false, &dctx());
         assert_eq!(out.stats.misses, 6);
         assert_eq!(out.hit_ratio(), 0.0);
     }
@@ -220,7 +219,7 @@ mod tests {
     #[test]
     fn lru_two_slots_two_tasks_hits_after_warmup() {
         let trace = ids(&[0, 1, 0, 1, 0, 1, 0, 1]);
-        let out = simulate(&trace, 2, &mut Lru::new(), false);
+        let out = simulate(&trace, 2, &mut Lru::new(), false, &dctx());
         // Two cold misses, then all hits.
         assert_eq!(out.stats.misses, 2);
         assert_eq!(out.stats.hits, 6);
@@ -231,15 +230,15 @@ mod tests {
         // Cyclic A B C with 2 slots: LRU misses every call (classic
         // pathological case).
         let trace = ids(&[0, 1, 2, 0, 1, 2, 0, 1, 2]);
-        let out = simulate(&trace, 2, &mut Lru::new(), false);
+        let out = simulate(&trace, 2, &mut Lru::new(), false, &dctx());
         assert_eq!(out.stats.hits, 0);
     }
 
     #[test]
     fn belady_beats_lru_on_cyclic_trace() {
         let trace = ids(&[0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2]);
-        let lru = simulate(&trace, 2, &mut Lru::new(), false);
-        let opt = simulate(&trace, 2, &mut Belady::new(), false);
+        let lru = simulate(&trace, 2, &mut Lru::new(), false, &dctx());
+        let opt = simulate(&trace, 2, &mut Belady::new(), false, &dctx());
         assert!(opt.stats.hits > lru.stats.hits);
     }
 
@@ -248,7 +247,7 @@ mod tests {
         // A B A B ... with 2 slots and prefetching: after the transition
         // table warms up, the predictor always preloads the other task.
         let trace = ids(&[0, 1].repeat(50));
-        let out = simulate(&trace, 2, &mut Markov::new(), true);
+        let out = simulate(&trace, 2, &mut Markov::new(), true, &dctx());
         assert!(out.hit_ratio() > 0.9, "H = {}", out.hit_ratio());
         assert!(out.stats.useful_prefetches <= out.stats.prefetch_loads);
     }
@@ -258,8 +257,8 @@ mod tests {
         // A B C cycling through 2 slots defeats pure LRU entirely, but a
         // perfect next-task prefetcher hides most misses.
         let trace = ids(&[0, 1, 2].repeat(100));
-        let plain = simulate(&trace, 2, &mut Lru::new(), false);
-        let pf = simulate(&trace, 2, &mut Markov::new(), true);
+        let plain = simulate(&trace, 2, &mut Lru::new(), false, &dctx());
+        let pf = simulate(&trace, 2, &mut Markov::new(), true, &dctx());
         assert_eq!(plain.stats.hits, 0);
         assert!(pf.hit_ratio() > 0.5, "prefetching H = {}", pf.hit_ratio());
     }
@@ -267,7 +266,7 @@ mod tests {
     #[test]
     fn hits_plus_misses_equals_calls() {
         let trace = ids(&[0, 3, 1, 2, 0, 0, 2, 1, 3, 2]);
-        let out = simulate(&trace, 2, &mut Lru::new(), true);
+        let out = simulate(&trace, 2, &mut Lru::new(), true, &dctx());
         assert_eq!(out.stats.hits + out.stats.misses, out.stats.calls);
         assert_eq!(out.outcomes.len(), trace.len());
         let hits = out.outcomes.iter().filter(|o| o.is_hit()).count() as u64;
@@ -277,7 +276,7 @@ mod tests {
     #[test]
     fn single_slot_cache_works() {
         let trace = ids(&[0, 0, 1, 1, 0]);
-        let out = simulate(&trace, 1, &mut Lru::new(), false);
+        let out = simulate(&trace, 1, &mut Lru::new(), false, &dctx());
         assert_eq!(out.stats.hits, 2);
         assert_eq!(out.stats.misses, 3);
     }
@@ -285,10 +284,10 @@ mod tests {
     #[test]
     fn instrumented_simulation_measures_h_per_policy() {
         let trace = ids(&[0, 1, 0, 1, 0, 1, 0, 1]);
-        let reg = hprc_obs::Registry::new();
-        let lru = simulate_with(&trace, 2, &mut Lru::new(), false, &reg);
-        let miss = simulate_with(&trace, 2, &mut AlwaysMiss::new(), false, &reg);
-        let snap = reg.snapshot();
+        let ctx = dctx().with_registry(hprc_obs::Registry::new());
+        let lru = simulate(&trace, 2, &mut Lru::new(), false, &ctx);
+        let miss = simulate(&trace, 2, &mut AlwaysMiss::new(), false, &ctx);
+        let snap = ctx.registry.snapshot();
 
         // Per-policy namespacing keeps both measurements side by side.
         assert_eq!(snap.counters["sched.lru.calls"], 8);
@@ -308,13 +307,13 @@ mod tests {
     #[test]
     fn instrumentation_does_not_change_outcomes() {
         let trace = ids(&[0, 1, 2].repeat(20));
-        let plain = simulate(&trace, 2, &mut Belady::new(), false);
-        let traced = simulate_with(
+        let plain = simulate(&trace, 2, &mut Belady::new(), false, &dctx());
+        let traced = simulate(
             &trace,
             2,
             &mut Belady::new(),
             false,
-            &hprc_obs::Registry::new(),
+            &dctx().with_registry(hprc_obs::Registry::new()),
         );
         assert_eq!(plain, traced);
     }
@@ -322,8 +321,8 @@ mod tests {
     #[test]
     fn eviction_counter_matches_outcomes() {
         let trace = ids(&[0, 1, 2, 0, 1, 2]);
-        let reg = hprc_obs::Registry::new();
-        let out = simulate_with(&trace, 2, &mut Lru::new(), false, &reg);
+        let ctx = dctx().with_registry(hprc_obs::Registry::new());
+        let out = simulate(&trace, 2, &mut Lru::new(), false, &ctx);
         let evictions = out
             .outcomes
             .iter()
@@ -337,7 +336,10 @@ mod tests {
                 )
             })
             .count() as u64;
-        assert_eq!(reg.snapshot().counters["sched.lru.evictions"], evictions);
+        assert_eq!(
+            ctx.registry.snapshot().counters["sched.lru.evictions"],
+            evictions
+        );
         assert!(evictions > 0);
     }
 }

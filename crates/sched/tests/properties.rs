@@ -1,5 +1,6 @@
 //! Property-based tests of the caching/prefetching substrate.
 
+use hprc_ctx::ExecCtx;
 use hprc_sched::policies::{AlwaysMiss, Belady, Fifo, Lfu, Lru, Markov, RandomPolicy};
 use hprc_sched::simulate::simulate;
 use hprc_sched::traces::TraceSpec;
@@ -32,7 +33,7 @@ proptest! {
     fn accounting_identity(trace in arb_trace(), slots in 1usize..5, seed in any::<u64>()) {
         for mut policy in all_policies(seed) {
             for prefetch in [false, true] {
-                let out = simulate(&trace, slots, policy.as_mut(), prefetch);
+                let out = simulate(&trace, slots, policy.as_mut(), prefetch, &ExecCtx::default());
                 prop_assert_eq!(out.stats.calls, trace.len() as u64);
                 prop_assert_eq!(out.stats.hits + out.stats.misses, out.stats.calls);
                 prop_assert!(out.stats.useful_prefetches <= out.stats.prefetch_loads);
@@ -46,7 +47,7 @@ proptest! {
     /// demand-only policy — the classic optimality result.
     #[test]
     fn belady_dominates_demand_policies(trace in arb_trace(), slots in 1usize..5, seed in any::<u64>()) {
-        let opt = simulate(&trace, slots, &mut Belady::new(), false);
+        let opt = simulate(&trace, slots, &mut Belady::new(), false, &ExecCtx::default());
         for mut policy in [
             Box::new(Fifo::new()) as Box<dyn Policy>,
             Box::new(Lru::new()),
@@ -54,7 +55,7 @@ proptest! {
             Box::new(RandomPolicy::new(seed)),
             Box::new(AlwaysMiss::new()),
         ] {
-            let out = simulate(&trace, slots, policy.as_mut(), false);
+            let out = simulate(&trace, slots, policy.as_mut(), false, &ExecCtx::default());
             prop_assert!(
                 opt.stats.hits >= out.stats.hits,
                 "belady {} < {} {}",
@@ -79,7 +80,7 @@ proptest! {
             Box::new(Lfu::new()),
             Box::new(Belady::new()),
         ] {
-            let out = simulate(&trace, n_tasks, policy.as_mut(), false);
+            let out = simulate(&trace, n_tasks, policy.as_mut(), false, &ExecCtx::default());
             prop_assert_eq!(
                 out.stats.misses,
                 distinct.len() as u64,
@@ -92,7 +93,7 @@ proptest! {
     /// AlwaysMiss charges every call as a miss: H == 0 regardless of trace.
     #[test]
     fn always_miss_is_h_zero(trace in arb_trace(), slots in 1usize..5) {
-        let out = simulate(&trace, slots, &mut AlwaysMiss::new(), false);
+        let out = simulate(&trace, slots, &mut AlwaysMiss::new(), false, &ExecCtx::default());
         prop_assert_eq!(out.stats.hits, 0u64);
         prop_assert_eq!(out.hit_ratio(), 0.0);
     }
@@ -109,8 +110,8 @@ proptest! {
     ) {
         let trace = TraceSpec::Looping { stages, n_tasks: stages, noise: 0.0, len: 60 * stages }
             .generate(seed);
-        let plain = simulate(&trace, 2, &mut Lru::new(), false);
-        let pf = simulate(&trace, 2, &mut Markov::new(), true);
+        let plain = simulate(&trace, 2, &mut Lru::new(), false, &ExecCtx::default());
+        let pf = simulate(&trace, 2, &mut Markov::new(), true, &ExecCtx::default());
         prop_assert!(pf.stats.hits >= plain.stats.hits);
     }
 

@@ -7,6 +7,7 @@
 //! enumerates: a size check, and a DONE-signal check that always "fails"
 //! during partial reconfiguration because the device is already configured.
 
+use hprc_ctx::ExecCtx;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
@@ -56,7 +57,10 @@ impl CrayConfigApi {
     /// the DONE pin when the call is made (high once the FPGA is already
     /// configured — always the case during run-time reconfiguration).
     ///
-    /// Returns the call's duration.
+    /// Returns the call's duration. Accounting goes to `ctx.registry`:
+    /// `sim.cray_api.calls` counts every attempt,
+    /// `sim.cray_api.rejections` the size/DONE failures, and
+    /// `sim.cray_api.busy_s` histograms the accepted calls' durations.
     ///
     /// # Errors
     ///
@@ -68,49 +72,31 @@ impl CrayConfigApi {
         bytes: u64,
         is_partial: bool,
         done_high: bool,
+        ctx: &ExecCtx,
     ) -> Result<SimDuration, SimError> {
+        ctx.registry.counter("sim.cray_api.calls").inc();
         if !self.patched {
             if bytes != self.full_bitstream_bytes {
+                ctx.registry.counter("sim.cray_api.rejections").inc();
                 return Err(SimError::ApiRejected(format!(
                     "bitstream size {} != expected full size {} (size check)",
                     bytes, self.full_bitstream_bytes
                 )));
             }
             if is_partial && done_high {
+                ctx.registry.counter("sim.cray_api.rejections").inc();
                 return Err(SimError::ApiRejected(
                     "DONE asserted during download (device already configured)".into(),
                 ));
             }
         }
-        Ok(SimDuration::from_secs_f64(
+        let d = SimDuration::from_secs_f64(
             self.software_overhead_s + bytes as f64 / self.port_bytes_per_sec,
-        ))
-    }
-
-    /// [`CrayConfigApi::configure`] with call accounting recorded into
-    /// `registry`: `sim.cray_api.calls` counts every attempt,
-    /// `sim.cray_api.rejections` the size/DONE failures, and
-    /// `sim.cray_api.busy_s` histograms the accepted calls' durations.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`CrayConfigApi::configure`].
-    pub fn configure_with(
-        &self,
-        bytes: u64,
-        is_partial: bool,
-        done_high: bool,
-        registry: &hprc_obs::Registry,
-    ) -> Result<SimDuration, SimError> {
-        registry.counter("sim.cray_api.calls").inc();
-        let result = self.configure(bytes, is_partial, done_high);
-        match &result {
-            Ok(d) => registry
-                .histogram("sim.cray_api.busy_s")
-                .record(d.as_secs_f64()),
-            Err(_) => registry.counter("sim.cray_api.rejections").inc(),
-        }
-        result
+        );
+        ctx.registry
+            .histogram("sim.cray_api.busy_s")
+            .record(d.as_secs_f64());
+        Ok(d)
     }
 
     /// Full-configuration time in seconds (the `T_FRTR` this API induces).
@@ -125,12 +111,16 @@ mod tests {
 
     const FULL: u64 = 2_381_764;
 
+    fn ctx() -> ExecCtx {
+        ExecCtx::default()
+    }
+
     #[test]
     fn measured_full_configuration_matches_table2() {
         let api = CrayConfigApi::xd1_measured(FULL);
         let t = api.full_configuration_time_s();
         assert!((t * 1e3 - 1678.04).abs() < 0.05, "t = {} ms", t * 1e3);
-        let d = api.configure(FULL, false, false).unwrap();
+        let d = api.configure(FULL, false, false, &ctx()).unwrap();
         assert!((d.as_secs_f64() - t).abs() < 1e-9);
     }
 
@@ -144,7 +134,7 @@ mod tests {
     #[test]
     fn partial_bitstream_fails_size_check() {
         let api = CrayConfigApi::xd1_measured(FULL);
-        let err = api.configure(404_168, true, true).unwrap_err();
+        let err = api.configure(404_168, true, true, &ctx()).unwrap_err();
         assert!(err.to_string().contains("size check"));
     }
 
@@ -153,17 +143,17 @@ mod tests {
         // Even a partial bitstream padded to full size trips the DONE check
         // when the device is already running.
         let api = CrayConfigApi::xd1_measured(FULL);
-        let err = api.configure(FULL, true, true).unwrap_err();
+        let err = api.configure(FULL, true, true, &ctx()).unwrap_err();
         assert!(err.to_string().contains("DONE"));
     }
 
     #[test]
-    fn configure_with_counts_calls_and_rejections() {
-        let reg = hprc_obs::Registry::new();
+    fn configure_counts_calls_and_rejections() {
+        let ctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
         let api = CrayConfigApi::xd1_measured(FULL);
-        api.configure_with(FULL, false, false, &reg).unwrap();
-        api.configure_with(404_168, true, true, &reg).unwrap_err();
-        let snap = reg.snapshot();
+        api.configure(FULL, false, false, &ctx).unwrap();
+        api.configure(404_168, true, true, &ctx).unwrap_err();
+        let snap = ctx.registry.snapshot();
         assert_eq!(snap.counters["sim.cray_api.calls"], 2);
         assert_eq!(snap.counters["sim.cray_api.rejections"], 1);
         assert_eq!(snap.histograms["sim.cray_api.busy_s"].count, 1);
@@ -175,7 +165,7 @@ mod tests {
             patched: true,
             ..CrayConfigApi::xd1_measured(FULL)
         };
-        let d = api.configure(404_168, true, true).unwrap();
+        let d = api.configure(404_168, true, true, &ctx()).unwrap();
         assert!(d.as_secs_f64() > 0.0);
     }
 }

@@ -27,7 +27,7 @@
 //! ignores, which is precisely what makes simulator-vs-model validation
 //! meaningful.
 
-use hprc_obs::Registry;
+use hprc_ctx::ExecCtx;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
@@ -75,26 +75,20 @@ impl ExecutionReport {
 
 /// Executes `calls` under **FRTR**: full reconfiguration before every call.
 ///
+/// Metrics go to `ctx.registry` ([`ExecCtx::default`] records nothing):
+/// call/config counters, a per-call latency histogram, and the
+/// timeline's per-lane busy gauges under the `sim.frtr` prefix.
+///
 /// # Errors
 ///
 /// Propagates vendor-API rejections (impossible for well-formed full
 /// bitstreams).
-pub fn run_frtr(node: &NodeConfig, calls: &[TaskCall]) -> Result<ExecutionReport, SimError> {
-    run_frtr_with(node, calls, &Registry::noop())
-}
-
-/// [`run_frtr`] with metrics recorded into `registry`: call/config
-/// counters, per-call latency histogram, and the timeline's per-lane
-/// busy gauges under the `sim.frtr` prefix.
-///
-/// # Errors
-///
-/// Same as [`run_frtr`].
-pub fn run_frtr_with(
+pub fn run_frtr(
     node: &NodeConfig,
     calls: &[TaskCall],
-    registry: &Registry,
+    ctx: &ExecCtx,
 ) -> Result<ExecutionReport, SimError> {
+    let registry = &ctx.registry;
     let _span = registry.span("sim.run_frtr");
     let m_calls = registry.counter("sim.frtr.calls");
     let m_configs = registry.counter("sim.frtr.full_configs");
@@ -107,9 +101,7 @@ pub fn run_frtr_with(
     for call in calls {
         let config_start = now;
         // A full bitstream resets the device, so DONE is irrelevant here.
-        let d = node
-            .full_config
-            .configure_with(full_bytes, false, false, registry)?;
+        let d = node.full_config.configure(full_bytes, false, false, ctx)?;
         let config_end = config_start + d;
         timeline.push(
             Lane::ConfigPort,
@@ -154,26 +146,21 @@ pub fn run_frtr_with(
 /// Executes `calls` under **PRTR** with the per-call hit/miss outcomes and
 /// slot assignments supplied by a configuration-caching simulation.
 ///
+/// Metrics go to `ctx.registry` ([`ExecCtx::default`] records nothing):
+/// hit/miss/config counters, a per-call latency histogram, ICAP transfer
+/// accounting, and the timeline's per-lane busy gauges under the
+/// `sim.prtr` prefix.
+///
 /// # Errors
 ///
 /// [`SimError::InvalidRun`] when a slot index exceeds the node's PRR count
 /// or the call list is empty.
-pub fn run_prtr(node: &NodeConfig, calls: &[PrtrCall]) -> Result<ExecutionReport, SimError> {
-    run_prtr_with(node, calls, &Registry::noop())
-}
-
-/// [`run_prtr`] with metrics recorded into `registry`: hit/miss/config
-/// counters, per-call latency histogram, ICAP transfer accounting, and
-/// the timeline's per-lane busy gauges under the `sim.prtr` prefix.
-///
-/// # Errors
-///
-/// Same as [`run_prtr`].
-pub fn run_prtr_with(
+pub fn run_prtr(
     node: &NodeConfig,
     calls: &[PrtrCall],
-    registry: &Registry,
+    ctx: &ExecCtx,
 ) -> Result<ExecutionReport, SimError> {
+    let registry = &ctx.registry;
     if calls.is_empty() {
         return Err(SimError::InvalidRun("empty call sequence".into()));
     }
@@ -377,6 +364,10 @@ mod tests {
         NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr())
     }
 
+    fn dctx() -> ExecCtx {
+        ExecCtx::default()
+    }
+
     fn uniform_prtr_calls(
         node: &NodeConfig,
         t_task: f64,
@@ -400,7 +391,7 @@ mod tests {
         let calls: Vec<TaskCall> = (0..n)
             .map(|i| TaskCall::with_task_time(format!("t{i}"), &node, t_task))
             .collect();
-        let report = run_frtr(&node, &calls).unwrap();
+        let report = run_frtr(&node, &calls, &dctx()).unwrap();
         let t_task_actual = calls[0].task_time_s(&node);
         let expected = n as f64 * (node.t_frtr_s() + node.control_overhead_s + t_task_actual);
         assert!(
@@ -418,7 +409,7 @@ mod tests {
         let node = node();
         let t_task = 0.5; // 500 ms >> 19.77 ms
         let calls = uniform_prtr_calls(&node, t_task, 10, true);
-        let report = run_prtr(&node, &calls).unwrap();
+        let report = run_prtr(&node, &calls, &dctx()).unwrap();
         let t_task_actual = calls[0].task.task_time_s(&node);
         // First call pays its full config; the remaining 9 only task+control.
         let expected = node.t_prtr_s() + 10.0 * (node.control_overhead_s + t_task_actual);
@@ -438,7 +429,7 @@ mod tests {
         let t_task = 0.001; // 1 ms << 19.77 ms
         let n = 50;
         let calls = uniform_prtr_calls(&node, t_task, n, true);
-        let report = run_prtr(&node, &calls).unwrap();
+        let report = run_prtr(&node, &calls, &dctx()).unwrap();
         let t_task_actual = calls[0].task.task_time_s(&node);
         // Steady state: each call adds max(T_task, T_PRTR) = T_PRTR
         // (config for call i+1 starts at exec_start_i and T_PRTR > T_task
@@ -460,7 +451,7 @@ mod tests {
     fn prtr_hits_skip_configuration() {
         let node = node();
         let calls = uniform_prtr_calls(&node, 0.05, 10, false);
-        let report = run_prtr(&node, &calls).unwrap();
+        let report = run_prtr(&node, &calls, &dctx()).unwrap();
         // Only the first (cold) call configures.
         assert_eq!(report.n_config, 1);
         let t_task_actual = calls[0].task.task_time_s(&node);
@@ -475,8 +466,8 @@ mod tests {
         let n = 100;
         let prtr_calls = uniform_prtr_calls(&node, t_task, n, true);
         let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
-        let frtr = run_frtr(&node, &frtr_calls).unwrap();
-        let prtr = run_prtr(&node, &prtr_calls).unwrap();
+        let frtr = run_frtr(&node, &frtr_calls, &dctx()).unwrap();
+        let prtr = run_prtr(&node, &prtr_calls, &dctx()).unwrap();
         let speedup = frtr.total_s() / prtr.total_s();
         // The paper's "up to 87x" on the measured dual-PRR layout.
         assert!(speedup > 75.0 && speedup < 90.0, "speedup = {speedup}");
@@ -486,9 +477,9 @@ mod tests {
     fn shared_channel_ablation_slows_configuration() {
         let mut node = node();
         let calls = uniform_prtr_calls(&node, node.t_prtr_s(), 50, true);
-        let fast = run_prtr(&node, &calls).unwrap();
+        let fast = run_prtr(&node, &calls, &dctx()).unwrap();
         node.config_waits_for_data_input = true;
-        let slow = run_prtr(&node, &calls).unwrap();
+        let slow = run_prtr(&node, &calls, &dctx()).unwrap();
         assert!(slow.total_s() > fast.total_s());
     }
 
@@ -499,7 +490,7 @@ mod tests {
         let t_task = 0.1;
         let n = 20;
         let calls = uniform_prtr_calls(&node, t_task, n, true);
-        let report = run_prtr(&node, &calls).unwrap();
+        let report = run_prtr(&node, &calls, &dctx()).unwrap();
         let t_task_actual = calls[0].task.task_time_s(&node);
         // Steady state (T_task + T_d > T_PRTR here): increment
         // max(T_task + T_d, T_PRTR) + T_control.
@@ -512,7 +503,7 @@ mod tests {
 
     #[test]
     fn empty_prtr_run_rejected() {
-        assert!(run_prtr(&node(), &[]).is_err());
+        assert!(run_prtr(&node(), &[], &dctx()).is_err());
     }
 
     #[test]
@@ -523,19 +514,19 @@ mod tests {
             hit: false,
             slot: 99,
         }];
-        assert!(run_prtr(&node, &calls).is_err());
+        assert!(run_prtr(&node, &calls, &dctx()).is_err());
     }
 
     #[test]
     fn instrumented_runs_are_timing_neutral_and_accounted() {
         let node = node();
         let calls = uniform_prtr_calls(&node, 0.05, 20, false);
-        let plain = run_prtr(&node, &calls).unwrap();
-        let reg = hprc_obs::Registry::new();
-        let traced = run_prtr_with(&node, &calls, &reg).unwrap();
+        let plain = run_prtr(&node, &calls, &dctx()).unwrap();
+        let ctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let traced = run_prtr(&node, &calls, &ctx).unwrap();
         assert_eq!(plain, traced, "instrumentation must not perturb timing");
 
-        let snap = reg.snapshot();
+        let snap = ctx.registry.snapshot();
         assert_eq!(snap.counters["sim.prtr.calls"], 20);
         assert_eq!(snap.counters["sim.prtr.hits"], 19);
         assert_eq!(snap.counters["sim.prtr.misses"], 1);
@@ -560,9 +551,9 @@ mod tests {
         let calls: Vec<TaskCall> = (0..4)
             .map(|i| TaskCall::with_task_time(format!("t{i}"), &node, 0.01))
             .collect();
-        let reg = hprc_obs::Registry::new();
-        let report = run_frtr_with(&node, &calls, &reg).unwrap();
-        let snap = reg.snapshot();
+        let ctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let report = run_frtr(&node, &calls, &ctx).unwrap();
+        let snap = ctx.registry.snapshot();
         assert_eq!(snap.counters["sim.frtr.calls"], 4);
         assert_eq!(snap.counters["sim.frtr.full_configs"], 4);
         assert_eq!(snap.counters["sim.cray_api.calls"], 4);
@@ -575,7 +566,7 @@ mod tests {
     fn timeline_records_all_activity_kinds() {
         let node = node();
         let calls = uniform_prtr_calls(&node, 0.05, 5, true);
-        let report = run_prtr(&node, &calls).unwrap();
+        let report = run_prtr(&node, &calls, &dctx()).unwrap();
         let text = report.timeline.render_text(80);
         assert!(text.contains('P'), "partial configs:\n{text}");
         assert!(text.contains('X'), "executions:\n{text}");

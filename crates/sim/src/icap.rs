@@ -88,17 +88,17 @@ impl IcapPath {
     }
 
     /// [`IcapPath::transfer_duration`] with the transfer recorded into
-    /// `registry` (`sim.icap.transfers` / `sim.icap.bytes` counters and
-    /// a `sim.icap.transfer_s` histogram).
+    /// `ctx.registry` (`sim.icap.transfers` / `sim.icap.bytes` counters
+    /// and a `sim.icap.transfer_s` histogram).
     ///
     /// The PRTR executor batches its accounting instead (one bitstream
     /// size for the whole run); this entry point serves callers pushing
     /// variable-size partial bitstreams.
-    pub fn transfer_duration_with(&self, bytes: u64, registry: &hprc_obs::Registry) -> SimDuration {
+    pub fn transfer(&self, bytes: u64, ctx: &hprc_ctx::ExecCtx) -> SimDuration {
         let d = self.transfer_duration(bytes);
-        registry.counter("sim.icap.transfers").inc();
-        registry.counter("sim.icap.bytes").add(bytes);
-        registry
+        ctx.registry.counter("sim.icap.transfers").inc();
+        ctx.registry.counter("sim.icap.bytes").add(bytes);
+        ctx.registry
             .histogram("sim.icap.transfer_s")
             .record(d.as_secs_f64());
         d
@@ -150,13 +150,13 @@ mod tests {
     }
 
     #[test]
-    fn transfer_with_records_accounting() {
-        let reg = hprc_obs::Registry::new();
+    fn transfer_records_accounting() {
+        let ctx = hprc_ctx::ExecCtx::default().with_registry(hprc_obs::Registry::new());
         let p = IcapPath::xd1();
-        let d1 = p.transfer_duration_with(404_168, &reg);
+        let d1 = p.transfer(404_168, &ctx);
         let d2 = p.transfer_duration(404_168);
         assert_eq!(d1, d2, "instrumented path is timing-neutral");
-        let snap = reg.snapshot();
+        let snap = ctx.registry.snapshot();
         assert_eq!(snap.counters["sim.icap.transfers"], 1);
         assert_eq!(snap.counters["sim.icap.bytes"], 404_168);
         assert_eq!(snap.histograms["sim.icap.transfer_s"].count, 1);

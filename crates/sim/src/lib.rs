@@ -9,13 +9,19 @@
 //! ([`executor`]), producing totals and event timelines ([`trace`]) that
 //! can be validated against the analytical model of `hprc-model`.
 //!
+//! Every executor entry point takes an [`hprc_ctx::ExecCtx`] carrying the
+//! observability registry, seed, calibration, and parallelism budget;
+//! `ExecCtx::default()` is the plain, uninstrumented run.
+//!
 //! ```
+//! use hprc_ctx::ExecCtx;
 //! use hprc_fpga::floorplan::Floorplan;
 //! use hprc_sim::executor::{run_frtr, run_prtr};
 //! use hprc_sim::node::NodeConfig;
 //! use hprc_sim::task::{PrtrCall, TaskCall};
 //!
 //! let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
+//! let ctx = ExecCtx::default();
 //! // 20 calls, each as long as one partial configuration (the peak point).
 //! let calls: Vec<PrtrCall> = (0..20)
 //!     .map(|i| PrtrCall {
@@ -24,8 +30,9 @@
 //!         slot: i % 2,
 //!     })
 //!     .collect();
-//! let frtr = run_frtr(&node, &calls.iter().map(|c| c.task.clone()).collect::<Vec<_>>()).unwrap();
-//! let prtr = run_prtr(&node, &calls).unwrap();
+//! let tasks: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+//! let frtr = run_frtr(&node, &tasks, &ctx).unwrap();
+//! let prtr = run_prtr(&node, &calls, &ctx).unwrap();
 //! assert!(frtr.total_s() / prtr.total_s() > 50.0); // PRTR wins big here
 //! ```
 
@@ -45,7 +52,7 @@ pub mod trace;
 pub use cray_api::CrayConfigApi;
 pub use engine::EventQueue;
 pub use error::SimError;
-pub use executor::{run_frtr, run_frtr_with, run_prtr, run_prtr_with, CallTiming, ExecutionReport};
+pub use executor::{run_frtr, run_prtr, CallTiming, ExecutionReport};
 pub use icap::IcapPath;
 pub use node::NodeConfig;
 pub use rtcore::{Fifo, MemoryBank, RtCore};

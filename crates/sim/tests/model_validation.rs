@@ -3,6 +3,7 @@
 //! must agree with measured simulator totals, exactly for FRTR and
 //! asymptotically (with O(1/n) cold-start error) for PRTR.
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_model::params::{ModelParams, NormalizedTimes};
 use hprc_model::{frtr, prtr, speedup};
@@ -41,7 +42,7 @@ fn frtr_matches_equation_2_exactly_for_any_n() {
             .map(|i| TaskCall::with_task_time(format!("t{i}"), &node, t_task))
             .collect();
         let t_task_actual = calls[0].task_time_s(&node);
-        let report = run_frtr(&node, &calls).unwrap();
+        let report = run_frtr(&node, &calls, &ExecCtx::default()).unwrap();
         let params = model_params(&node, t_task_actual, 0.0, n as u64);
         let predicted = frtr::total_time_normalized(&params) * node.t_frtr_s();
         let rel = (report.total_s() - predicted).abs() / predicted;
@@ -66,7 +67,7 @@ fn prtr_all_miss_converges_to_equation_5() {
     ] {
         let calls = uniform_calls(&node, t_task, n, &vec![false; n]);
         let t_task_actual = calls[0].task.task_time_s(&node);
-        let report = run_prtr(&node, &calls).unwrap();
+        let report = run_prtr(&node, &calls, &ExecCtx::default()).unwrap();
         let params = model_params(&node, t_task_actual, 0.0, n as u64);
         let predicted = prtr::total_time_normalized(&params) * node.t_frtr_s();
         let rel = (report.total_s() - predicted).abs() / predicted;
@@ -100,7 +101,7 @@ fn prtr_with_hits_converges_to_equation_5() {
         let t_task = 0.5 * node.t_prtr_s();
         let calls = uniform_calls(&node, t_task, n, &hits);
         let t_task_actual = calls[0].task.task_time_s(&node);
-        let report = run_prtr(&node, &calls).unwrap();
+        let report = run_prtr(&node, &calls, &ExecCtx::default()).unwrap();
         let params = model_params(&node, t_task_actual, actual_h, n as u64);
         let predicted = prtr::total_time_normalized(&params) * node.t_frtr_s();
         let rel = (report.total_s() - predicted).abs() / predicted;
@@ -120,8 +121,12 @@ fn measured_speedup_matches_equation_6() {
         let prtr_calls = uniform_calls(&node, t_task, n, &vec![false; n]);
         let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
         let t_task_actual = frtr_calls[0].task_time_s(&node);
-        let s_sim = run_frtr(&node, &frtr_calls).unwrap().total_s()
-            / run_prtr(&node, &prtr_calls).unwrap().total_s();
+        let s_sim = run_frtr(&node, &frtr_calls, &ExecCtx::default())
+            .unwrap()
+            .total_s()
+            / run_prtr(&node, &prtr_calls, &ExecCtx::default())
+                .unwrap()
+                .total_s();
         let params = model_params(&node, t_task_actual, 0.0, n as u64);
         let s_model = speedup::speedup(&params);
         let rel = (s_sim - s_model).abs() / s_model;
@@ -142,7 +147,7 @@ fn decision_latency_validation() {
     let t_task = node.t_prtr_s();
     let calls = uniform_calls(&node, t_task, n, &vec![false; n]);
     let t_task_actual = calls[0].task.task_time_s(&node);
-    let report = run_prtr(&node, &calls).unwrap();
+    let report = run_prtr(&node, &calls, &ExecCtx::default()).unwrap();
     let params = model_params(&node, t_task_actual, 0.0, n as u64);
     let predicted = prtr::total_time_normalized(&params) * node.t_frtr_s();
     let rel = (report.total_s() - predicted).abs() / predicted;
@@ -162,8 +167,12 @@ fn estimated_node_peak_speedup_is_about_7x() {
     let t_task = node.t_prtr_s();
     let prtr_calls = uniform_calls(&node, t_task, n, &vec![false; n]);
     let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
-    let s = run_frtr(&node, &frtr_calls).unwrap().total_s()
-        / run_prtr(&node, &prtr_calls).unwrap().total_s();
+    let s = run_frtr(&node, &frtr_calls, &ExecCtx::default())
+        .unwrap()
+        .total_s()
+        / run_prtr(&node, &prtr_calls, &ExecCtx::default())
+            .unwrap()
+            .total_s();
     assert!(s > 6.3 && s < 7.3, "peak speedup = {s}");
 }
 
@@ -175,8 +184,12 @@ fn measured_node_peak_speedup_is_about_87x() {
     let t_task = node.t_prtr_s();
     let prtr_calls = uniform_calls(&node, t_task, n, &vec![false; n]);
     let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
-    let s = run_frtr(&node, &frtr_calls).unwrap().total_s()
-        / run_prtr(&node, &prtr_calls).unwrap().total_s();
+    let s = run_frtr(&node, &frtr_calls, &ExecCtx::default())
+        .unwrap()
+        .total_s()
+        / run_prtr(&node, &prtr_calls, &ExecCtx::default())
+            .unwrap()
+            .total_s();
     assert!(s > 80.0 && s < 90.0, "peak speedup = {s}");
 }
 
@@ -189,8 +202,12 @@ fn data_intensive_tasks_cap_at_2x() {
         let t_task = factor * node.t_frtr_s();
         let prtr_calls = uniform_calls(&node, t_task, n, &vec![false; n]);
         let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
-        let s = run_frtr(&node, &frtr_calls).unwrap().total_s()
-            / run_prtr(&node, &prtr_calls).unwrap().total_s();
+        let s = run_frtr(&node, &frtr_calls, &ExecCtx::default())
+            .unwrap()
+            .total_s()
+            / run_prtr(&node, &prtr_calls, &ExecCtx::default())
+                .unwrap()
+                .total_s();
         assert!(s <= 2.0 + 0.01, "factor {factor}: speedup = {s}");
         if factor == 1.0 {
             assert!(s > 1.9, "speedup at X_task=1 should approach 2, got {s}");

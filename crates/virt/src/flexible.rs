@@ -100,12 +100,21 @@ struct Resident {
 
 /// Runs flexible applications over `window` of `device` on `node` timing.
 ///
+/// Metrics go to `ctx.registry`
+/// ([`ExecCtx::default`](hprc_ctx::ExecCtx::default) records nothing):
+/// counters `virt.flex.calls` / `.hits` / `.configs` / `.evictions` /
+/// `.defrags`, gauges `virt.flex.makespan_s` /
+/// `.peak_fragmentation` / `.defrag_time_s`, a
+/// `virt.flex.config_bytes` histogram of demand-configuration sizes,
+/// and a `virt.run_flexible` span over the whole simulation.
+///
 /// # Errors
 ///
 /// [`VirtError::NoApplications`] / [`VirtError::BadAppIds`] as in the
 /// fixed runtime; [`VirtError::ModuleTooWide`] when a call's width
 /// exceeds the whole window.
 /// ```
+/// use hprc_ctx::ExecCtx;
 /// use hprc_fpga::device::Device;
 /// use hprc_fpga::floorplan::Floorplan;
 /// use hprc_sim::node::NodeConfig;
@@ -124,7 +133,7 @@ struct Resident {
 ///     ],
 /// };
 /// let report = run_flexible(&node, &device, (n - 15)..(n - 2), &[app],
-///     &FlexConfig { defrag: DefragPolicy::OnBlock }).unwrap();
+///     &FlexConfig { defrag: DefragPolicy::OnBlock }, &ExecCtx::default()).unwrap();
 /// assert_eq!(report.n_config, 1); // configured once, then resident
 /// assert_eq!(report.hits, 4);
 /// ```
@@ -135,7 +144,10 @@ pub fn run_flexible(
     window: Range<usize>,
     apps: &[FlexApp],
     config: &FlexConfig,
+    ctx: &hprc_ctx::ExecCtx,
 ) -> Result<FlexReport, VirtError> {
+    let registry = &ctx.registry;
+    let _span = registry.span("virt.run_flexible");
     if apps.is_empty() {
         return Err(VirtError::NoApplications);
     }
@@ -162,7 +174,12 @@ pub fn run_flexible(
     let mut icap_free = SimTime::ZERO;
     let t_control = SimDuration::from_secs_f64(node.control_overhead_s);
 
-    let mut queue: EventQueue<Issue> = EventQueue::new();
+    let m_calls = registry.counter("virt.flex.calls");
+    let m_hits = registry.counter("virt.flex.hits");
+    let m_configs = registry.counter("virt.flex.configs");
+    let m_config_bytes = registry.histogram("virt.flex.config_bytes");
+
+    let mut queue: EventQueue<Issue> = EventQueue::instrumented(registry);
     let mut next_call = vec![0usize; apps.len()];
     for app in apps {
         if !app.calls.is_empty() {
@@ -188,10 +205,12 @@ pub fn run_flexible(
         let app = &apps[app_id];
         let call = &app.calls[next_call[app_id]];
         report.calls += 1;
+        m_calls.inc();
 
         let exec_ready = if let Some(r) = residents.get(&call.module) {
             // Hit: wait only for the module's own previous work.
             report.hits += 1;
+            m_hits.inc();
             now.max(r.free_at)
         } else {
             // Demand allocation.
@@ -246,6 +265,8 @@ pub fn run_flexible(
             let cfg_end = cfg_start + node.icap.transfer_duration(bytes);
             icap_free = cfg_end;
             report.n_config += 1;
+            m_configs.inc();
+            m_config_bytes.record(bytes as f64);
             residents.insert(
                 call.module.clone(),
                 Resident {
@@ -269,6 +290,21 @@ pub fn run_flexible(
         }
     }
 
+    if registry.is_enabled() {
+        registry
+            .counter("virt.flex.evictions")
+            .add(report.evictions);
+        registry.counter("virt.flex.defrags").add(report.defrags);
+        registry
+            .gauge("virt.flex.makespan_s")
+            .set(report.makespan_s);
+        registry
+            .gauge("virt.flex.peak_fragmentation")
+            .set(report.peak_fragmentation);
+        registry
+            .gauge("virt.flex.defrag_time_s")
+            .set(report.defrag_time_s);
+    }
     Ok(report)
 }
 
@@ -277,6 +313,10 @@ mod tests {
     use super::*;
     use hprc_fpga::device::{ColumnKind, Device};
     use hprc_fpga::floorplan::Floorplan;
+
+    fn dctx() -> hprc_ctx::ExecCtx {
+        hprc_ctx::ExecCtx::default()
+    }
 
     fn setup() -> (NodeConfig, Device, Range<usize>) {
         let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
@@ -316,7 +356,7 @@ mod tests {
         let run_width = |w: usize| {
             // Alternate two modules of width w so every call reconfigures.
             let a = app(0, &[("m1", w, 1e-4), ("m2", w, 1e-4)], 20, 0.0);
-            run_flexible(&node, &device, window.clone(), &[a], &cfg)
+            run_flexible(&node, &device, window.clone(), &[a], &cfg, &dctx())
                 .unwrap()
                 .makespan_s
         };
@@ -349,6 +389,7 @@ mod tests {
             &FlexConfig {
                 defrag: DefragPolicy::Never,
             },
+            &dctx(),
         )
         .unwrap();
         assert_eq!(r.n_config, 3, "one config per module, then residency");
@@ -379,6 +420,7 @@ mod tests {
             &FlexConfig {
                 defrag: DefragPolicy::Never,
             },
+            &dctx(),
         )
         .unwrap();
         assert!(r.evictions > 0);
@@ -411,6 +453,7 @@ mod tests {
             &FlexConfig {
                 defrag: DefragPolicy::Never,
             },
+            &dctx(),
         )
         .unwrap();
         let onblock = run_flexible(
@@ -421,6 +464,7 @@ mod tests {
             &FlexConfig {
                 defrag: DefragPolicy::OnBlock,
             },
+            &dctx(),
         )
         .unwrap();
         assert!(onblock.defrags > 0, "defrag must trigger: {onblock:?}");
@@ -445,6 +489,7 @@ mod tests {
             &FlexConfig {
                 defrag: DefragPolicy::Never,
             },
+            &dctx(),
         )
         .unwrap();
         // Both fit: one config each, everything else hits.
@@ -460,6 +505,39 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_flexible_run_is_neutral_and_accounted() {
+        let (node, device, window) = setup();
+        let mk = || {
+            app(
+                0,
+                &[("x", 4, 0.001), ("y", 4, 0.001), ("z", 4, 0.001)],
+                30,
+                0.0,
+            )
+        };
+        let cfg = FlexConfig {
+            defrag: DefragPolicy::Never,
+        };
+        let plain = run_flexible(&node, &device, window.clone(), &[mk()], &cfg, &dctx()).unwrap();
+        let ctx = dctx().with_registry(hprc_obs::Registry::new());
+        let traced = run_flexible(&node, &device, window, &[mk()], &cfg, &ctx).unwrap();
+        assert_eq!(plain, traced, "instrumentation must not perturb timing");
+
+        let snap = ctx.registry.snapshot();
+        assert_eq!(snap.counters["virt.flex.calls"], traced.calls);
+        assert_eq!(snap.counters["virt.flex.hits"], traced.hits);
+        assert_eq!(snap.counters["virt.flex.configs"], traced.n_config);
+        assert_eq!(
+            snap.histograms["virt.flex.config_bytes"].count,
+            traced.n_config
+        );
+        assert!((snap.gauges["virt.flex.makespan_s"] - traced.makespan_s).abs() < 1e-12);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "virt.run_flexible");
+        assert!(snap.counters["sim.queue.popped"] >= traced.calls);
+    }
+
+    #[test]
     fn too_wide_module_rejected() {
         let (node, device, window) = setup();
         let a = app(0, &[("huge", 99, 0.001)], 1, 0.0);
@@ -471,7 +549,8 @@ mod tests {
                 &[a],
                 &FlexConfig {
                     defrag: DefragPolicy::Never
-                }
+                },
+                &dctx()
             ),
             Err(VirtError::ModuleTooWide { .. })
         ));

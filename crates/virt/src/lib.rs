@@ -16,19 +16,21 @@
 //!   times).
 //!
 //! ```
+//! use hprc_ctx::ExecCtx;
 //! use hprc_fpga::floorplan::Floorplan;
 //! use hprc_sim::node::NodeConfig;
 //! use hprc_virt::app::App;
 //! use hprc_virt::runtime::{run, RuntimeConfig};
 //!
 //! let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
+//! let ctx = ExecCtx::default();
 //! // Two applications, each loyal to its own core.
 //! let apps = vec![
 //!     App::cycling(0, "video", &["Median Filter"], 20, 0.005, 0.0),
 //!     App::cycling(1, "edges", &["Sobel Filter"], 20, 0.005, 0.0),
 //! ];
-//! let prtr = run(&node, &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
-//! let frtr = run(&node, &apps, &RuntimeConfig::frtr()).unwrap();
+//! let prtr = run(&node, &apps, &RuntimeConfig::prtr_overlapped(), &ctx).unwrap();
+//! let frtr = run(&node, &apps, &RuntimeConfig::frtr(), &ctx).unwrap();
 //! // PRTR keeps both cores resident; FRTR ping-pongs 1.7 s configurations.
 //! assert!(frtr.makespan_s > 20.0 * prtr.makespan_s);
 //! ```
@@ -43,4 +45,4 @@ pub mod runtime;
 pub use app::{App, VirtCall};
 pub use error::VirtError;
 pub use flexible::{run_flexible, DefragPolicy, FlexApp, FlexCall, FlexConfig, FlexReport};
-pub use runtime::{run, run_with, ReconfigMode, RunReport, RuntimeConfig, SchedulerKind};
+pub use runtime::{run, ReconfigMode, RunReport, RuntimeConfig, SchedulerKind};

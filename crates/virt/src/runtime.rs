@@ -180,20 +180,8 @@ struct Issue {
 
 /// Runs `apps` on the node under `config`.
 ///
-/// # Errors
-///
-/// [`VirtError::NoApplications`] for an empty app list;
-/// [`VirtError::BadAppIds`] when ids are not `0..n` in order (they index
-/// the report).
-pub fn run(
-    node: &NodeConfig,
-    apps: &[App],
-    config: &RuntimeConfig,
-) -> Result<RunReport, VirtError> {
-    run_with(node, apps, config, &hprc_obs::Registry::noop())
-}
-
-/// [`run`] with runtime metrics recorded into `registry`:
+/// Runtime metrics go to `ctx.registry`
+/// ([`ExecCtx::default`](hprc_ctx::ExecCtx::default) records nothing):
 ///
 /// * histogram `virt.dispatch_latency_s` — per call, time from issue to
 ///   execution start (the queueing + configuration + control cost the
@@ -205,13 +193,16 @@ pub fn run(
 ///
 /// # Errors
 ///
-/// Same as [`run`].
-pub fn run_with(
+/// [`VirtError::NoApplications`] for an empty app list;
+/// [`VirtError::BadAppIds`] when ids are not `0..n` in order (they index
+/// the report).
+pub fn run(
     node: &NodeConfig,
     apps: &[App],
     config: &RuntimeConfig,
-    registry: &hprc_obs::Registry,
+    ctx: &hprc_ctx::ExecCtx,
 ) -> Result<RunReport, VirtError> {
+    let registry = &ctx.registry;
     let _span = registry.span("virt.run");
     if apps.is_empty() {
         return Err(VirtError::NoApplications);
@@ -429,6 +420,10 @@ mod tests {
         NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr())
     }
 
+    fn dctx() -> hprc_ctx::ExecCtx {
+        hprc_ctx::ExecCtx::default()
+    }
+
     fn cores() -> [&'static str; 3] {
         ["Median Filter", "Sobel Filter", "Smoothing Filter"]
     }
@@ -441,7 +436,7 @@ mod tests {
         let n = 60;
         let t_task = node.t_prtr_s();
         let app = App::cycling(0, "a", &cores(), n, t_task, 0.0);
-        let report = run(&node, &[app], &RuntimeConfig::prtr_overlapped()).unwrap();
+        let report = run(&node, &[app], &RuntimeConfig::prtr_overlapped(), &dctx()).unwrap();
 
         // The executor's all-miss steady state (equation (3) with H = 0,
         // T_decision = 0): one un-hidden leading configuration, then each
@@ -465,7 +460,7 @@ mod tests {
         // 2 modules over 2 PRRs: after warmup everything is resident.
         let node = node();
         let app = App::cycling(0, "a", &cores()[..2], 40, 0.01, 0.0);
-        let report = run(&node, &[app], &RuntimeConfig::prtr_overlapped()).unwrap();
+        let report = run(&node, &[app], &RuntimeConfig::prtr_overlapped(), &dctx()).unwrap();
         assert!(report.hit_ratio() > 0.9, "H = {}", report.hit_ratio());
         assert!(report.n_config <= 3);
     }
@@ -474,8 +469,8 @@ mod tests {
     fn demand_prtr_is_slower_than_overlapped() {
         let node = node();
         let mk = || App::cycling(0, "a", &cores(), 50, node.t_prtr_s(), 0.0);
-        let overlapped = run(&node, &[mk()], &RuntimeConfig::prtr_overlapped()).unwrap();
-        let demand = run(&node, &[mk()], &RuntimeConfig::prtr_demand()).unwrap();
+        let overlapped = run(&node, &[mk()], &RuntimeConfig::prtr_overlapped(), &dctx()).unwrap();
+        let demand = run(&node, &[mk()], &RuntimeConfig::prtr_demand(), &dctx()).unwrap();
         assert!(
             demand.makespan_s > 1.5 * overlapped.makespan_s,
             "demand {} vs overlapped {}",
@@ -490,7 +485,7 @@ mod tests {
         let n = 5;
         let t_task = 0.01;
         let app = App::cycling(0, "a", &cores(), n, t_task, 0.0);
-        let report = run(&node, &[app], &RuntimeConfig::frtr()).unwrap();
+        let report = run(&node, &[app], &RuntimeConfig::frtr(), &dctx()).unwrap();
         let expected = n as f64 * (node.t_frtr_s() + node.control_overhead_s + t_task);
         assert!((report.makespan_s - expected).abs() / expected < 1e-6);
         assert_eq!(report.n_config as usize, n);
@@ -512,7 +507,7 @@ mod tests {
                 4
             ],
         };
-        let report = run(&node, &[app], &RuntimeConfig::frtr()).unwrap();
+        let report = run(&node, &[app], &RuntimeConfig::frtr(), &dctx()).unwrap();
         assert_eq!(report.n_config, 1);
         assert_eq!(report.per_app[0].hits, 3);
     }
@@ -536,8 +531,8 @@ mod tests {
             ],
         };
         let apps = vec![mk(0, "Median Filter"), mk(1, "Sobel Filter")];
-        let prtr = run(&node, &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
-        let frtr = run(&node, &apps, &RuntimeConfig::frtr()).unwrap();
+        let prtr = run(&node, &apps, &RuntimeConfig::prtr_overlapped(), &dctx()).unwrap();
+        let frtr = run(&node, &apps, &RuntimeConfig::frtr(), &dctx()).unwrap();
         assert!(
             frtr.makespan_s > 50.0 * prtr.makespan_s,
             "frtr {} vs prtr {}",
@@ -573,12 +568,12 @@ mod tests {
             scheduler: SchedulerKind::Priority,
             ..RuntimeConfig::prtr_overlapped()
         };
-        let report = run(&node, &apps, &cfg).unwrap();
+        let report = run(&node, &apps, &cfg, &dctx()).unwrap();
         let t0 = report.per_app[0].turnaround_s;
         let t1 = report.per_app[1].turnaround_s;
         assert!(t1 < t0, "priority app turnaround {t1} vs {t0}");
         // FCFS instead: app0 (scheduled first) wins.
-        let fcfs = run(&node, &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
+        let fcfs = run(&node, &apps, &RuntimeConfig::prtr_overlapped(), &dctx()).unwrap();
         assert!(fcfs.per_app[0].turnaround_s < fcfs.per_app[1].turnaround_s);
     }
 
@@ -587,7 +582,7 @@ mod tests {
         let node = node();
         let mut app = App::cycling(0, "late", &cores()[..1], 1, 0.01, 5.0);
         app.priority = 1;
-        let report = run(&node, &[app], &RuntimeConfig::prtr_demand()).unwrap();
+        let report = run(&node, &[app], &RuntimeConfig::prtr_demand(), &dctx()).unwrap();
         assert!(report.records[0].issued.as_secs_f64() >= 5.0);
         assert!(report.makespan_s >= 5.0 + node.t_prtr_s() + 0.01);
         // Turnaround excludes the waiting-to-arrive time.
@@ -597,7 +592,7 @@ mod tests {
     #[test]
     fn empty_app_list_rejected() {
         assert!(matches!(
-            run(&node(), &[], &RuntimeConfig::frtr()),
+            run(&node(), &[], &RuntimeConfig::frtr(), &dctx()),
             Err(VirtError::NoApplications)
         ));
     }
@@ -607,7 +602,7 @@ mod tests {
         let mut app = App::cycling(0, "a", &cores(), 1, 0.01, 0.0);
         app.id = 5;
         assert!(matches!(
-            run(&node(), &[app], &RuntimeConfig::frtr()),
+            run(&node(), &[app], &RuntimeConfig::frtr(), &dctx()),
             Err(VirtError::BadAppIds)
         ));
     }
@@ -616,15 +611,15 @@ mod tests {
     fn instrumented_run_records_dispatch_latency() {
         let node = node();
         let mk = || App::cycling(0, "a", &cores(), 30, 0.005, 0.0);
-        let plain = run(&node, &[mk()], &RuntimeConfig::prtr_demand()).unwrap();
-        let reg = hprc_obs::Registry::new();
-        let traced = run_with(&node, &[mk()], &RuntimeConfig::prtr_demand(), &reg).unwrap();
+        let plain = run(&node, &[mk()], &RuntimeConfig::prtr_demand(), &dctx()).unwrap();
+        let ctx = dctx().with_registry(hprc_obs::Registry::new());
+        let traced = run(&node, &[mk()], &RuntimeConfig::prtr_demand(), &ctx).unwrap();
         assert_eq!(
             plain, traced,
             "instrumentation must not perturb the schedule"
         );
 
-        let snap = reg.snapshot();
+        let snap = ctx.registry.snapshot();
         assert_eq!(snap.counters["virt.calls"], 30);
         assert_eq!(snap.counters["virt.configs"], traced.n_config);
         let d = &snap.histograms["virt.dispatch_latency_s"];
@@ -644,7 +639,7 @@ mod tests {
     fn config_fraction_accounting() {
         let node = node();
         let app = App::cycling(0, "a", &cores(), 30, 0.001, 0.0);
-        let report = run(&node, &[app], &RuntimeConfig::prtr_demand()).unwrap();
+        let report = run(&node, &[app], &RuntimeConfig::prtr_demand(), &dctx()).unwrap();
         assert!(report.config_fraction() > 0.5, "config-bound workload");
         assert!(report.config_fraction() <= 1.0);
         let busy = report.timeline.lane_busy_s(Lane::ConfigPort);

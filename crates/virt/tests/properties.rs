@@ -1,5 +1,6 @@
 //! Property-based tests of the virtualization runtime.
 
+use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::node::NodeConfig;
 use hprc_virt::app::{App, VirtCall};
@@ -60,7 +61,7 @@ proptest! {
             RuntimeConfig::prtr_overlapped(),
         ] {
             let node = node();
-            let report = run(&node, &apps, &cfg).unwrap();
+            let report = run(&node, &apps, &cfg, &ExecCtx::default()).unwrap();
             let total_calls: usize = apps.iter().map(|a| a.calls.len()).sum();
             prop_assert_eq!(report.records.len(), total_calls);
             let served: u64 = report.per_app.iter().map(|a| a.calls).sum();
@@ -99,8 +100,8 @@ proptest! {
     /// reports.
     #[test]
     fn deterministic(apps in arb_apps()) {
-        let a = run(&node(), &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
-        let b = run(&node(), &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
+        let a = run(&node(), &apps, &RuntimeConfig::prtr_overlapped(), &ExecCtx::default()).unwrap();
+        let b = run(&node(), &apps, &RuntimeConfig::prtr_overlapped(), &ExecCtx::default()).unwrap();
         prop_assert_eq!(a, b);
     }
 
@@ -110,8 +111,8 @@ proptest! {
     #[test]
     fn prtr_no_worse_than_frtr(apps in arb_apps()) {
         let node = node();
-        let frtr = run(&node, &apps, &RuntimeConfig::frtr()).unwrap();
-        let prtr = run(&node, &apps, &RuntimeConfig::prtr_demand()).unwrap();
+        let frtr = run(&node, &apps, &RuntimeConfig::frtr(), &ExecCtx::default()).unwrap();
+        let prtr = run(&node, &apps, &RuntimeConfig::prtr_demand(), &ExecCtx::default()).unwrap();
         prop_assert!(
             prtr.makespan_s <= frtr.makespan_s * 1.0001,
             "prtr {} vs frtr {}",
@@ -126,7 +127,7 @@ proptest! {
     fn slots_are_exclusive(apps in arb_apps()) {
         use hprc_sim::trace::{EventKind, Lane};
         let node = node();
-        let report = run(&node, &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
+        let report = run(&node, &apps, &RuntimeConfig::prtr_overlapped(), &ExecCtx::default()).unwrap();
         for slot in 0..node.n_prrs {
             let mut windows: Vec<(u64, u64)> = report
                 .timeline
@@ -147,7 +148,7 @@ proptest! {
     fn config_port_serializes(apps in arb_apps()) {
         use hprc_sim::trace::Lane;
         let node = node();
-        let report = run(&node, &apps, &RuntimeConfig::prtr_overlapped()).unwrap();
+        let report = run(&node, &apps, &RuntimeConfig::prtr_overlapped(), &ExecCtx::default()).unwrap();
         let mut windows: Vec<(u64, u64)> = report
             .timeline
             .events

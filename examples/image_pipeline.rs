@@ -37,13 +37,14 @@ fn main() {
     let trace: Vec<TaskId> = (0..frames * 3).map(|i| TaskId(i % 3)).collect();
 
     let mut lru = Lru::new();
-    let outcome = simulate(&trace, node.n_prrs, &mut lru, false);
+    let ctx = ExecCtx::default();
+    let outcome = simulate(&trace, node.n_prrs, &mut lru, false, &ctx);
     println!(
         "LRU over 2 PRRs on the 3-stage loop: H = {:.2} (thrashing, as expected)",
         outcome.hit_ratio()
     );
     let mut markov = Markov::new();
-    let prefetched = simulate(&trace, node.n_prrs, &mut markov, true);
+    let prefetched = simulate(&trace, node.n_prrs, &mut markov, true, &ctx);
     println!(
         "Markov prefetcher on the same trace:  H = {:.2}\n",
         prefetched.hit_ratio()
@@ -74,9 +75,9 @@ fn main() {
     let markov_calls = to_calls(&prefetched);
     let frtr_calls: Vec<TaskCall> = lru_calls.iter().map(|c| c.task.clone()).collect();
 
-    let frtr = run_frtr(&node, &frtr_calls).unwrap();
-    let prtr_lru = run_prtr(&node, &lru_calls).unwrap();
-    let prtr_markov = run_prtr(&node, &markov_calls).unwrap();
+    let frtr = run_frtr(&node, &frtr_calls, &ctx).unwrap();
+    let prtr_lru = run_prtr(&node, &lru_calls, &ctx).unwrap();
+    let prtr_markov = run_prtr(&node, &markov_calls, &ctx).unwrap();
 
     let t_task = frtr_calls[0].task_time_s(&node);
     println!(

@@ -23,14 +23,15 @@ fn main() {
         len: 200,
     };
     let mut lru = Lru::new();
-    let (point, timeline) = prtr_bounds::exp::scenario::run_point_with(
+    let ctx = ExecCtx::default().with_registry(registry.clone());
+    let (point, timeline) = prtr_bounds::exp::scenario::run_point(
         &node,
         &spec,
         7,
         &mut lru,
         false,
         node.t_prtr_s(),
-        &registry,
+        &ctx,
     );
 
     println!(

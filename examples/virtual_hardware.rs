@@ -49,7 +49,7 @@ fn main() {
             },
         ),
     ] {
-        let report = run_virtualized(&node, &apps, &cfg).unwrap();
+        let report = run_virtualized(&node, &apps, &cfg, &ExecCtx::default()).unwrap();
         println!("=== {name} ===");
         println!(
             "makespan {:.3} s | {} configs | config port busy {:.0}% | overall H = {:.2}",
@@ -75,7 +75,13 @@ fn main() {
             ..a.clone()
         })
         .collect();
-    let report = run_virtualized(&node, &small, &RuntimeConfig::prtr_overlapped()).unwrap();
+    let report = run_virtualized(
+        &node,
+        &small,
+        &RuntimeConfig::prtr_overlapped(),
+        &ExecCtx::default(),
+    )
+    .unwrap();
     println!("PRTR schedule, first 4 calls per app (P = partial config, X = exec):");
     println!("{}", report.timeline.render_text(100));
 }

@@ -21,8 +21,13 @@
 //! * [`obs`] (`hprc-obs`) — zero-dependency metrics (counters, gauges,
 //!   histograms), hierarchical timed spans, and Chrome trace-event
 //!   export, wired through the simulator, scheduler, and runner;
+//! * [`ctx`] (`hprc-ctx`) — the execution-context layer: one [`ExecCtx`]
+//!   (registry, seed, calibration, parallelism budget) threaded through
+//!   every substrate entry point;
 //! * [`exp`] (`hprc-exp`) — the harness regenerating every table and
-//!   figure.
+//!   figure, with a deterministic parallel sweep runner (`--jobs`).
+//!
+//! [`ExecCtx`]: hprc_ctx::ExecCtx
 //!
 //! ## Quickstart
 //!
@@ -42,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub use hprc_ctx as ctx;
 pub use hprc_exp as exp;
 pub use hprc_fpga as fpga;
 pub use hprc_kernels as kernels;
@@ -53,6 +59,7 @@ pub use hprc_virt as virt;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
+    pub use hprc_ctx::{Calibration, ExecCtx};
     pub use hprc_fpga::bitstream::Bitstream;
     pub use hprc_fpga::device::Device;
     pub use hprc_fpga::floorplan::Floorplan;

@@ -10,8 +10,8 @@ use prtr_bounds::virt::runtime::{run as run_virt, RuntimeConfig};
 fn experiments_are_bit_identical_across_runs() {
     // A representative subset (the full set runs in the harness tests).
     for id in ["table2", "fig5", "ext-decision", "ext-flows", "ext-hybrid"] {
-        let a = prtr_bounds::exp::run_experiment(id).unwrap();
-        let b = prtr_bounds::exp::run_experiment(id).unwrap();
+        let a = prtr_bounds::exp::run_experiment(id, &ExecCtx::default()).unwrap();
+        let b = prtr_bounds::exp::run_experiment(id, &ExecCtx::default()).unwrap();
         assert_eq!(a.json, b.json, "{id} differs across runs");
         assert_eq!(a.body, b.body, "{id} body differs across runs");
     }
@@ -27,8 +27,8 @@ fn simulator_is_replayable() {
             slot: i % 2,
         })
         .collect();
-    let a = run_prtr(&node, &calls).unwrap();
-    let b = run_prtr(&node, &calls).unwrap();
+    let a = run_prtr(&node, &calls, &ExecCtx::default()).unwrap();
+    let b = run_prtr(&node, &calls, &ExecCtx::default()).unwrap();
     assert_eq!(a, b);
 }
 
@@ -43,8 +43,20 @@ fn seeded_randomness_is_replayable_everywhere() {
     assert_eq!(spec.generate(99), spec.generate(99));
     // Random replacement policy.
     let trace = spec.generate(7);
-    let a = simulate(&trace, 2, &mut RandomPolicy::new(5), false);
-    let b = simulate(&trace, 2, &mut RandomPolicy::new(5), false);
+    let a = simulate(
+        &trace,
+        2,
+        &mut RandomPolicy::new(5),
+        false,
+        &ExecCtx::default(),
+    );
+    let b = simulate(
+        &trace,
+        2,
+        &mut RandomPolicy::new(5),
+        false,
+        &ExecCtx::default(),
+    );
     assert_eq!(a, b);
     // Images.
     assert_eq!(Image::random(64, 64, 3), Image::random(64, 64, 3));
@@ -68,8 +80,8 @@ fn virtualization_runtime_is_replayable() {
         RuntimeConfig::prtr_demand(),
         RuntimeConfig::prtr_overlapped(),
     ] {
-        let a = run_virt(&node, &apps, &cfg).unwrap();
-        let b = run_virt(&node, &apps, &cfg).unwrap();
+        let a = run_virt(&node, &apps, &cfg, &ExecCtx::default()).unwrap();
+        let b = run_virt(&node, &apps, &cfg, &ExecCtx::default()).unwrap();
         assert_eq!(a, b);
     }
 }

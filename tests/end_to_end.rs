@@ -22,7 +22,7 @@ fn pipeline_to_speedup() {
     let trace: Vec<TaskId> = (0..iterations * 3).map(|i| TaskId(i % 3)).collect();
     let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
     let mut policy = AlwaysMiss::new();
-    let outcome = simulate(&trace, node.n_prrs, &mut policy, false);
+    let outcome = simulate(&trace, node.n_prrs, &mut policy, false, &ExecCtx::default());
     assert_eq!(outcome.hit_ratio(), 0.0);
 
     // 3. Execution layer: replay on the simulator.
@@ -44,8 +44,8 @@ fn pipeline_to_speedup() {
         })
         .collect();
     let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
-    let frtr = run_frtr(&node, &frtr_calls).unwrap();
-    let prtr = run_prtr(&node, &calls).unwrap();
+    let frtr = run_frtr(&node, &frtr_calls, &ExecCtx::default()).unwrap();
+    let prtr = run_prtr(&node, &calls, &ExecCtx::default()).unwrap();
     let s_sim = frtr.total_s() / prtr.total_s();
 
     // 4. Model layer: equation (6) at the same parameters.
@@ -78,7 +78,7 @@ fn prefetching_end_to_end() {
     let t_task = 0.25 * node.t_prtr_s();
 
     let run_with = |policy: &mut dyn prtr_bounds::sched::Policy, prefetch: bool| {
-        let outcome = simulate(&trace, node.n_prrs, policy, prefetch);
+        let outcome = simulate(&trace, node.n_prrs, policy, prefetch, &ExecCtx::default());
         let calls: Vec<PrtrCall> = trace
             .iter()
             .zip(&outcome.outcomes)
@@ -98,7 +98,9 @@ fn prefetching_end_to_end() {
                 }
             })
             .collect();
-        let total = run_prtr(&node, &calls).unwrap().total_s();
+        let total = run_prtr(&node, &calls, &ExecCtx::default())
+            .unwrap()
+            .total_s();
         (outcome.hit_ratio(), total)
     };
 
@@ -127,7 +129,7 @@ fn configuration_costs_trace_to_frames() {
         hit: false,
         slot: 0,
     }];
-    let report = run_prtr(&node, &calls).unwrap();
+    let report = run_prtr(&node, &calls, &ExecCtx::default()).unwrap();
     let timing = &report.calls[0];
     let cfg = (timing.config_end.unwrap() - timing.config_start.unwrap()).as_secs_f64();
     assert!((cfg - node.icap.transfer_time_s(bytes)).abs() < 1e-9);

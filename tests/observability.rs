@@ -9,7 +9,7 @@ use prtr_bounds::obs::Registry;
 use prtr_bounds::prelude::*;
 use prtr_bounds::sched::policies::{AlwaysMiss, Belady};
 use prtr_bounds::sched::policy::Policy;
-use prtr_bounds::sched::simulate::simulate_with;
+use prtr_bounds::sched::simulate::simulate;
 
 /// The measured hit ratio — read back from the instrumented cache's
 /// counters — must be exactly the `H` (equivalently `1 - M`) handed to
@@ -31,7 +31,8 @@ fn measured_hit_ratio_matches_model_input() {
     ];
     for (name, mut policy) in cases {
         let registry = Registry::new();
-        let outcome = simulate_with(&trace, node.n_prrs, policy.as_mut(), false, &registry);
+        let ctx = ExecCtx::default().with_registry(registry.clone());
+        let outcome = simulate(&trace, node.n_prrs, policy.as_mut(), false, &ctx);
         let snap = registry.snapshot();
         let hits = snap.counters[&format!("sched.{name}.hits")] as f64;
         let calls = snap.counters[&format!("sched.{name}.calls")] as f64;
@@ -58,7 +59,7 @@ fn measured_hit_ratio_matches_model_input() {
 /// extend past the simulation's end time.
 #[test]
 fn chrome_trace_is_valid_and_well_ordered() {
-    let timeline = peak_timeline(Panel::Measured, 30);
+    let timeline = peak_timeline(Panel::Measured, 30, &ExecCtx::default());
     let events = timeline.chrome_events(1);
     assert!(!events.is_empty());
 
@@ -108,7 +109,8 @@ fn chrome_trace_is_valid_and_well_ordered() {
 fn metrics_snapshot_serializes_acceptance_quantities() {
     let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
     let registry = Registry::new();
-    let _ = prtr_bounds::exp::scenario::figure9_point_with(&node, node.t_prtr_s(), 50, &registry);
+    let ctx = ExecCtx::default().with_registry(registry.clone());
+    let _ = prtr_bounds::exp::scenario::figure9_point(&node, node.t_prtr_s(), 50, &ctx);
     let snap = registry.snapshot();
     let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
     let v = serde_json::from_str(&json).expect("snapshot parses");

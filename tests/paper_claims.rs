@@ -84,9 +84,15 @@ fn claim_h0_peak_at_x_prtr() {
 #[test]
 fn claim_vendor_api_rejects_partials() {
     let api = prtr_bounds::sim::CrayConfigApi::xd1_measured(2_381_764);
-    assert!(api.configure(404_168, true, true).is_err());
-    assert!(api.configure(2_381_764, true, true).is_err()); // DONE check
-    assert!(api.configure(2_381_764, false, false).is_ok());
+    assert!(api
+        .configure(404_168, true, true, &ExecCtx::default())
+        .is_err());
+    assert!(api
+        .configure(2_381_764, true, true, &ExecCtx::default())
+        .is_err()); // DONE check
+    assert!(api
+        .configure(2_381_764, false, false, &ExecCtx::default())
+        .is_ok());
 }
 
 /// Table 2, estimated column: 36.09 ms / 13.45 ms / 6.12 ms at 66 MB/s.
