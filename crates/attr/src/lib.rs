@@ -1,0 +1,32 @@
+//! # hprc-attr — wall-clock attribution for simulator timelines
+//!
+//! The paper's argument is an accounting identity: PRTR wins only to the
+//! extent that configuration time is *hidden* behind task execution
+//! (equation (5)), which is why `S∞ ≤ 2` once `X_task ≥ 1` (equation
+//! (7)). This crate makes that accounting explicit for every simulated
+//! run: it classifies each nanosecond of a [`hprc_sim::trace::Timeline`]
+//! into six exclusive buckets —
+//!
+//! | bucket | meaning |
+//! |---|---|
+//! | `exec` | a task is executing (and no configuration streams under it) |
+//! | `hidden_config` | configuration overlapped by execution — off the critical path |
+//! | `visible_config` | configuration exposed on the critical path |
+//! | `decision` | exposed pre-fetch decision time |
+//! | `control` | exposed transfer-of-control time |
+//! | `idle` | nothing modeled is active (stalls, trailing transfers) |
+//!
+//! — with the machine-checked identity that the buckets sum *exactly*
+//! (integer nanoseconds) to `Timeline::span_end()`. On top of the
+//! buckets sit per-run observables ([`RunAttribution`]): hiding
+//! efficiency `hidden/total` configuration, effective hit ratio, and the
+//! measured-vs-analytical **bound gap** ([`BoundGap`]) against equation
+//! (7)'s closed-form `S∞`. A paired FRTR/PRTR [`AttributionReport`]
+//! serializes as the `<id>.attr.json` artifact written by
+//! `hprc-exp --trace`.
+
+pub mod buckets;
+pub mod run;
+
+pub use buckets::Buckets;
+pub use run::{AttributionReport, BoundGap, RunAttribution};

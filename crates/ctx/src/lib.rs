@@ -34,6 +34,8 @@
 
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use hprc_obs::Registry;
 
 /// Which calibration of the modeled platform a run uses.

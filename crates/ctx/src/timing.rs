@@ -1,0 +1,135 @@
+//! Wall-clock timing capture for the bench harness: a monotonic
+//! stopwatch plus nearest-rank summary statistics over repeated runs.
+//!
+//! This is *host* wall-clock time (how long the harness takes to run),
+//! entirely separate from the simulator's virtual `SimTime`.
+
+use std::time::Instant;
+
+/// A monotonic wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+/// Nearest-rank percentile of `samples` (the same convention
+/// `hprc-obs` histograms use). Returns 0.0 for an empty slice.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Summary of repeated wall-clock measurements, milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Nearest-rank median.
+    pub p50_ms: f64,
+    /// Fastest sample.
+    pub min_ms: f64,
+    /// Slowest sample.
+    pub max_ms: f64,
+}
+
+impl SampleStats {
+    /// Summarizes `samples`; all-zero for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> SampleStats {
+        if samples.is_empty() {
+            return SampleStats {
+                count: 0,
+                p50_ms: 0.0,
+                min_ms: 0.0,
+                max_ms: 0.0,
+            };
+        }
+        SampleStats {
+            count: samples.len(),
+            p50_ms: percentile(samples, 50.0),
+            min_ms: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ms: samples.iter().copied().fold(0.0, f64::max),
+        }
+    }
+
+    /// Times `f` over `repeat` runs (at least one) and summarizes.
+    pub fn measure(repeat: usize, mut f: impl FnMut()) -> SampleStats {
+        let samples: Vec<f64> = (0..repeat.max(1))
+            .map(|_| {
+                let sw = Stopwatch::start();
+                f();
+                sw.elapsed_ms()
+            })
+            .collect();
+        SampleStats::from_samples(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ms();
+        let b = sw.elapsed_ms();
+        assert!(a >= 0.0 && b >= a);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 100.0), 5.0);
+        assert_eq!(percentile(&s, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn stats_summarize() {
+        let st = SampleStats::from_samples(&[2.0, 1.0, 3.0]);
+        assert_eq!(st.count, 3);
+        assert_eq!(st.p50_ms, 2.0);
+        assert_eq!(st.min_ms, 1.0);
+        assert_eq!(st.max_ms, 3.0);
+    }
+
+    #[test]
+    fn measure_runs_at_least_once() {
+        let mut n = 0;
+        let st = SampleStats::measure(0, || n += 1);
+        assert_eq!(n, 1);
+        assert_eq!(st.count, 1);
+        let st = SampleStats::measure(3, || n += 1);
+        assert_eq!(n, 4);
+        assert_eq!(st.count, 3);
+        assert!(st.min_ms <= st.p50_ms && st.p50_ms <= st.max_ms);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let st = SampleStats::from_samples(&[]);
+        assert_eq!(st.count, 0);
+        assert_eq!(st.p50_ms, 0.0);
+        assert_eq!(st.max_ms, 0.0);
+    }
+}

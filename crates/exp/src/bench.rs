@@ -1,0 +1,348 @@
+//! The `hprc-exp bench` perf-regression harness: wall-clock-times every
+//! experiment under an instrumented [`ExecCtx`] and writes a
+//! schema-stable `BENCH_<YYYYMMDD>.json` at the repository root.
+//!
+//! Each experiment runs `repeat` times against a fresh live registry;
+//! the entry records the nearest-rank p50/min/max wall time plus a
+//! registry-snapshot fingerprint (instrument counts and the counter
+//! total — a cheap determinism check across machines). A committed
+//! baseline (`BENCH_BASELINE.json`) plus a generous threshold turns the
+//! file into a CI regression gate: `hprc-exp bench --check
+//! BENCH_BASELINE.json --threshold 2.0`.
+
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use hprc_ctx::timing::{SampleStats, Stopwatch};
+use hprc_ctx::ExecCtx;
+use hprc_obs::Registry;
+use serde::{Deserialize, Serialize};
+
+/// One experiment's bench record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Experiment id.
+    pub id: String,
+    /// Nearest-rank median wall time over the repetitions, ms.
+    pub p50_ms: f64,
+    /// Fastest repetition, ms.
+    pub min_ms: f64,
+    /// Slowest repetition, ms.
+    pub max_ms: f64,
+    /// Number of counters the run's registry snapshot holds.
+    pub counters: usize,
+    /// Number of gauges.
+    pub gauges: usize,
+    /// Number of histograms.
+    pub histograms: usize,
+    /// Number of completed spans.
+    pub spans: usize,
+    /// Sum of all counter values — a determinism fingerprint that must
+    /// not drift between runs or machines (unlike wall time).
+    pub counter_total: u64,
+}
+
+/// The `BENCH_<YYYYMMDD>.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Artifact schema version (compared exactly against the baseline).
+    pub schema_version: u32,
+    /// UTC date the report was generated, `YYYYMMDD`.
+    pub date: String,
+    /// Repetitions per experiment.
+    pub repeat: usize,
+    /// Base RNG seed the runs used.
+    pub seed: u64,
+    /// Worker-thread budget the runs used.
+    pub jobs: usize,
+    /// End-to-end wall time of the whole bench, ms.
+    pub total_ms: f64,
+    /// Per-experiment records, in [`crate::ALL_EXPERIMENTS`] order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Current schema version of the bench artifact.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Default artifact filename for this report's date.
+    pub fn default_filename(&self) -> String {
+        format!("BENCH_{}.json", self.date)
+    }
+}
+
+/// Times every experiment: `repeat` repetitions each, fresh live
+/// registry per repetition (so snapshot fingerprints are per-run, not
+/// cumulative).
+pub fn run_bench(repeat: usize, seed: u64, jobs: usize) -> BenchReport {
+    let total = Stopwatch::start();
+    let entries = crate::ALL_EXPERIMENTS
+        .iter()
+        .map(|id| {
+            let mut last_registry = Registry::new();
+            let stats = SampleStats::measure(repeat, || {
+                let registry = Registry::new();
+                let ctx = ExecCtx::default()
+                    .with_registry(registry.clone())
+                    .with_seed(seed)
+                    .with_jobs(jobs);
+                crate::run_experiment(id, &ctx).expect("known experiment id");
+                last_registry = registry;
+            });
+            let snap = last_registry.snapshot();
+            BenchEntry {
+                id: id.to_string(),
+                p50_ms: stats.p50_ms,
+                min_ms: stats.min_ms,
+                max_ms: stats.max_ms,
+                counters: snap.counters.len(),
+                gauges: snap.gauges.len(),
+                histograms: snap.histograms.len(),
+                spans: snap.spans.len(),
+                counter_total: snap.counters.values().sum(),
+            }
+        })
+        .collect();
+    BenchReport {
+        schema_version: BenchReport::SCHEMA_VERSION,
+        date: utc_date_yyyymmdd(),
+        repeat: repeat.max(1),
+        seed,
+        jobs,
+        total_ms: total.elapsed_ms(),
+        entries,
+    }
+}
+
+/// Compares `current` against a committed `baseline`. Returns the list
+/// of violations (empty = pass):
+///
+/// * schema mismatch: different `schema_version` or entry-id set;
+/// * regression: an entry's `p50_ms` exceeds `threshold ×
+///   max(baseline p50, 5 ms)` — the 5 ms floor keeps sub-millisecond
+///   experiments from tripping the gate on scheduler noise.
+pub fn compare(current: &BenchReport, baseline: &BenchReport, threshold: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    if current.schema_version != baseline.schema_version {
+        violations.push(format!(
+            "schema_version {} != baseline {}",
+            current.schema_version, baseline.schema_version
+        ));
+        return violations;
+    }
+    let cur_ids: Vec<&str> = current.entries.iter().map(|e| e.id.as_str()).collect();
+    let base_ids: Vec<&str> = baseline.entries.iter().map(|e| e.id.as_str()).collect();
+    if cur_ids != base_ids {
+        violations.push(format!(
+            "experiment set changed: {cur_ids:?} vs baseline {base_ids:?}"
+        ));
+        return violations;
+    }
+    const NOISE_FLOOR_MS: f64 = 5.0;
+    for (cur, base) in current.entries.iter().zip(&baseline.entries) {
+        let limit = threshold * base.p50_ms.max(NOISE_FLOOR_MS);
+        if cur.p50_ms > limit {
+            violations.push(format!(
+                "{}: p50 {:.2} ms exceeds {:.2} ms ({}x baseline {:.2} ms)",
+                cur.id, cur.p50_ms, limit, threshold, base.p50_ms
+            ));
+        }
+    }
+    violations
+}
+
+/// Loads a bench report from disk, validating the schema shape.
+pub fn load(path: &Path) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// Parses a bench report from JSON text.
+pub fn parse(text: &str) -> Result<BenchReport, String> {
+    let v = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    report_from_value(&v)
+}
+
+fn report_from_value(v: &serde_json::Value) -> Result<BenchReport, String> {
+    let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field {name}"));
+    let num = |name: &str| {
+        field(name)?
+            .as_f64()
+            .ok_or_else(|| format!("{name} not a number"))
+    };
+    let entries = field("entries")?
+        .as_array()
+        .ok_or("entries not an array")?
+        .iter()
+        .map(|e| {
+            let f = |name: &str| {
+                e.get(name)
+                    .and_then(|x| x.as_f64())
+                    .ok_or_else(|| format!("entry missing {name}"))
+            };
+            Ok(BenchEntry {
+                id: e
+                    .get("id")
+                    .and_then(|x| x.as_str())
+                    .ok_or("entry missing id")?
+                    .to_string(),
+                p50_ms: f("p50_ms")?,
+                min_ms: f("min_ms")?,
+                max_ms: f("max_ms")?,
+                counters: f("counters")? as usize,
+                gauges: f("gauges")? as usize,
+                histograms: f("histograms")? as usize,
+                spans: f("spans")? as usize,
+                counter_total: f("counter_total")? as u64,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(BenchReport {
+        schema_version: num("schema_version")? as u32,
+        date: field("date")?
+            .as_str()
+            .ok_or("date not a string")?
+            .to_string(),
+        repeat: num("repeat")? as usize,
+        seed: num("seed")? as u64,
+        jobs: num("jobs")? as usize,
+        total_ms: num("total_ms")?,
+        entries,
+    })
+}
+
+/// Today's UTC date as `YYYYMMDD`, from the system clock (no external
+/// time crate: civil-from-days on the Unix epoch day count).
+pub fn utc_date_yyyymmdd() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}{m:02}{d:02}")
+}
+
+/// Gregorian date from days since 1970-01-01 (Howard Hinnant's
+/// `civil_from_days` algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report(p50s: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            schema_version: BenchReport::SCHEMA_VERSION,
+            date: "20260806".into(),
+            repeat: 1,
+            seed: 0,
+            jobs: 1,
+            total_ms: p50s.iter().map(|(_, p)| p).sum(),
+            entries: p50s
+                .iter()
+                .map(|(id, p50)| BenchEntry {
+                    id: id.to_string(),
+                    p50_ms: *p50,
+                    min_ms: *p50,
+                    max_ms: *p50,
+                    counters: 1,
+                    gauges: 1,
+                    histograms: 1,
+                    spans: 1,
+                    counter_total: 42,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(20_671), (2026, 8, 6));
+    }
+
+    #[test]
+    fn date_is_eight_digits() {
+        let d = utc_date_yyyymmdd();
+        assert_eq!(d.len(), 8);
+        assert!(d.chars().all(|c| c.is_ascii_digit()));
+        assert!(d.as_str() >= "20260101", "{d}");
+    }
+
+    #[test]
+    fn compare_passes_identical_and_flags_regression() {
+        let base = tiny_report(&[("a", 100.0), ("b", 1.0)]);
+        assert!(compare(&base, &base, 2.0).is_empty());
+        // 2x threshold: 190 ms passes, 210 ms fails.
+        let ok = tiny_report(&[("a", 190.0), ("b", 1.0)]);
+        assert!(compare(&ok, &base, 2.0).is_empty());
+        let slow = tiny_report(&[("a", 210.0), ("b", 1.0)]);
+        let v = compare(&slow, &base, 2.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("a: p50 210.00 ms"));
+        // Sub-floor entries never trip on noise: 9 ms vs 1 ms baseline
+        // is under 2 x 5 ms.
+        let noisy = tiny_report(&[("a", 100.0), ("b", 9.0)]);
+        assert!(compare(&noisy, &base, 2.0).is_empty());
+        let really_slow = tiny_report(&[("a", 100.0), ("b", 11.0)]);
+        assert_eq!(compare(&really_slow, &base, 2.0).len(), 1);
+    }
+
+    #[test]
+    fn compare_flags_schema_mismatches() {
+        let base = tiny_report(&[("a", 1.0)]);
+        let mut wrong_version = base.clone();
+        wrong_version.schema_version += 1;
+        assert!(compare(&wrong_version, &base, 2.0)[0].contains("schema_version"));
+        let renamed = tiny_report(&[("z", 1.0)]);
+        assert!(compare(&renamed, &base, 2.0)[0].contains("experiment set changed"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = tiny_report(&[("a", 1.5), ("b", 2.5)]);
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(report.default_filename(), "BENCH_20260806.json");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_reports() {
+        assert!(parse("{}").is_err());
+        assert!(parse("not json").is_err());
+        let missing_entry_field = r#"{"schema_version":1,"date":"20260806","repeat":1,"seed":0,"jobs":1,
+                "total_ms":1.0,"entries":[{"id":"a"}]}"#;
+        assert!(parse(missing_entry_field).is_err());
+    }
+
+    #[test]
+    fn run_bench_covers_every_experiment() {
+        // repeat = 1 keeps this test cheap; the full bench is exercised
+        // end-to-end by the CLI test and the CI bench-smoke job.
+        let report = run_bench(1, 0, 1);
+        assert_eq!(report.entries.len(), crate::ALL_EXPERIMENTS.len());
+        for (entry, id) in report.entries.iter().zip(crate::ALL_EXPERIMENTS) {
+            assert_eq!(entry.id, id);
+            assert!(entry.min_ms <= entry.p50_ms && entry.p50_ms <= entry.max_ms);
+            // Every experiment records at least its own top-level span
+            // (some, like table1, record nothing else).
+            assert!(entry.spans >= 1, "{id} should record its span");
+        }
+        assert!(report.total_ms > 0.0);
+        assert!(compare(&report, &report, 2.0).is_empty());
+    }
+}

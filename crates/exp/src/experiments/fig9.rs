@@ -4,6 +4,7 @@
 //! T_control ≈ 10 µs, task time swept via data size, exactly as in
 //! section 4.3.
 
+use hprc_attr::AttributionReport;
 use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::node::NodeConfig;
@@ -12,7 +13,7 @@ use serde::Serialize;
 
 use crate::report::Report;
 use crate::runner::par_indexed;
-use crate::scenario::{figure9_point, SweepPoint};
+use crate::scenario::{figure9_point, figure9_point_full, SweepPoint};
 use crate::table::{Align, TextTable};
 
 /// Which of the two panels to regenerate.
@@ -33,6 +34,7 @@ struct Payload {
     peak_speedup_sim: f64,
     peak_x_task: f64,
     expected_peak: f64,
+    attribution: AttributionReport,
     points: Vec<SweepPoint>,
 }
 
@@ -76,6 +78,23 @@ pub fn peak_timeline(panel: Panel, calls: usize, ctx: &ExecCtx) -> Timeline {
     figure9_point(&node, node.t_prtr_s(), calls, ctx).1
 }
 
+/// Wall-clock attribution of the panel's peak operating point
+/// (`T_task = T_PRTR`): exclusive time buckets for the paired FRTR/PRTR
+/// runs plus the measured-vs-Eq(7) bound gap — the `<id>.attr.json`
+/// artifact. Deterministic for a given context seed, independent of
+/// `ctx.jobs` (single-point runs are serial).
+pub fn peak_attribution(panel: Panel, calls: usize, ctx: &ExecCtx) -> AttributionReport {
+    let node = panel_node(panel);
+    let run = figure9_point_full(&node, node.t_prtr_s(), calls, ctx);
+    let id = match panel {
+        Panel::Estimated => "fig9a",
+        Panel::Measured => "fig9b",
+    };
+    let report = AttributionReport::new(id, &run.params, &run.frtr, &run.prtr);
+    report.prtr.record(&ctx.registry, "exp.fig9.peak");
+    report
+}
+
 /// Regenerates one panel of Figure 9: the sweep's metrics land in
 /// `ctx.registry`, plus summary gauges `exp.fig9.peak_speedup` /
 /// `exp.fig9.peak_x_task`.
@@ -103,6 +122,19 @@ pub fn run(panel: Panel, ctx: &ExecCtx) -> Report {
         .gauge("exp.fig9.peak_speedup")
         .set(peak.speedup_sim);
     ctx.registry.gauge("exp.fig9.peak_x_task").set(peak.x_task);
+
+    // Attribute the peak operating point under a silenced child context
+    // (the sweep above already recorded its executor activity), then
+    // export the attribution gauges into the experiment's registry.
+    let attribution = peak_attribution(
+        panel,
+        CALLS_PER_POINT,
+        &ExecCtx {
+            registry: hprc_obs::Registry::noop(),
+            ..ctx.clone()
+        },
+    );
+    attribution.prtr.record(&ctx.registry, "exp.fig9.peak");
 
     let mut t = TextTable::new(vec![
         "X_task",
@@ -136,7 +168,8 @@ pub fn run(panel: Panel, ctx: &ExecCtx) -> Report {
          H = 0, M = 1, T_decision = 0, T_control = 10 us, n = {} calls/point.\n\
          Peak measured speedup: {:.1}x at X_task = {:.4} (paper's bound\n\
          1 + 1/X_PRTR = {:.1}x at X_task = X_PRTR = {:.4}).\n\
-         Full curve: results/{}.csv.\n",
+         Full curve: results/{}.csv.\n\
+         \nAttribution at the peak (X_task = X_PRTR):\n{}",
         t.render(),
         node.t_frtr_s() * 1e3,
         node.t_prtr_s() * 1e3,
@@ -147,6 +180,7 @@ pub fn run(panel: Panel, ctx: &ExecCtx) -> Report {
         paper_peak,
         node.x_prtr(),
         id,
+        attribution.render_table(),
     );
 
     Report::new(
@@ -161,6 +195,7 @@ pub fn run(panel: Panel, ctx: &ExecCtx) -> Report {
             peak_speedup_sim: peak.speedup_sim,
             peak_x_task: peak.x_task,
             expected_peak: paper_peak,
+            attribution,
             points,
         },
     )

@@ -2,6 +2,7 @@
 //! timelines) — FRTR's serial config/control/task pattern versus PRTR's
 //! overlapped configuration for missed and pre-fetched tasks.
 
+use hprc_attr::AttributionReport;
 use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_sim::executor::{run_frtr, run_prtr};
@@ -10,12 +11,14 @@ use hprc_sim::task::{PrtrCall, TaskCall};
 use serde::Serialize;
 
 use crate::report::Report;
+use crate::scenario::model_params_for;
 
 #[derive(Serialize)]
 struct Payload {
     frtr_total_s: f64,
     prtr_miss_total_s: f64,
     prtr_hit_total_s: f64,
+    attribution: AttributionReport,
 }
 
 /// The three profiled runs: FRTR, PRTR all-miss, PRTR pre-fetched.
@@ -67,6 +70,20 @@ fn build(
     (node, t_task, frtr, prtr_miss, prtr_hit)
 }
 
+/// Attribution of the all-miss profile pair (Figure 3 vs Figure 4(a)):
+/// the `profiles.attr.json` artifact.
+pub fn attribution(ctx: &ExecCtx) -> AttributionReport {
+    let (node, t_task, frtr, prtr_miss, _) = build(ctx);
+    let t_actual = frtr_task_time(&node, t_task);
+    let params = model_params_for(&node, t_actual, 0.0, frtr.calls.len() as u64);
+    AttributionReport::new("profiles", &params, &frtr, &prtr_miss)
+}
+
+/// The realized (byte-quantized) task time for a requested `t_task`.
+fn frtr_task_time(node: &NodeConfig, t_task: f64) -> f64 {
+    TaskCall::with_task_time("probe", node, t_task).task_time_s(node)
+}
+
 /// The three profiles as one Chrome trace: FRTR under pid 1, PRTR
 /// all-miss under pid 2, PRTR pre-fetched under pid 3 — Figures 3 and 4
 /// side by side in Perfetto.
@@ -83,6 +100,9 @@ pub fn chrome_trace(ctx: &ExecCtx) -> Vec<hprc_obs::ChromeEvent> {
 pub fn run(ctx: &ExecCtx) -> Report {
     let _span = ctx.registry.span("exp.profiles");
     let (node, t_task, frtr, prtr_miss, prtr_hit) = build(ctx);
+    let t_actual = frtr_task_time(&node, t_task);
+    let params = model_params_for(&node, t_actual, 0.0, frtr.calls.len() as u64);
+    let attribution = AttributionReport::new("profiles", &params, &frtr, &prtr_miss);
 
     let body = format!(
         "Task: 4 calls, T_task = {:.2} ms, T_PRTR = {:.2} ms, T_FRTR = {:.2} ms.\n\
@@ -90,7 +110,8 @@ pub fn run(ctx: &ExecCtx) -> Report {
          X execution, i data in, o data out.\n\n\
          FRTR (Figure 3) — total {:.1} ms:\n{}\n\
          PRTR, all misses (Figure 4(a)) — total {:.1} ms:\n{}\n\
-         PRTR, pre-fetched after the first call (Figure 4(b)) — total {:.1} ms:\n{}\n",
+         PRTR, pre-fetched after the first call (Figure 4(b)) — total {:.1} ms:\n{}\n\
+         \nAttribution, FRTR vs PRTR all-miss:\n{}",
         t_task * 1e3,
         node.t_prtr_s() * 1e3,
         node.t_frtr_s() * 1e3,
@@ -100,6 +121,7 @@ pub fn run(ctx: &ExecCtx) -> Report {
         prtr_miss.timeline.render_text(96),
         prtr_hit.total_s() * 1e3,
         prtr_hit.timeline.render_text(96),
+        attribution.render_table(),
     );
 
     Report::new(
@@ -110,6 +132,7 @@ pub fn run(ctx: &ExecCtx) -> Report {
             frtr_total_s: frtr.total_s(),
             prtr_miss_total_s: prtr_miss.total_s(),
             prtr_hit_total_s: prtr_hit.total_s(),
+            attribution,
         },
     )
 }

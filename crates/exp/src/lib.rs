@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod experiments;
 pub mod report;
 pub mod runner;
@@ -113,6 +114,26 @@ pub fn chrome_trace(id: &str, ctx: &ExecCtx) -> Option<Vec<hprc_obs::ChromeEvent
         "fig9b" => experiments::fig9::peak_timeline(experiments::fig9::Panel::Measured, 30, &quiet)
             .chrome_events(1),
         "profiles" => experiments::profiles::chrome_trace(&quiet),
+        _ => return None,
+    })
+}
+
+/// A representative wall-clock attribution for experiments that have
+/// one: the peak operating point of the Figure 9 panels, the all-miss
+/// profile pair for `profiles` — the `<id>.attr.json` artifact written
+/// next to the `--trace` outputs. Runs under a silenced context, so the
+/// re-run doesn't perturb the experiment's own metrics; single-point
+/// runs are serial, so the result is byte-identical at any `--jobs`.
+pub fn attribution(id: &str, ctx: &ExecCtx) -> Option<hprc_attr::AttributionReport> {
+    let quiet = quiet(ctx);
+    Some(match id {
+        "fig9a" => {
+            experiments::fig9::peak_attribution(experiments::fig9::Panel::Estimated, 300, &quiet)
+        }
+        "fig9b" => {
+            experiments::fig9::peak_attribution(experiments::fig9::Panel::Measured, 300, &quiet)
+        }
+        "profiles" => experiments::profiles::attribution(&quiet),
         _ => return None,
     })
 }

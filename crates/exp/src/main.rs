@@ -27,16 +27,138 @@ use hprc_obs::Registry;
 fn usage() -> String {
     format!(
         "usage: hprc-exp [--out DIR] [--trace DIR] [--jobs N] [--seed S] [all | id...]\n\
+         \x20      hprc-exp bench [--repeat K] [--out-file PATH] [--check BASELINE]\n\
+         \x20                     [--threshold X] [--jobs N] [--seed S]\n\
          \n\
          --out DIR    write reports and CSV artifacts under DIR (default: results)\n\
-         --trace DIR  run instrumented; write <id>.metrics.json and <id>.trace.json under DIR\n\
+         --trace DIR  run instrumented; write <id>.metrics.json, <id>.trace.json and\n\
+         \x20            <id>.attr.json (timeline attribution) under DIR\n\
          --jobs N     worker threads (default: available cores); results are\n\
          \x20            byte-identical at any N, only wall-clock time changes\n\
          --seed S     base RNG seed XOR-ed into every workload stream (default: 0)\n\
          \n\
+         bench: wall-clock-time every experiment (p50 over K repetitions, default 3)\n\
+         and write a schema-stable BENCH_<YYYYMMDD>.json (or --out-file PATH) at the\n\
+         repo root; with --check, compare p50s against a committed baseline at\n\
+         --threshold (default 2.0) and exit non-zero on regression or schema drift.\n\
+         \n\
          ids: {}",
         hprc_exp::ALL_EXPERIMENTS.join(" ")
     )
+}
+
+fn bench_main(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut repeat: usize = 3;
+    let mut out_file: Option<PathBuf> = None;
+    let mut check: Option<PathBuf> = None;
+    let mut threshold: f64 = 2.0;
+    let mut jobs: usize = 1;
+    let mut seed: u64 = 0;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--repeat" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => repeat = n,
+                _ => {
+                    eprintln!("--repeat requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out-file" => match args.next() {
+                Some(p) => out_file = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--out-file requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match args.next() {
+                Some(p) => check = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--check requires a baseline path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threshold" => match args.next().and_then(|x| x.parse::<f64>().ok()) {
+                Some(x) if x > 0.0 => threshold = x,
+                _ => {
+                    eprintln!("--threshold requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => jobs = n,
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown bench argument: {other}\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = hprc_exp::bench::run_bench(repeat, seed, jobs);
+    for e in &report.entries {
+        println!(
+            "{:<16} p50 {:>8.2} ms  (min {:>8.2}, max {:>8.2}, spans {})",
+            e.id, e.p50_ms, e.min_ms, e.max_ms, e.spans
+        );
+    }
+    println!(
+        "bench total: {:.1} ms over {} experiments x {} repetition(s)",
+        report.total_ms,
+        report.entries.len(),
+        report.repeat
+    );
+
+    let path = out_file.unwrap_or_else(|| PathBuf::from(report.default_filename()));
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: could not serialize bench report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&path, json + "\n") {
+        eprintln!("error: could not write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("bench report written to {}", path.display());
+
+    if let Some(baseline_path) = check {
+        let baseline = match hprc_exp::bench::load(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = hprc_exp::bench::compare(&report, &baseline, threshold);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("bench regression: {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench check passed against {} (threshold {threshold}x)",
+            baseline_path.display()
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn write_trace_artifacts(
@@ -53,6 +175,10 @@ fn write_trace_artifacts(
         let trace = serde_json::to_string(&events)?;
         std::fs::write(dir.join(format!("{id}.trace.json")), trace)?;
     }
+    if let Some(attr) = hprc_exp::attribution(id, ctx) {
+        let json = serde_json::to_string_pretty(&attr)?;
+        std::fs::write(dir.join(format!("{id}.attr.json")), json)?;
+    }
     Ok(())
 }
 
@@ -63,6 +189,9 @@ fn main() -> ExitCode {
     let mut seed: u64 = 0;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
+    if std::env::args().nth(1).as_deref() == Some("bench") {
+        return bench_main(args.skip(1));
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => match args.next() {

@@ -9,7 +9,7 @@ use hprc_sched::cache::TaskId;
 use hprc_sched::policy::Policy;
 use hprc_sched::simulate::{simulate, CallOutcome, SimulationOutcome};
 use hprc_sched::traces::TraceSpec;
-use hprc_sim::executor::{run_frtr, run_prtr};
+use hprc_sim::executor::{run_frtr, run_prtr, ExecutionReport};
 use hprc_sim::node::NodeConfig;
 use hprc_sim::task::{PrtrCall, TaskCall};
 use hprc_sim::trace::Timeline;
@@ -77,6 +77,21 @@ pub struct SweepPoint {
     pub speedup_model: f64,
 }
 
+/// Everything one executed sweep point produced: the summary point plus
+/// both full execution reports and the equivalent model parameters —
+/// the inputs the attribution layer (`hprc-attr`) consumes.
+#[derive(Debug, Clone)]
+pub struct PointRun {
+    /// The summary sweep point.
+    pub point: SweepPoint,
+    /// Full FRTR execution report.
+    pub frtr: ExecutionReport,
+    /// Full PRTR execution report.
+    pub prtr: ExecutionReport,
+    /// Model parameters at the *measured* hit ratio.
+    pub params: ModelParams,
+}
+
 /// Runs one sweep point: generates the workload (seeded via
 /// [`ExecCtx::seed_for`], so the context's base seed perturbs every
 /// stream uniformly), simulates the cache with `policy`, executes both
@@ -85,9 +100,9 @@ pub struct SweepPoint {
 ///
 /// All three substrates record into `ctx.registry` (cache counters per
 /// policy, executor counters and lane gauges, the measured `H` gauge);
-/// the PRTR timeline is returned alongside the point so callers can
-/// export it as a trace.
-pub fn run_point(
+/// the full reports come back in the [`PointRun`] so callers can export
+/// traces or attribute the runs.
+pub fn run_point_full(
     node: &NodeConfig,
     trace_spec: &TraceSpec,
     seed: u64,
@@ -95,7 +110,7 @@ pub fn run_point(
     prefetch: bool,
     t_task: f64,
     ctx: &ExecCtx,
-) -> (SweepPoint, Timeline) {
+) -> PointRun {
     let trace = trace_spec.generate(ctx.seed_for(seed));
     let outcome = simulate(&trace, node.n_prrs, policy, prefetch, ctx);
     let calls = prtr_calls(node, &trace, &outcome, t_task);
@@ -114,7 +129,27 @@ pub fn run_point(
         speedup_sim: frtr.total_s() / prtr.total_s(),
         speedup_model: hprc_model::speedup::speedup(&params),
     };
-    (point, prtr.timeline)
+    PointRun {
+        point,
+        frtr,
+        prtr,
+        params,
+    }
+}
+
+/// [`run_point_full`], keeping only the summary point and the PRTR
+/// timeline.
+pub fn run_point(
+    node: &NodeConfig,
+    trace_spec: &TraceSpec,
+    seed: u64,
+    policy: &mut dyn Policy,
+    prefetch: bool,
+    t_task: f64,
+    ctx: &ExecCtx,
+) -> (SweepPoint, Timeline) {
+    let run = run_point_full(node, trace_spec, seed, policy, prefetch, t_task, ctx);
+    (run.point, run.prtr.timeline)
 }
 
 /// The paper's Figure 9 workload: the three image filters cycling through
@@ -126,6 +161,13 @@ pub fn figure9_point(
     n: usize,
     ctx: &ExecCtx,
 ) -> (SweepPoint, Timeline) {
+    let run = figure9_point_full(node, t_task, n, ctx);
+    (run.point, run.prtr.timeline)
+}
+
+/// [`figure9_point`] with the full execution reports and model
+/// parameters retained (the attribution layer's input).
+pub fn figure9_point_full(node: &NodeConfig, t_task: f64, n: usize, ctx: &ExecCtx) -> PointRun {
     let spec = TraceSpec::Looping {
         stages: 3,
         n_tasks: 3,
@@ -133,7 +175,7 @@ pub fn figure9_point(
         len: n,
     };
     let mut policy = hprc_sched::policies::AlwaysMiss::new();
-    run_point(node, &spec, 1, &mut policy, false, t_task, ctx)
+    run_point_full(node, &spec, 1, &mut policy, false, t_task, ctx)
 }
 
 #[cfg(test)]

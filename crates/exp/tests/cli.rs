@@ -1,0 +1,150 @@
+//! End-to-end tests of the `hprc-exp` binary: help/usage exit codes,
+//! the `bench` subcommand's artifact, and `--jobs` invariance of the
+//! `.attr.json` attribution artifact.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn exe() -> &'static str {
+    env!("CARGO_BIN_EXE_hprc-exp")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hprc-exp-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    for flag in ["--help", "-h"] {
+        let out = Command::new(exe()).arg(flag).output().expect("run binary");
+        assert!(out.status.success(), "{flag} should exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("usage: hprc-exp"), "{flag} usage missing");
+        assert!(text.contains("bench"), "{flag} usage should cover bench");
+        assert!(
+            text.contains("attr.json"),
+            "{flag} usage should cover attribution"
+        );
+    }
+}
+
+#[test]
+fn unknown_flag_and_unknown_id_fail() {
+    let out = Command::new(exe())
+        .arg("--frobnicate")
+        .output()
+        .expect("run binary");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    let out = Command::new(exe())
+        .arg("no-such-experiment")
+        .output()
+        .expect("run binary");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn bench_writes_schema_stable_report_and_self_check_passes() {
+    let dir = tmp_dir("bench");
+    let report_path = dir.join("bench.json");
+    let out = Command::new(exe())
+        .args(["bench", "--repeat", "1", "--out-file"])
+        .arg(&report_path)
+        .current_dir(&dir)
+        .output()
+        .expect("run bench");
+    assert!(
+        out.status.success(),
+        "bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = hprc_exp::bench::load(&report_path).expect("valid bench report");
+    assert_eq!(
+        report.schema_version,
+        hprc_exp::bench::BenchReport::SCHEMA_VERSION
+    );
+    assert_eq!(report.entries.len(), hprc_exp::ALL_EXPERIMENTS.len());
+
+    // A fresh run checked against the file it just wrote must pass.
+    let out = Command::new(exe())
+        .args(["bench", "--repeat", "1", "--out-file"])
+        .arg(dir.join("bench2.json"))
+        .arg("--check")
+        .arg(&report_path)
+        .args(["--threshold", "25.0"]) // very generous: CI boxes jitter
+        .current_dir(&dir)
+        .output()
+        .expect("run bench check");
+    assert!(
+        out.status.success(),
+        "self-check failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bench check passed"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_check_fails_on_schema_drift() {
+    let dir = tmp_dir("bench-drift");
+    let baseline = dir.join("baseline.json");
+    // A baseline whose experiment set doesn't match: must fail the gate.
+    std::fs::write(
+        &baseline,
+        r#"{"schema_version":1,"date":"20260101","repeat":1,"seed":0,"jobs":1,
+            "total_ms":1.0,"entries":[{"id":"only-one","p50_ms":1.0,"min_ms":1.0,
+            "max_ms":1.0,"counters":0,"gauges":0,"histograms":0,"spans":1,
+            "counter_total":0}]}"#,
+    )
+    .unwrap();
+    let out = Command::new(exe())
+        .args(["bench", "--repeat", "1", "--out-file"])
+        .arg(dir.join("bench.json"))
+        .arg("--check")
+        .arg(&baseline)
+        .current_dir(&dir)
+        .output()
+        .expect("run bench check");
+    assert!(!out.status.success(), "schema drift must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("experiment set changed"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn run_fig9a_trace(dir: &Path, jobs: &str) -> Vec<u8> {
+    let out = Command::new(exe())
+        .args(["--jobs", jobs, "--trace"])
+        .arg(dir)
+        .args(["--out"])
+        .arg(dir.join("results"))
+        .arg("fig9a")
+        .output()
+        .expect("run fig9a");
+    assert!(
+        out.status.success(),
+        "fig9a --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read(dir.join("fig9a.attr.json")).expect("fig9a.attr.json written")
+}
+
+#[test]
+fn fig9a_attribution_is_byte_identical_across_jobs() {
+    let d1 = tmp_dir("attr-j1");
+    let d4 = tmp_dir("attr-j4");
+    let serial = run_fig9a_trace(&d1, "1");
+    let parallel = run_fig9a_trace(&d4, "4");
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "attr.json must not depend on --jobs");
+    // Spot-check the artifact's schema.
+    let v = serde_json::from_str(&String::from_utf8(serial).unwrap()).unwrap();
+    assert_eq!(v["id"].as_str().unwrap(), "fig9a");
+    assert!(v["prtr"]["hiding_efficiency"].as_f64().unwrap() > 0.0);
+    assert!(v["gap"]["s_asymptotic"].as_f64().unwrap() > 0.0);
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d4);
+}

@@ -184,6 +184,7 @@ mod tests {
         assert_eq!(s.p95, 95.0);
         assert_eq!(s.p99, 99.0);
         assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.sum, 5050.0);
     }
 
     #[test]
@@ -194,6 +195,22 @@ mod tests {
         assert_eq!(s.p50, 2.5);
         assert_eq!(s.p99, 2.5);
         assert_eq!(s.max, 2.5);
+        assert_eq!(s.sum, 2.5);
+    }
+
+    #[test]
+    fn summary_serializes_all_fields() {
+        // The metrics-JSON writers serialize the summary verbatim, so
+        // the key set is the artifact schema — pin it.
+        use serde::Serialize;
+        let s = HistogramSummary::from_samples(&[1.0, 2.0, 3.0]);
+        let json = s.to_json_value();
+        for key in ["count", "min", "mean", "p50", "p95", "p99", "max", "sum"] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(json["sum"].as_f64().unwrap(), 6.0);
+        assert_eq!(json["min"].as_f64().unwrap(), 1.0);
+        assert_eq!(json["max"].as_f64().unwrap(), 3.0);
     }
 
     #[test]

@@ -325,6 +325,59 @@ mod tests {
     }
 
     #[test]
+    fn merge_empty_histogram_into_nonempty_changes_nothing() {
+        let dst = Registry::new();
+        dst.histogram("lat").record(1.0);
+        dst.histogram("lat").record(2.0);
+        let empty_src = Registry::new();
+        // Instrument exists in the source but holds no samples.
+        let _ = empty_src.histogram("lat");
+        dst.merge_from(&empty_src);
+        let snap = dst.snapshot();
+        let s = &snap.histograms["lat"];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn merge_disjoint_histogram_keys_union() {
+        let dst = Registry::new();
+        dst.histogram("a").record(1.0);
+        let src = Registry::new();
+        src.histogram("b").record(5.0);
+        src.histogram("b").record(7.0);
+        dst.merge_from(&src);
+        let snap = dst.snapshot();
+        assert_eq!(snap.histograms.len(), 2);
+        assert_eq!(snap.histograms["a"].count, 1);
+        assert_eq!(snap.histograms["b"].count, 2);
+        assert_eq!(snap.histograms["b"].sum, 12.0);
+        // The source itself is untouched.
+        assert_eq!(src.snapshot().histograms.len(), 1);
+    }
+
+    #[test]
+    fn repeated_merge_adds_counters_and_appends_samples() {
+        // merge_from is additive, NOT idempotent: merging the same
+        // source twice doubles counters and duplicates histogram
+        // samples — callers must merge each shard exactly once.
+        let dst = Registry::new();
+        let src = Registry::new();
+        src.counter("c").add(3);
+        src.gauge("g").set(4.0);
+        src.histogram("h").record(2.0);
+        dst.merge_from(&src);
+        dst.merge_from(&src);
+        let snap = dst.snapshot();
+        assert_eq!(snap.counters["c"], 6);
+        assert_eq!(snap.gauges["g"], 4.0); // gauges are last-wins
+        assert_eq!(snap.histograms["h"].count, 2);
+        assert_eq!(snap.histograms["h"].sum, 4.0);
+    }
+
+    #[test]
     fn merge_is_inert_for_noop_or_self() {
         let active = Registry::new();
         active.counter("c").inc();

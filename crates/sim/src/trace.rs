@@ -79,6 +79,36 @@ impl EventKind {
             EventKind::DataOut => 'o',
         }
     }
+
+    /// The coarse activity class this kind belongs to — the granularity
+    /// at which wall-clock attribution (crate `hprc-attr`) partitions a
+    /// run.
+    pub fn class(&self) -> ActivityClass {
+        match self {
+            EventKind::Exec => ActivityClass::Exec,
+            EventKind::FullConfig | EventKind::PartialConfig => ActivityClass::Config,
+            EventKind::Decision => ActivityClass::Decision,
+            EventKind::Control => ActivityClass::Control,
+            EventKind::DataIn | EventKind::DataOut => ActivityClass::Data,
+        }
+    }
+}
+
+/// Coarse activity classes for wall-clock attribution: the model's cost
+/// terms (`T_task`, `T_config`, `T_decision`, `T_control`) plus the data
+/// transfers that stream inside execution windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityClass {
+    /// Task execution on a PRR (`T_task`).
+    Exec,
+    /// Configuration-port activity, full or partial (`T_FRTR`/`T_PRTR`).
+    Config,
+    /// Pre-fetch decision (`T_decision`).
+    Decision,
+    /// Transfer of control (`T_control`).
+    Control,
+    /// Host↔FPGA data streaming (overlaps execution by construction).
+    Data,
 }
 
 /// One timeline event.
@@ -139,6 +169,42 @@ impl Timeline {
             .iter()
             .filter(|e| e.lane == lane)
             .map(|e| (e.end - e.start).as_secs_f64())
+            .sum()
+    }
+
+    /// The merged union of every interval during which an event of the
+    /// given [`ActivityClass`] is active: sorted, pairwise-disjoint,
+    /// non-adjacent `(start, end)` windows. This is the extraction hook
+    /// wall-clock attribution (`hprc-attr`) builds its exclusive time
+    /// buckets from — overlapping events of the same class (e.g. two
+    /// PRRs executing concurrently) collapse into one window, so union
+    /// lengths never double-count.
+    pub fn class_intervals(&self, class: ActivityClass) -> Vec<(SimTime, SimTime)> {
+        let mut iv: Vec<(SimTime, SimTime)> = self
+            .events
+            .iter()
+            .filter(|e| e.kind.class() == class)
+            .map(|e| (e.start, e.end))
+            .collect();
+        iv.sort();
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(iv.len());
+        for (start, end) in iv {
+            match merged.last_mut() {
+                // Adjacent windows (end == next start) merge too: the
+                // class is active continuously across the boundary.
+                Some((_, last_end)) if start <= *last_end => *last_end = (*last_end).max(end),
+                _ => merged.push((start, end)),
+            }
+        }
+        merged
+    }
+
+    /// Total busy seconds of one activity class, counted on the merged
+    /// union (concurrent same-class events are not double-counted).
+    pub fn class_busy_s(&self, class: ActivityClass) -> f64 {
+        self.class_intervals(class)
+            .iter()
+            .map(|(s, e)| (*e - *s).as_secs_f64())
             .sum()
     }
 
@@ -295,6 +361,98 @@ mod tests {
     #[test]
     fn render_empty_timeline() {
         assert!(Timeline::default().render_text(40).contains("empty"));
+    }
+
+    /// A hand-built four-lane timeline, with the rendered Gantt pinned
+    /// byte-for-byte and every lane-busy total checked against the sum
+    /// of its event durations.
+    #[test]
+    fn render_text_golden() {
+        let mut tl = Timeline::default();
+        tl.push(Lane::Host, EventKind::Decision, "dec", t(0.0), t(0.5));
+        tl.push(
+            Lane::ConfigPort,
+            EventKind::PartialConfig,
+            "cfg",
+            t(0.0),
+            t(1.0),
+        );
+        tl.push(Lane::Prr(0), EventKind::Exec, "a", t(1.0), t(3.0));
+        tl.push(Lane::Host, EventKind::Control, "ctl", t(3.0), t(3.25));
+        tl.push(Lane::Prr(1), EventKind::Exec, "b", t(3.25), t(4.0));
+
+        let expected = [
+            "  host |ddddd.........................ccc.......",
+            "config |PPPPPPPPPP..............................",
+            "  PRR0 |..........XXXXXXXXXXXXXXXXXXXX..........",
+            "  PRR1 |................................XXXXXXXX",
+            "       |0 ............................ 4.0000s",
+            "",
+        ]
+        .join("\n");
+        assert_eq!(tl.render_text(40), expected);
+
+        // Lane-busy totals match the per-lane sums of event durations.
+        assert!((tl.lane_busy_s(Lane::Host) - 0.75).abs() < 1e-12);
+        assert!((tl.lane_busy_s(Lane::ConfigPort) - 1.0).abs() < 1e-12);
+        assert!((tl.lane_busy_s(Lane::Prr(0)) - 2.0).abs() < 1e-12);
+        assert!((tl.lane_busy_s(Lane::Prr(1)) - 0.75).abs() < 1e-12);
+        assert!((tl.lane_busy_s(Lane::LinkIn) - 0.0).abs() < 1e-12);
+        let lane_sum: f64 = [
+            Lane::Host,
+            Lane::ConfigPort,
+            Lane::Prr(0),
+            Lane::Prr(1),
+            Lane::LinkIn,
+            Lane::LinkOut,
+        ]
+        .iter()
+        .map(|l| tl.lane_busy_s(*l))
+        .sum();
+        let event_sum: f64 = tl
+            .events
+            .iter()
+            .map(|e| (e.end - e.start).as_secs_f64())
+            .sum();
+        assert!((lane_sum - event_sum).abs() < 1e-12);
+        assert!((tl.span_end().as_secs_f64() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_intervals_merge_overlap_and_adjacency() {
+        let mut tl = Timeline::default();
+        // Two PRRs executing with overlap, then an adjacent window.
+        tl.push(Lane::Prr(0), EventKind::Exec, "a", t(0.0), t(2.0));
+        tl.push(Lane::Prr(1), EventKind::Exec, "b", t(1.0), t(3.0));
+        tl.push(Lane::Prr(0), EventKind::Exec, "c", t(3.0), t(4.0));
+        tl.push(Lane::Prr(1), EventKind::Exec, "d", t(6.0), t(7.0));
+        let exec = tl.class_intervals(ActivityClass::Exec);
+        assert_eq!(exec, vec![(t(0.0), t(4.0)), (t(6.0), t(7.0))]);
+        // Union length, not the 2+2+1+1 = 6 s sum of durations.
+        assert!((tl.class_busy_s(ActivityClass::Exec) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_groups_full_and_partial_config() {
+        let mut tl = Timeline::default();
+        tl.push(Lane::ConfigPort, EventKind::FullConfig, "f", t(0.0), t(1.0));
+        tl.push(
+            Lane::ConfigPort,
+            EventKind::PartialConfig,
+            "p",
+            t(2.0),
+            t(3.0),
+        );
+        tl.push(Lane::Host, EventKind::Decision, "d", t(0.0), t(0.5));
+        let cfg = tl.class_intervals(ActivityClass::Config);
+        assert_eq!(cfg.len(), 2);
+        assert!((tl.class_busy_s(ActivityClass::Config) - 2.0).abs() < 1e-12);
+        assert!(tl.class_intervals(ActivityClass::Data).is_empty());
+        assert_eq!(
+            EventKind::FullConfig.class(),
+            EventKind::PartialConfig.class()
+        );
+        assert_eq!(EventKind::DataIn.class(), ActivityClass::Data);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   functions as real, testable Rust code plus the task-time model;
 //! * [`virt`] (`hprc-virt`) — the hardware-virtualization/multi-tasking
 //!   runtime (the paper's future-work direction);
+//! * [`attr`] (`hprc-attr`) — wall-clock attribution over timelines:
+//!   exclusive time buckets with a machine-checked sum identity, hiding
+//!   efficiency, and measured-vs-Eq(7) bound gaps;
 //! * [`obs`] (`hprc-obs`) — zero-dependency metrics (counters, gauges,
 //!   histograms), hierarchical timed spans, and Chrome trace-event
 //!   export, wired through the simulator, scheduler, and runner;
@@ -47,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub use hprc_attr as attr;
 pub use hprc_ctx as ctx;
 pub use hprc_exp as exp;
 pub use hprc_fpga as fpga;
@@ -59,6 +63,7 @@ pub use hprc_virt as virt;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
+    pub use hprc_attr::{AttributionReport, Buckets, RunAttribution};
     pub use hprc_ctx::{Calibration, ExecCtx};
     pub use hprc_fpga::bitstream::Bitstream;
     pub use hprc_fpga::device::Device;

@@ -1,0 +1,64 @@
+//! Workspace-level attribution invariants: the `.attr.json` artifact is
+//! independent of the parallelism budget, and the attribution agrees
+//! with the experiments' own published numbers.
+
+use prtr_bounds::ctx::ExecCtx;
+use prtr_bounds::exp;
+use prtr_bounds::obs::Registry;
+
+fn attr_json(id: &str, jobs: usize) -> String {
+    let ctx = ExecCtx::default()
+        .with_registry(Registry::new())
+        .with_jobs(jobs);
+    let report = exp::attribution(id, &ctx).expect("experiment has attribution");
+    serde_json::to_string_pretty(&report).expect("serializable")
+}
+
+#[test]
+fn attribution_artifacts_are_jobs_invariant() {
+    for id in ["fig9a", "fig9b", "profiles"] {
+        let serial = attr_json(id, 1);
+        let parallel = attr_json(id, 4);
+        assert_eq!(serial, parallel, "{id}.attr.json must not depend on jobs");
+    }
+}
+
+#[test]
+fn experiments_without_timelines_have_no_attribution() {
+    let ctx = ExecCtx::default();
+    for id in ["table1", "fig5", "summary", "validate"] {
+        assert!(exp::attribution(id, &ctx).is_none(), "{id}");
+    }
+}
+
+#[test]
+fn fig9b_peak_attribution_matches_the_paper_story() {
+    let ctx = ExecCtx::default();
+    let report = exp::attribution("fig9b", &ctx).unwrap();
+    // At T_task = T_PRTR with H = 0 tasks run back-to-back, so nearly
+    // every configuration streams entirely under the previous task.
+    let h = report.prtr.hiding_efficiency.expect("PRTR configures");
+    assert!(h > 0.9, "hiding efficiency {h}");
+    // FRTR can never overlap.
+    assert_eq!(report.frtr.hiding_efficiency, Some(0.0));
+    // The measured peak sits close under Eq (7)'s asymptote.
+    assert!(report.gap.speedup_sim > 75.0);
+    assert!(report.gap.bound_gap >= -1e-9, "S_inf bounds the finite run");
+    assert!(report.gap.bound_gap_frac < 0.1);
+    assert!(!report.gap.long_task_bound_active);
+    // The six buckets of each run sum to its span (identity re-checked
+    // here over the serialized seconds, within f64 print precision).
+    for run in [&report.frtr, &report.prtr] {
+        let sum = run.exec_s
+            + run.hidden_config_s
+            + run.visible_config_s
+            + run.decision_s
+            + run.control_s
+            + run.idle_s;
+        assert!(
+            (sum - run.span_s).abs() < 1e-9,
+            "sum {sum} vs span {}",
+            run.span_s
+        );
+    }
+}
