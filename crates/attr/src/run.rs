@@ -280,7 +280,7 @@ mod tests {
                 slot: i % node.n_prrs,
             })
             .collect();
-        let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+        let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
         let ctx = ExecCtx::default();
         let f = run_frtr(&node, &frtr_calls, &ctx).unwrap();
         let p = run_prtr(&node, &calls, &ctx).unwrap();

@@ -5,7 +5,7 @@ use hprc_attr::{AttributionReport, Buckets, RunAttribution};
 use hprc_ctx::ExecCtx;
 use hprc_fpga::floorplan::Floorplan;
 use hprc_model::params::{ModelParams, NormalizedTimes};
-use hprc_sim::executor::{run_frtr, run_prtr};
+use hprc_sim::executor::{run_frtr, run_frtr_reference, run_prtr, run_prtr_reference};
 use hprc_sim::node::NodeConfig;
 use hprc_sim::task::{PrtrCall, TaskCall};
 use hprc_sim::trace::ActivityClass;
@@ -52,7 +52,7 @@ proptest! {
     fn buckets_partition_span_exactly(spec in calls_strategy()) {
         let node = xd1();
         let calls = build_calls(&node, &spec);
-        let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+        let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
         let ctx = ExecCtx::default();
         let f = run_frtr(&node, &frtr_calls, &ctx).unwrap();
         let p = run_prtr(&node, &calls, &ctx).unwrap();
@@ -73,7 +73,7 @@ proptest! {
     fn observables_well_formed(spec in calls_strategy()) {
         let node = xd1();
         let calls = build_calls(&node, &spec);
-        let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+        let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
         let ctx = ExecCtx::default();
         let f = run_frtr(&node, &frtr_calls, &ctx).unwrap();
         let p = run_prtr(&node, &calls, &ctx).unwrap();
@@ -88,6 +88,50 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&pa.effective_hit_ratio));
         let n_miss = spec.iter().filter(|&&(_, hit, _)| hit == 0).count() as u64;
         prop_assert_eq!(pa.n_config, n_miss);
+    }
+
+    /// The partition identity survives run-length-encoded timelines:
+    /// long periodic workloads make the executors' steady-state fast
+    /// path store `Repeat` items instead of per-call events, and the
+    /// buckets computed from the compressed timeline must be identical
+    /// to the per-call reference executor's.
+    #[test]
+    fn buckets_identical_on_rle_timelines(
+        scale in 1u8..100,
+        reps in 30usize..80,
+        all_miss in any::<bool>(),
+    ) {
+        let node = xd1();
+        let calls: Vec<PrtrCall> = (0..reps * 3)
+            .map(|i| PrtrCall {
+                task: TaskCall::with_task_time(
+                    format!("t{}", i % 3),
+                    &node,
+                    scale as f64 * 2e-3,
+                ),
+                hit: !all_miss && i > 0,
+                slot: i % node.n_prrs,
+            })
+            .collect();
+        let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
+        let ctx = ExecCtx::default();
+        let fast = run_prtr(&node, &calls, &ctx).unwrap();
+        let reference = run_prtr_reference(&node, &calls, &ctx).unwrap();
+        // The fast path must actually have compressed, or this test
+        // exercises nothing.
+        prop_assert!(fast.timeline.n_items() < fast.timeline.len() as usize / 2);
+        let fb = Buckets::checked_from_timeline(&fast.timeline);
+        let rb = Buckets::checked_from_timeline(&reference.timeline);
+        prop_assert_eq!(&fb, &rb);
+        prop_assert_eq!(fb.total_ns(), fast.timeline.span_end().0);
+
+        let f_fast = run_frtr(&node, &frtr_calls, &ctx).unwrap();
+        let f_ref = run_frtr_reference(&node, &frtr_calls, &ctx).unwrap();
+        prop_assert!(f_fast.timeline.n_items() < f_fast.timeline.len() as usize / 2);
+        let fb = Buckets::checked_from_timeline(&f_fast.timeline);
+        let rb = Buckets::checked_from_timeline(&f_ref.timeline);
+        prop_assert_eq!(&fb, &rb);
+        prop_assert_eq!(fb.total_ns(), f_fast.timeline.span_end().0);
     }
 }
 
@@ -112,7 +156,7 @@ proptest! {
                 slot: i % node.n_prrs,
             })
             .collect();
-        let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+        let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
         let ctx = ExecCtx::default();
         let f = run_frtr(&node, &frtr_calls, &ctx).unwrap();
         let p = run_prtr(&node, &calls, &ctx).unwrap();

@@ -1,12 +1,15 @@
 //! Figure 9 bench: the cost of regenerating the experimental sweep —
 //! per-point FRTR/PRTR executor runs on both panels (estimated and
-//! measured configuration times).
+//! measured configuration times). Each executor is benched twice: the
+//! default entry point (periodicity fast path enabled) against its
+//! `_reference` oracle (pure per-call simulation), so the steady-state
+//! jump's speedup is tracked directly.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hprc_ctx::ExecCtx;
 use hprc_exp::scenario::figure9_point;
 use hprc_fpga::floorplan::Floorplan;
-use hprc_sim::executor::{run_frtr, run_prtr};
+use hprc_sim::executor::{run_frtr, run_frtr_reference, run_prtr, run_prtr_reference};
 use hprc_sim::node::NodeConfig;
 use hprc_sim::task::{PrtrCall, TaskCall};
 
@@ -25,7 +28,7 @@ fn bench_executors(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9/executor");
     for n in [100usize, 1000] {
         let prtr_calls = calls(&node, n);
-        let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
+        let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task).collect();
         g.bench_with_input(BenchmarkId::new("frtr", n), &n, |b, _| {
             b.iter(|| {
                 run_frtr(
@@ -36,9 +39,29 @@ fn bench_executors(c: &mut Criterion) {
                 .unwrap()
             })
         });
+        g.bench_with_input(BenchmarkId::new("frtr-reference", n), &n, |b, _| {
+            b.iter(|| {
+                run_frtr_reference(
+                    black_box(&node),
+                    black_box(&frtr_calls),
+                    &ExecCtx::default(),
+                )
+                .unwrap()
+            })
+        });
         g.bench_with_input(BenchmarkId::new("prtr", n), &n, |b, _| {
             b.iter(|| {
                 run_prtr(
+                    black_box(&node),
+                    black_box(&prtr_calls),
+                    &ExecCtx::default(),
+                )
+                .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("prtr-reference", n), &n, |b, _| {
+            b.iter(|| {
+                run_prtr_reference(
                     black_box(&node),
                     black_box(&prtr_calls),
                     &ExecCtx::default(),

@@ -34,7 +34,10 @@
 
 #![warn(missing_docs)]
 
+pub mod symbol;
 pub mod timing;
+
+pub use symbol::Symbol;
 
 use hprc_obs::Registry;
 

@@ -1,0 +1,155 @@
+//! Process-wide string interning for hot-path identifiers.
+//!
+//! The simulator's steady-state fast path re-emits the same task and
+//! label strings hundreds of times per sweep point; cloning a `String`
+//! per call dominated the profile. A [`Symbol`] is a `Copy` handle into
+//! a process-global table: interning the same text twice yields the
+//! same id, comparison/hashing are integer operations, and resolution
+//! is a slice index into leaked (process-lifetime) storage.
+//!
+//! The table is append-only and never serialized: ids are stable only
+//! within one process, so every external representation (JSON
+//! artifacts, rendered reports) goes through [`Symbol::as_str`]. The
+//! `Serialize` impl does exactly that, which keeps artifact bytes
+//! independent of interning order.
+//!
+//! ```
+//! use hprc_ctx::Symbol;
+//!
+//! let a = Symbol::intern("task0");
+//! let b = Symbol::intern("task0");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "task0");
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a cheap, `Copy`, process-global identifier.
+///
+/// Equality and hashing compare the id, which is equivalent to string
+/// equality because interning is canonical.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    by_text: HashMap<&'static str, u32>,
+    texts: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner {
+            by_text: HashMap::new(),
+            texts: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `text`, returning its canonical id. O(1) amortized; the
+    /// first interning of a distinct string leaks one copy of it for
+    /// the process lifetime (identifier vocabularies are small and
+    /// bounded by workload structure).
+    pub fn intern(text: &str) -> Symbol {
+        let table = interner();
+        if let Some(&id) = table.read().expect("interner poisoned").by_text.get(text) {
+            return Symbol(id);
+        }
+        let mut w = table.write().expect("interner poisoned");
+        // Re-check: another thread may have inserted between the locks.
+        if let Some(&id) = w.by_text.get(text) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let id = u32::try_from(w.texts.len()).expect("interner overflow");
+        w.texts.push(leaked);
+        w.by_text.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Resolves the symbol back to its text.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner poisoned").texts[self.0 as usize]
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(text: &str) -> Symbol {
+        Symbol::intern(text)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(text: String) -> Symbol {
+        Symbol::intern(&text)
+    }
+}
+
+impl serde::Serialize for Symbol {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_canonical() {
+        let a = Symbol::intern("alpha-sym-test");
+        let b = Symbol::intern("alpha-sym-test");
+        let c = Symbol::intern("beta-sym-test");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "alpha-sym-test");
+        assert_eq!(c.as_str(), "beta-sym-test");
+    }
+
+    #[test]
+    fn conversions_and_formatting() {
+        let s: Symbol = "gamma-sym-test".into();
+        let t: Symbol = String::from("gamma-sym-test").into();
+        assert_eq!(s, t);
+        assert_eq!(format!("{s}"), "gamma-sym-test");
+        assert_eq!(format!("{s:?}"), "Symbol(\"gamma-sym-test\")");
+    }
+
+    #[test]
+    fn serializes_as_the_text() {
+        use serde::Serialize;
+        let s = Symbol::intern("delta-sym-test");
+        assert_eq!(
+            s.to_json_value(),
+            serde::Value::String("delta-sym-test".into())
+        );
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let ids: Vec<Symbol> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| scope.spawn(|| Symbol::intern("contended-sym-test")))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -114,13 +114,24 @@ pub fn run_bench(repeat: usize, seed: u64, jobs: usize) -> BenchReport {
     }
 }
 
+/// The per-entry noise floor for [`compare`], ms: the larger of an
+/// absolute 0.5 ms (timer granularity) and three times the baseline
+/// entry's own min-to-max spread (its observed run-to-run jitter). A
+/// steady 40 ms experiment is gated near its true p50, while a jittery
+/// one earns exactly as much slack as its baseline run demonstrated it
+/// needs — unlike a flat floor, which either drowns fast entries or
+/// under-protects noisy ones.
+pub fn noise_floor_ms(base: &BenchEntry) -> f64 {
+    (3.0 * (base.max_ms - base.min_ms)).max(0.5)
+}
+
 /// Compares `current` against a committed `baseline`. Returns the list
 /// of violations (empty = pass):
 ///
 /// * schema mismatch: different `schema_version` or entry-id set;
 /// * regression: an entry's `p50_ms` exceeds `threshold ×
-///   max(baseline p50, 5 ms)` — the 5 ms floor keeps sub-millisecond
-///   experiments from tripping the gate on scheduler noise.
+///   max(baseline p50, floor)`, where `floor` is the per-entry
+///   [`noise_floor_ms`].
 pub fn compare(current: &BenchReport, baseline: &BenchReport, threshold: f64) -> Vec<String> {
     let mut violations = Vec::new();
     if current.schema_version != baseline.schema_version {
@@ -138,9 +149,8 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, threshold: f64) ->
         ));
         return violations;
     }
-    const NOISE_FLOOR_MS: f64 = 5.0;
     for (cur, base) in current.entries.iter().zip(&baseline.entries) {
-        let limit = threshold * base.p50_ms.max(NOISE_FLOOR_MS);
+        let limit = threshold * base.p50_ms.max(noise_floor_ms(base));
         if cur.p50_ms > limit {
             violations.push(format!(
                 "{}: p50 {:.2} ms exceeds {:.2} ms ({}x baseline {:.2} ms)",
@@ -284,21 +294,38 @@ mod tests {
 
     #[test]
     fn compare_passes_identical_and_flags_regression() {
-        let base = tiny_report(&[("a", 100.0), ("b", 1.0)]);
+        let base = tiny_report(&[("a", 100.0), ("b", 0.2)]);
         assert!(compare(&base, &base, 2.0).is_empty());
         // 2x threshold: 190 ms passes, 210 ms fails.
-        let ok = tiny_report(&[("a", 190.0), ("b", 1.0)]);
+        let ok = tiny_report(&[("a", 190.0), ("b", 0.2)]);
         assert!(compare(&ok, &base, 2.0).is_empty());
-        let slow = tiny_report(&[("a", 210.0), ("b", 1.0)]);
+        let slow = tiny_report(&[("a", 210.0), ("b", 0.2)]);
         let v = compare(&slow, &base, 2.0);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("a: p50 210.00 ms"));
-        // Sub-floor entries never trip on noise: 9 ms vs 1 ms baseline
-        // is under 2 x 5 ms.
-        let noisy = tiny_report(&[("a", 100.0), ("b", 9.0)]);
+        // The absolute 0.5 ms floor: a 0.2 ms zero-spread baseline is
+        // gated at 2 x 0.5 = 1.0 ms, not 2 x 0.2 ms.
+        let noisy = tiny_report(&[("a", 100.0), ("b", 0.9)]);
         assert!(compare(&noisy, &base, 2.0).is_empty());
-        let really_slow = tiny_report(&[("a", 100.0), ("b", 11.0)]);
+        let really_slow = tiny_report(&[("a", 100.0), ("b", 1.1)]);
         assert_eq!(compare(&really_slow, &base, 2.0).len(), 1);
+    }
+
+    #[test]
+    fn noise_floor_scales_with_baseline_spread() {
+        // A jittery baseline earns slack: 4 ms spread -> 12 ms floor,
+        // so the limit is 2 x max(3, 12) = 24 ms.
+        let mut base = tiny_report(&[("a", 3.0)]);
+        base.entries[0].min_ms = 2.0;
+        base.entries[0].max_ms = 6.0;
+        assert_eq!(noise_floor_ms(&base.entries[0]), 12.0);
+        let ok = tiny_report(&[("a", 23.0)]);
+        assert!(compare(&ok, &base, 2.0).is_empty());
+        let slow = tiny_report(&[("a", 25.0)]);
+        assert_eq!(compare(&slow, &base, 2.0).len(), 1);
+        // A steady baseline gets only the timer-granularity floor.
+        let steady = tiny_report(&[("a", 3.0)]);
+        assert_eq!(noise_floor_ms(&steady.entries[0]), 0.5);
     }
 
     #[test]

@@ -282,7 +282,7 @@ mod tests {
     #[test]
     fn peak_timeline_is_nonempty_and_config_bound() {
         let tl = peak_timeline(Panel::Measured, 30, &dctx());
-        assert!(!tl.events.is_empty());
+        assert!(!tl.is_empty());
         // At T_task = T_PRTR the ICAP is busy roughly half the makespan.
         let util = tl.lane_busy_s(hprc_sim::trace::Lane::ConfigPort) / tl.span_end().as_secs_f64();
         assert!(util > 0.4 && util <= 1.0, "util = {util}");

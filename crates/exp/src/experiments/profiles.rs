@@ -51,7 +51,7 @@ fn build(
         .iter()
         .enumerate()
         .map(|(i, t)| PrtrCall {
-            task: t.clone(),
+            task: *t,
             hit: false,
             slot: i % 2,
         })
@@ -63,7 +63,7 @@ fn build(
         .enumerate()
         .map(|(i, c)| PrtrCall {
             hit: i > 0,
-            ..c.clone()
+            ..*c
         })
         .collect();
     let prtr_hit = run_prtr(&node, &hit_calls, ctx).unwrap();

@@ -59,7 +59,7 @@ pub fn run(ctx: &ExecCtx) -> Report {
                 })
                 .collect();
             let t_task_actual = calls[0].task.task_time_s(&node);
-            let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+            let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
             let frtr_total = run_frtr(&node, &frtr_calls, ctx).unwrap().total_s();
             let prtr_total = run_prtr(&node, &calls, ctx).unwrap().total_s();
             let params = model_params_for(&node, t_task_actual, actual_h, n as u64);

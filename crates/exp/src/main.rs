@@ -28,7 +28,7 @@ fn usage() -> String {
     format!(
         "usage: hprc-exp [--out DIR] [--trace DIR] [--jobs N] [--seed S] [all | id...]\n\
          \x20      hprc-exp bench [--repeat K] [--out-file PATH] [--check BASELINE]\n\
-         \x20                     [--threshold X] [--jobs N] [--seed S]\n\
+         \x20                     [--update-baseline] [--threshold X] [--jobs N] [--seed S]\n\
          \n\
          --out DIR    write reports and CSV artifacts under DIR (default: results)\n\
          --trace DIR  run instrumented; write <id>.metrics.json, <id>.trace.json and\n\
@@ -40,7 +40,8 @@ fn usage() -> String {
          bench: wall-clock-time every experiment (p50 over K repetitions, default 3)\n\
          and write a schema-stable BENCH_<YYYYMMDD>.json (or --out-file PATH) at the\n\
          repo root; with --check, compare p50s against a committed baseline at\n\
-         --threshold (default 2.0) and exit non-zero on regression or schema drift.\n\
+         --threshold (default 2.0) and exit non-zero on regression or schema drift;\n\
+         with --update-baseline, also rewrite BENCH_BASELINE.json in place.\n\
          \n\
          ids: {}",
         hprc_exp::ALL_EXPERIMENTS.join(" ")
@@ -51,6 +52,7 @@ fn bench_main(args: impl Iterator<Item = String>) -> ExitCode {
     let mut repeat: usize = 3;
     let mut out_file: Option<PathBuf> = None;
     let mut check: Option<PathBuf> = None;
+    let mut update_baseline = false;
     let mut threshold: f64 = 2.0;
     let mut jobs: usize = 1;
     let mut seed: u64 = 0;
@@ -78,6 +80,7 @@ fn bench_main(args: impl Iterator<Item = String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--update-baseline" => update_baseline = true,
             "--threshold" => match args.next().and_then(|x| x.parse::<f64>().ok()) {
                 Some(x) if x > 0.0 => threshold = x,
                 _ => {
@@ -132,11 +135,21 @@ fn bench_main(args: impl Iterator<Item = String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = std::fs::write(&path, json + "\n") {
+    let json = json + "\n";
+    if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("error: could not write {}: {e}", path.display());
         return ExitCode::FAILURE;
     }
     println!("bench report written to {}", path.display());
+
+    if update_baseline {
+        let baseline_path = PathBuf::from("BENCH_BASELINE.json");
+        if let Err(e) = std::fs::write(&baseline_path, &json) {
+            eprintln!("error: could not write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("baseline updated at {}", baseline_path.display());
+    }
 
     if let Some(baseline_path) = check {
         let baseline = match hprc_exp::bench::load(&baseline_path) {

@@ -7,17 +7,20 @@
 //! the serial run:
 //!
 //! * each index gets its own child context ([`ExecCtx::child`]): a
-//!   derived seed (`base ⊕ index`) and a private registry, so no
-//!   cross-thread interleaving can touch shared instrument state;
+//!   derived seed (`base ⊕ index`) and a private registry shard
+//!   ([`hprc_obs::ShardedRegistry`]), so no instrument cell is ever
+//!   shared between two workers while the fan-out runs;
 //! * workers pull indices from a shared dispenser (dynamic load
 //!   balancing — cheap points don't serialize behind expensive ones);
-//! * results are reassembled in index order, and the child registries
-//!   are merged into `ctx.registry` in index order, which reproduces
-//!   the serial recording order exactly.
+//! * results are reassembled in index order, and the shards are merged
+//!   into `ctx.registry` in shard-index order
+//!   ([`hprc_obs::ShardedRegistry::merge`]), which reproduces the
+//!   serial recording order exactly.
 //!
 //! The upshot: `--jobs N` changes wall-clock time only, never results.
 
 use hprc_ctx::ExecCtx;
+use hprc_obs::ShardedRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -39,7 +42,10 @@ where
     F: Fn(usize, &ExecCtx) -> T + Sync,
 {
     let jobs = ctx.effective_jobs().min(n.max(1));
-    let children: Vec<ExecCtx> = (0..n).map(|i| ctx.child(i)).collect();
+    let shards = ShardedRegistry::new(&ctx.registry, n);
+    let children: Vec<ExecCtx> = (0..n)
+        .map(|i| ctx.child(i).with_registry(shards.shard(i).clone()))
+        .collect();
 
     let mut results: Vec<Option<T>> = if jobs <= 1 {
         children
@@ -71,9 +77,7 @@ where
     };
 
     // Index-ordered merge reproduces the serial instrument state.
-    for child in &children {
-        ctx.registry.merge_from(&child.registry);
-    }
+    shards.merge(&ctx.registry);
     results
         .iter_mut()
         .map(|slot| slot.take().expect("every index completed"))

@@ -3,7 +3,7 @@
 //! the per-call outcomes into simulator calls (`hprc-sim`), and lining up
 //! the equivalent analytical parameters (`hprc-model`).
 
-use hprc_ctx::ExecCtx;
+use hprc_ctx::{ExecCtx, Symbol};
 use hprc_model::params::{ModelParams, NormalizedTimes};
 use hprc_sched::cache::TaskId;
 use hprc_sched::policy::Policy;
@@ -22,13 +22,18 @@ pub fn core_name(task: TaskId) -> &'static str {
 }
 
 /// Converts a cache-simulation outcome into simulator calls, with every
-/// task sized to `t_task` seconds.
+/// task sized to `t_task` seconds. The per-call `TaskCall` is assembled
+/// from pre-resolved pieces (one byte-sizing computation, one interner
+/// hit per distinct core name), so building even million-call scenarios
+/// performs no per-call allocation or locking.
 pub fn prtr_calls(
     node: &NodeConfig,
     trace: &[TaskId],
     outcome: &SimulationOutcome,
     t_task: f64,
 ) -> Vec<PrtrCall> {
+    let bytes = node.bytes_for_task_time(t_task);
+    let names: [Symbol; 3] = std::array::from_fn(|i| Symbol::intern(core_name(TaskId(i))));
     trace
         .iter()
         .zip(&outcome.outcomes)
@@ -38,7 +43,7 @@ pub fn prtr_calls(
                 CallOutcome::Miss { slot, .. } => (false, slot),
             };
             PrtrCall {
-                task: TaskCall::with_task_time(core_name(task), node, t_task),
+                task: TaskCall::symmetric(names[task.0 % names.len()], bytes),
                 hit,
                 slot,
             }
@@ -115,7 +120,7 @@ pub fn run_point_full(
     let outcome = simulate(&trace, node.n_prrs, policy, prefetch, ctx);
     let calls = prtr_calls(node, &trace, &outcome, t_task);
     let t_task_actual = calls[0].task.task_time_s(node);
-    let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+    let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
     let frtr = run_frtr(node, &frtr_calls, ctx).expect("FRTR run");
     let prtr = run_prtr(node, &calls, ctx).expect("PRTR run");
     let params = model_params_for(node, t_task_actual, outcome.hit_ratio(), trace.len() as u64);

@@ -114,6 +114,28 @@ impl Bitstream {
         })
     }
 
+    /// Size in bytes of the difference-based partial bitstream from
+    /// `current` to `target` over `columns`, **without materializing any
+    /// frame payload**: every frame of a device has the same size, so the
+    /// size is `n_differing_frames × frame_bytes + partial_overhead` —
+    /// exactly what [`Bitstream::partial_difference_based`] followed by
+    /// [`Bitstream::size_bytes`] would report, minus the copies.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bitstream::partial_difference_based`].
+    pub fn partial_difference_size(
+        device: &Device,
+        current: &ConfigMemory,
+        target: &ConfigMemory,
+        columns: &[usize],
+    ) -> Result<u64, FpgaError> {
+        check_device(device, current)?;
+        check_device(device, target)?;
+        let addrs = current.diff_in_columns(target, columns)?;
+        Ok(addrs.len() as u64 * device.frame_bytes as u64 + device.partial_overhead_bytes as u64)
+    }
+
     /// Applies the bitstream to a configuration memory, returning the total
     /// number of bits toggled (zero-toggle frames are glitch-free).
     ///
@@ -175,17 +197,17 @@ pub struct FlowInventory {
 
 /// Builds the module-based inventory for `module_seeds.len()` modules in
 /// `columns`: `n` bitstreams, all the same size.
+///
+/// A module-based bitstream carries *every* frame of its columns, so its
+/// size is content-independent ([`Device::partial_bitstream_bytes`]) and
+/// no configuration memory needs to be synthesized to measure it.
 pub fn module_based_inventory(
     device: &Device,
     columns: &[usize],
     module_seeds: &[u64],
 ) -> Result<FlowInventory, FpgaError> {
-    let mut sizes = Vec::with_capacity(module_seeds.len());
-    for &seed in module_seeds {
-        let mut mem = ConfigMemory::blank(device);
-        mem.fill_region_pattern(columns, seed)?;
-        sizes.push(Bitstream::partial_module_based(device, &mem, columns)?.size_bytes());
-    }
+    let size = device.partial_bitstream_bytes(columns)?;
+    let sizes = vec![size; module_seeds.len()];
     Ok(FlowInventory {
         flow: "module-based".into(),
         bitstream_count: sizes.len(),
@@ -197,6 +219,13 @@ pub fn module_based_inventory(
 /// Builds the difference-based inventory: one bitstream per **ordered pair**
 /// of distinct modules — `n(n-1)` bitstreams whose sizes vary with how much
 /// the two configurations differ.
+///
+/// Sizes are measured without materializing payloads
+/// ([`Bitstream::partial_difference_size`]), and since the set of
+/// differing frames is symmetric in the pair, each unordered pair is
+/// diffed once and its size reported for both directions. The returned
+/// inventory (counts, per-pair sizes in `(from, to)` nested order,
+/// totals) is identical to generating all `n(n-1)` bitstreams.
 pub fn difference_based_inventory(
     device: &Device,
     columns: &[usize],
@@ -210,14 +239,22 @@ pub fn difference_based_inventory(
             Ok(mem)
         })
         .collect::<Result<_, FpgaError>>()?;
-    let mut sizes = Vec::new();
-    for (i, from) in configs.iter().enumerate() {
-        for (j, to) in configs.iter().enumerate() {
-            if i == j {
-                continue;
+    let n = configs.len();
+    // Upper-triangular size matrix: diff(i, j) == diff(j, i).
+    let mut pair_size = vec![vec![0u64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = Bitstream::partial_difference_size(device, &configs[i], &configs[j], columns)?;
+            pair_size[i][j] = s;
+            pair_size[j][i] = s;
+        }
+    }
+    let mut sizes = Vec::with_capacity(n * n.saturating_sub(1));
+    for (i, row) in pair_size.iter().enumerate() {
+        for (j, &s) in row.iter().enumerate() {
+            if i != j {
+                sizes.push(s);
             }
-            sizes
-                .push(Bitstream::partial_difference_based(device, from, to, columns)?.size_bytes());
         }
     }
     Ok(FlowInventory {
@@ -292,6 +329,72 @@ mod tests {
         let bs = Bitstream::partial_difference_based(&d, &a, &b, &cols).unwrap();
         assert_eq!(bs.size_bytes(), d.partial_overhead_bytes as u64);
         assert!(bs.frames.is_empty());
+    }
+
+    #[test]
+    fn size_only_paths_match_materialized_bitstreams() {
+        let d = Device::xc2vp30();
+        let cols = dual_prr_columns(&d);
+
+        // Difference size without payloads == materialized size, for
+        // differing, identical, and partially-overlapping configs.
+        for (sa, sb) in [(1u64, 2u64), (5, 5), (3, 7)] {
+            let mut a = ConfigMemory::blank(&d);
+            a.fill_region_pattern(&cols, sa).unwrap();
+            let mut b = ConfigMemory::blank(&d);
+            b.fill_region_pattern(&cols, sb).unwrap();
+            let materialized = Bitstream::partial_difference_based(&d, &a, &b, &cols)
+                .unwrap()
+                .size_bytes();
+            let size_only = Bitstream::partial_difference_size(&d, &a, &b, &cols).unwrap();
+            assert_eq!(size_only, materialized, "seeds ({sa}, {sb})");
+            // The diff is symmetric in the pair.
+            assert_eq!(
+                size_only,
+                Bitstream::partial_difference_size(&d, &b, &a, &cols).unwrap()
+            );
+        }
+
+        // Module-based inventory sizes == a materialized bitstream's size.
+        let mut mem = ConfigMemory::blank(&d);
+        mem.fill_region_pattern(&cols, 9).unwrap();
+        let materialized = Bitstream::partial_module_based(&d, &mem, &cols)
+            .unwrap()
+            .size_bytes();
+        let inv = module_based_inventory(&d, &cols, &[9, 10]).unwrap();
+        assert_eq!(inv.sizes, vec![materialized; 2]);
+    }
+
+    #[test]
+    fn difference_inventory_matches_materializing_reference() {
+        // The symmetric size-only inventory must reproduce the naive
+        // generate-every-ordered-pair inventory exactly, order included.
+        let d = Device::xc2vp30();
+        let cols = dual_prr_columns(&d);
+        let seeds = [1u64, 2, 3];
+        let configs: Vec<ConfigMemory> = seeds
+            .iter()
+            .map(|&s| {
+                let mut m = ConfigMemory::blank(&d);
+                m.fill_region_pattern(&cols, s).unwrap();
+                m
+            })
+            .collect();
+        let mut reference = Vec::new();
+        for (i, from) in configs.iter().enumerate() {
+            for (j, to) in configs.iter().enumerate() {
+                if i != j {
+                    reference.push(
+                        Bitstream::partial_difference_based(&d, from, to, &cols)
+                            .unwrap()
+                            .size_bytes(),
+                    );
+                }
+            }
+        }
+        let inv = difference_based_inventory(&d, &cols, &seeds).unwrap();
+        assert_eq!(inv.sizes, reference);
+        assert_eq!(inv.total_bytes, reference.iter().sum::<u64>());
     }
 
     #[test]

@@ -35,9 +35,11 @@
 pub mod chrome;
 pub mod metrics;
 pub mod registry;
+pub mod shard;
 pub mod span;
 
 pub use chrome::ChromeEvent;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::{Registry, Snapshot};
+pub use shard::ShardedRegistry;
 pub use span::{Span, SpanRecord};

@@ -83,6 +83,30 @@ impl Histogram {
         }
     }
 
+    /// Records `samples` repeated `times` times, in order (the full
+    /// sample slice, then the slice again, ...), under one lock
+    /// acquisition. Non-finite samples are dropped, exactly as
+    /// [`Histogram::record`] would drop them.
+    ///
+    /// This is the bulk-recording hook for steady-state fast paths: a
+    /// periodic simulation that jumps `times` repetitions of a block
+    /// must still report the block's per-call samples `times` times so
+    /// digests stay bit-identical to the per-call reference path.
+    pub fn record_cycle(&self, samples: &[f64], times: u64) {
+        let Some(cell) = &self.0 else {
+            return;
+        };
+        let finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() || times == 0 {
+            return;
+        }
+        let mut guard = cell.lock();
+        guard.reserve(finite.len() * times as usize);
+        for _ in 0..times {
+            guard.extend_from_slice(&finite);
+        }
+    }
+
     /// Number of recorded samples (0 for a no-op handle).
     pub fn len(&self) -> usize {
         self.0.as_ref().map_or(0, |c| c.lock().len())

@@ -99,6 +99,25 @@ impl CrayConfigApi {
         Ok(d)
     }
 
+    /// Replays the accounting of `count` accepted [`CrayConfigApi::configure`]
+    /// calls that all returned duration `d`, without re-simulating them.
+    ///
+    /// This is the bookkeeping hook for the FRTR steady-state fast path: a
+    /// periodic call sequence proves one full period per-call (through
+    /// `configure`, checks and all) and then jumps the remaining
+    /// repetitions, which must still land in `sim.cray_api.calls` and the
+    /// `sim.cray_api.busy_s` histogram exactly as `count` per-call
+    /// invocations would have.
+    pub fn record_repeated(&self, d: SimDuration, count: u64, ctx: &ExecCtx) {
+        if count == 0 {
+            return;
+        }
+        ctx.registry.counter("sim.cray_api.calls").add(count);
+        ctx.registry
+            .histogram("sim.cray_api.busy_s")
+            .record_cycle(&[d.as_secs_f64()], count);
+    }
+
     /// Full-configuration time in seconds (the `T_FRTR` this API induces).
     pub fn full_configuration_time_s(&self) -> f64 {
         self.software_overhead_s + self.full_bitstream_bytes as f64 / self.port_bytes_per_sec

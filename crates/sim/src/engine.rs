@@ -47,8 +47,15 @@ pub struct EventQueue<E: Eq> {
 impl<E: Eq> EventQueue<E> {
     /// An empty queue at t = 0.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue pre-sized for `capacity` pending events, so a
+    /// caller that knows its peak occupancy (e.g. one in-flight event
+    /// per application) never regrows the heap mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
             now: SimTime::ZERO,
             scheduled: hprc_obs::Counter::default(),
@@ -59,10 +66,16 @@ impl<E: Eq> EventQueue<E> {
     /// An empty queue whose traffic is counted in `registry` as
     /// `sim.queue.scheduled` / `sim.queue.popped`.
     pub fn instrumented(registry: &hprc_obs::Registry) -> Self {
+        Self::instrumented_with_capacity(registry, 0)
+    }
+
+    /// [`EventQueue::instrumented`] with a pre-sized heap (see
+    /// [`EventQueue::with_capacity`]).
+    pub fn instrumented_with_capacity(registry: &hprc_obs::Registry, capacity: usize) -> Self {
         EventQueue {
             scheduled: registry.counter("sim.queue.scheduled"),
             popped: registry.counter("sim.queue.popped"),
-            ..Self::new()
+            ..Self::with_capacity(capacity)
         }
     }
 
@@ -178,6 +191,21 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counters["sim.queue.scheduled"], 2);
         assert_eq!(snap.counters["sim.queue.popped"], 1);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let reg = hprc_obs::Registry::new();
+        let mut q = EventQueue::instrumented_with_capacity(&reg, 16);
+        q.schedule(t(2.0), "b");
+        q.schedule(t(1.0), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(reg.snapshot().counters["sim.queue.scheduled"], 2);
+
+        let mut p: EventQueue<u32> = EventQueue::with_capacity(8);
+        p.schedule(t(1.0), 1);
+        assert_eq!(p.len(), 1);
     }
 
     #[test]

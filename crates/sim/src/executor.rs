@@ -26,8 +26,34 @@
 //! drained from the shared host link — second-order effects equation (3)
 //! ignores, which is precisely what makes simulator-vs-model validation
 //! meaningful.
+//!
+//! # Steady-state fast path
+//!
+//! The per-call recurrence of both executors is a deterministic function
+//! of (a) the call's own parameters and (b) a tiny relative carry-over
+//! state, and both are *time-translation invariant*: shifting the inputs
+//! by Δ shifts every produced event by Δ. [`run_frtr`] and [`run_prtr`]
+//! exploit this. They simulate per-call (the reference recurrence,
+//! verbatim) while remembering, for each `(call key, relative state)`
+//! pair, where that situation was last seen. When the pair recurs after
+//! `p` calls, the executor key-compares forward as many whole periods as
+//! actually repeat and replaces them with a closed-form jump: one
+//! run-length-encoded timeline block ([`Timeline::push_repeat`]), shifted
+//! copies of the period's [`CallTiming`]s, bulk counter adds, and bulk
+//! histogram sample replication ([`hprc_obs::Histogram::record_cycle`]).
+//! Every total, per-call timing, metric, and expanded timeline event is
+//! **bit-identical** to the per-call path — the jump only elides work
+//! whose outcome is already proven, and all floating-point derivation
+//! downstream happens on the expanded event stream in original order.
+//! Aperiodic stretches (e.g. the dithered hit patterns of the validation
+//! experiment) simply keep simulating per-call; detection re-arms after
+//! every jump, so a sequence with several periodic runs jumps several
+//! times. [`run_frtr_reference`] and [`run_prtr_reference`] expose the
+//! pure per-call path as the equivalence oracle.
 
-use hprc_ctx::ExecCtx;
+use std::collections::HashMap;
+
+use hprc_ctx::{ExecCtx, Symbol};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
@@ -37,10 +63,10 @@ use crate::time::{SimDuration, SimTime};
 use crate::trace::{EventKind, Lane, Timeline};
 
 /// Timing of one executed call.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CallTiming {
-    /// Task name.
-    pub name: String,
+    /// Task name (interned).
+    pub name: Symbol,
     /// Whether the call hit (PRTR only; always false under FRTR).
     pub hit: bool,
     /// When its (re-)configuration started (if one was needed).
@@ -51,6 +77,19 @@ pub struct CallTiming {
     pub exec_start: SimTime,
     /// When execution finished.
     pub exec_end: SimTime,
+}
+
+impl CallTiming {
+    /// The timing shifted `offset_ns` later.
+    fn shifted(self, offset_ns: u64) -> CallTiming {
+        CallTiming {
+            config_start: self.config_start.map(|t| SimTime(t.0 + offset_ns)),
+            config_end: self.config_end.map(|t| SimTime(t.0 + offset_ns)),
+            exec_start: SimTime(self.exec_start.0 + offset_ns),
+            exec_end: SimTime(self.exec_end.0 + offset_ns),
+            ..self
+        }
+    }
 }
 
 /// Result of executing a call sequence.
@@ -73,7 +112,108 @@ impl ExecutionReport {
     }
 }
 
+/// Everything that determines one FRTR call's contribution: the vendor
+/// API call is parameterized by the node alone, so the call's name and
+/// data sizes (which fix `T_task` and the transfer events) are the
+/// whole story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FrtrKey {
+    name: Symbol,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+/// Everything that determines one PRTR call's contribution, given the
+/// relative carry-over state: name and data sizes fix the durations,
+/// `hit` picks the recurrence arm, `slot` the execution lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PrtrKey {
+    name: Symbol,
+    bytes_in: u64,
+    bytes_out: u64,
+    hit: bool,
+    slot: usize,
+}
+
+/// The carry-over state of the PRTR recurrence, expressed relative to
+/// the previous call's `exec_start` so that time-translated repetitions
+/// compare equal. `icap_ns` clamps `icap_free` to ≥ `prev_start`, which
+/// is behavior-preserving: the ICAP horizon is only ever read through
+/// `max(earliest, icap_free)` with `earliest ≥ prev_start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RelState {
+    /// `prev_end − prev_start` (the previous execution's length).
+    exec_ns: u64,
+    /// `max(icap_free, prev_start) − prev_start`.
+    icap_ns: u64,
+    /// The previous call's input bytes (gates the shared-channel
+    /// ablation's configuration start).
+    prev_bytes_in: u64,
+}
+
+/// Where a `(key, state)` pair was last seen: enough to locate the
+/// candidate period's calls, events, and timings.
+#[derive(Debug, Clone, Copy)]
+struct SeenAt {
+    /// Call index about to be processed when the pair was recorded.
+    i0: usize,
+    /// The time anchor at that point (`now` for FRTR, `prev_start` for
+    /// PRTR); the per-period shift is `anchor_now − anchor_then`.
+    anchor: SimTime,
+    /// `timeline.n_items()` at that point.
+    items_marker: usize,
+    /// `timings.len()` at that point.
+    timings_marker: usize,
+}
+
+/// Key-compares forward from call `j`: how many whole periods of length
+/// `p` (the keys at `i0..i0+p`) repeat verbatim before the sequence
+/// diverges or ends. Runs in O(verified calls) and fails at the first
+/// mismatching key.
+fn verified_periods<K: PartialEq>(keys: &[K], i0: usize, p: usize, mut j: usize) -> u64 {
+    let mut m = 0u64;
+    while j + p <= keys.len() && (0..p).all(|k| keys[j + k] == keys[i0 + k]) {
+        m += 1;
+        j += p;
+    }
+    m
+}
+
+/// Memoized derived event labels. Slow-path calls label their timeline
+/// events with strings derived from the (already interned) task name —
+/// `"ctl:<name>"`, `"cfg:<name>@PRR<slot>"`, … — and formatting plus
+/// interning one per event dominated the per-call profile. Derivations
+/// are memoized per `(prefix, name, slot)`; workload vocabularies are
+/// tiny, so the map stays a handful of entries.
+#[derive(Default)]
+struct LabelCache(HashMap<(u8, Symbol, usize), Symbol>);
+
+const L_FULL: u8 = 0;
+const L_CTL: u8 = 1;
+const L_DEC: u8 = 2;
+const L_CFG: u8 = 3;
+const L_IN: u8 = 4;
+const L_OUT: u8 = 5;
+
+impl LabelCache {
+    fn get(&mut self, tag: u8, name: Symbol, slot: usize) -> Symbol {
+        *self.0.entry((tag, name, slot)).or_insert_with(|| {
+            Symbol::intern(&match tag {
+                L_FULL => format!("full:{name}"),
+                L_CTL => format!("ctl:{name}"),
+                L_DEC => format!("dec:{name}"),
+                L_CFG => format!("cfg:{name}@PRR{slot}"),
+                L_IN => format!("in:{name}"),
+                _ => format!("out:{name}"),
+            })
+        })
+    }
+}
+
 /// Executes `calls` under **FRTR**: full reconfiguration before every call.
+///
+/// Uses the steady-state fast path (see the module docs); the result is
+/// bit-identical to [`run_frtr_reference`].
 ///
 /// Metrics go to `ctx.registry` ([`ExecCtx::default`] records nothing):
 /// call/config counters, a per-call latency histogram, and the
@@ -88,41 +228,140 @@ pub fn run_frtr(
     calls: &[TaskCall],
     ctx: &ExecCtx,
 ) -> Result<ExecutionReport, SimError> {
+    run_frtr_impl(node, calls, ctx, true)
+}
+
+/// The per-call FRTR reference path: identical recurrence, no jumps.
+/// This is the oracle the fast path's equivalence tests compare against.
+///
+/// # Errors
+///
+/// As [`run_frtr`].
+pub fn run_frtr_reference(
+    node: &NodeConfig,
+    calls: &[TaskCall],
+    ctx: &ExecCtx,
+) -> Result<ExecutionReport, SimError> {
+    run_frtr_impl(node, calls, ctx, false)
+}
+
+fn run_frtr_impl(
+    node: &NodeConfig,
+    calls: &[TaskCall],
+    ctx: &ExecCtx,
+    enable_jump: bool,
+) -> Result<ExecutionReport, SimError> {
     let registry = &ctx.registry;
     let _span = registry.span("sim.run_frtr");
     let m_calls = registry.counter("sim.frtr.calls");
     let m_configs = registry.counter("sim.frtr.full_configs");
     let m_latency = registry.histogram("sim.frtr.call_latency_s");
 
+    let t_control = SimDuration::from_secs_f64(node.control_overhead_s);
+    let full_bytes = node.full_config.full_bitstream_bytes;
+
+    let keys: Vec<FrtrKey> = if enable_jump {
+        calls
+            .iter()
+            .map(|c| FrtrKey {
+                name: c.name,
+                bytes_in: c.bytes_in,
+                bytes_out: c.bytes_out,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut seen: HashMap<FrtrKey, SeenAt> = HashMap::new();
+
     let mut now = SimTime::ZERO;
     let mut timeline = Timeline::default();
-    let mut timings = Vec::with_capacity(calls.len());
-    let full_bytes = node.full_config.full_bitstream_bytes;
-    for call in calls {
+    let mut labels = LabelCache::default();
+    let mut timings: Vec<CallTiming> = Vec::with_capacity(calls.len());
+    // The vendor call's duration is a function of the node alone; keep
+    // the last proven one for bulk accounting at a jump.
+    let mut last_api_d = SimDuration::ZERO;
+
+    let mut i = 0usize;
+    while i < calls.len() {
+        if enable_jump {
+            if let Some(at) = seen.get(&keys[i]).copied() {
+                let p = i - at.i0;
+                let m = verified_periods(&keys, at.i0, p, i);
+                if m >= 1 {
+                    // Jump m whole periods: calls i .. i + m·p repeat the
+                    // proven block, each period shifted one more Δ.
+                    let delta = now.0 - at.anchor.0;
+                    let pattern = timeline.split_off_events(at.items_marker);
+                    timeline.push_repeat(pattern, m + 1, SimDuration(delta));
+                    let latencies: Vec<f64> = timings[at.timings_marker..]
+                        .iter()
+                        .map(|t| {
+                            (t.exec_end - t.config_start.expect("FRTR always configures"))
+                                .as_secs_f64()
+                        })
+                        .collect();
+                    let block = timings[at.timings_marker..].to_vec();
+                    for k in 1..=m {
+                        timings.extend(block.iter().map(|t| t.shifted(k * delta)));
+                    }
+                    let jumped = m * p as u64;
+                    m_calls.add(jumped);
+                    m_configs.add(jumped);
+                    m_latency.record_cycle(&latencies, m);
+                    node.full_config.record_repeated(last_api_d, jumped, ctx);
+                    now = SimTime(now.0 + m * delta);
+                    i += m as usize * p;
+                    // Re-arm: the tail may hold further periodic runs.
+                    seen.clear();
+                    continue;
+                }
+            }
+            seen.insert(
+                keys[i],
+                SeenAt {
+                    i0: i,
+                    anchor: now,
+                    items_marker: timeline.n_items(),
+                    timings_marker: timings.len(),
+                },
+            );
+        }
+
+        let call = &calls[i];
         let config_start = now;
         // A full bitstream resets the device, so DONE is irrelevant here.
         let d = node.full_config.configure(full_bytes, false, false, ctx)?;
+        last_api_d = d;
         let config_end = config_start + d;
         timeline.push(
             Lane::ConfigPort,
             EventKind::FullConfig,
-            format!("full:{}", call.name),
+            labels.get(L_FULL, call.name, 0),
             config_start,
             config_end,
         );
-        let control_end = config_end + SimDuration::from_secs_f64(node.control_overhead_s);
+        let control_end = config_end + t_control;
         timeline.push(
             Lane::Host,
             EventKind::Control,
-            format!("ctl:{}", call.name),
+            labels.get(L_CTL, call.name, 0),
             config_end,
             control_end,
         );
         let exec_start = control_end;
         let exec_end = exec_start + SimDuration::from_secs_f64(call.task_time_s(node));
-        push_exec_events(&mut timeline, node, call, 0, exec_start, exec_end);
+        push_exec_events(
+            &mut timeline,
+            &mut labels,
+            node,
+            call,
+            0,
+            exec_start,
+            exec_end,
+        );
         timings.push(CallTiming {
-            name: call.name.clone(),
+            name: call.name,
             hit: false,
             config_start: Some(config_start),
             config_end: Some(config_end),
@@ -133,6 +372,7 @@ pub fn run_frtr(
         m_configs.inc();
         m_latency.record((exec_end - config_start).as_secs_f64());
         now = exec_end;
+        i += 1;
     }
     timeline.record_metrics(registry, "sim.frtr");
     Ok(ExecutionReport {
@@ -145,6 +385,9 @@ pub fn run_frtr(
 
 /// Executes `calls` under **PRTR** with the per-call hit/miss outcomes and
 /// slot assignments supplied by a configuration-caching simulation.
+///
+/// Uses the steady-state fast path (see the module docs); the result is
+/// bit-identical to [`run_prtr_reference`].
 ///
 /// Metrics go to `ctx.registry` ([`ExecCtx::default`] records nothing):
 /// hit/miss/config counters, a per-call latency histogram, ICAP transfer
@@ -159,6 +402,29 @@ pub fn run_prtr(
     node: &NodeConfig,
     calls: &[PrtrCall],
     ctx: &ExecCtx,
+) -> Result<ExecutionReport, SimError> {
+    run_prtr_impl(node, calls, ctx, true)
+}
+
+/// The per-call PRTR reference path: identical recurrence, no jumps.
+/// This is the oracle the fast path's equivalence tests compare against.
+///
+/// # Errors
+///
+/// As [`run_prtr`].
+pub fn run_prtr_reference(
+    node: &NodeConfig,
+    calls: &[PrtrCall],
+    ctx: &ExecCtx,
+) -> Result<ExecutionReport, SimError> {
+    run_prtr_impl(node, calls, ctx, false)
+}
+
+fn run_prtr_impl(
+    node: &NodeConfig,
+    calls: &[PrtrCall],
+    ctx: &ExecCtx,
+    enable_jump: bool,
 ) -> Result<ExecutionReport, SimError> {
     let registry = &ctx.registry;
     if calls.is_empty() {
@@ -184,14 +450,95 @@ pub fn run_prtr(
     let t_control = SimDuration::from_secs_f64(node.control_overhead_s);
     let t_prtr = node.icap.transfer_duration(node.prr_bitstream_bytes);
 
+    let keys: Vec<PrtrKey> = if enable_jump {
+        calls
+            .iter()
+            .map(|c| PrtrKey {
+                name: c.task.name,
+                bytes_in: c.task.bytes_in,
+                bytes_out: c.task.bytes_out,
+                hit: c.hit,
+                slot: c.slot,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut seen: HashMap<(PrtrKey, RelState), SeenAt> = HashMap::new();
+
     let mut timeline = Timeline::default();
-    let mut timings = Vec::with_capacity(calls.len());
+    let mut labels = LabelCache::default();
+    let mut timings: Vec<CallTiming> = Vec::with_capacity(calls.len());
     let mut n_config = 0u64;
     let mut icap_free = SimTime::ZERO;
     // Execution window of the previous call.
     let mut prev: Option<(SimTime, SimTime, u64)> = None; // (exec_start, exec_end, bytes_in)
 
-    for call in calls {
+    let mut i = 0usize;
+    while i < calls.len() {
+        // The recurrence's carry-over state is relative to prev_start
+        // (cold calls carry no state and never participate).
+        if enable_jump {
+            if let Some((prev_start, prev_end, prev_bytes_in)) = prev {
+                let rel = RelState {
+                    exec_ns: (prev_end - prev_start).0,
+                    icap_ns: (icap_free.max(prev_start) - prev_start).0,
+                    prev_bytes_in,
+                };
+                if let Some(at) = seen.get(&(keys[i], rel)).copied() {
+                    let p = i - at.i0;
+                    let m = verified_periods(&keys, at.i0, p, i);
+                    if m >= 1 {
+                        let delta = prev_start.0 - at.anchor.0;
+                        let pattern = timeline.split_off_events(at.items_marker);
+                        timeline.push_repeat(pattern, m + 1, SimDuration(delta));
+                        // The block's per-call marginal latencies are
+                        // shift-invariant; its first call's predecessor is
+                        // timings[marker - 1] (i0 ≥ 1 always holds here).
+                        let latencies: Vec<f64> = (at.timings_marker..timings.len())
+                            .map(|t| (timings[t].exec_end - timings[t - 1].exec_end).as_secs_f64())
+                            .collect();
+                        let block = timings[at.timings_marker..].to_vec();
+                        let block_hits = calls[at.i0..i].iter().filter(|c| c.hit).count() as u64;
+                        let block_cfgs =
+                            block.iter().filter(|t| t.config_start.is_some()).count() as u64;
+                        for k in 1..=m {
+                            timings.extend(block.iter().map(|t| t.shifted(k * delta)));
+                        }
+                        let jumped = m * p as u64;
+                        m_calls.add(jumped);
+                        m_hits.add(m * block_hits);
+                        m_misses.add(m * (p as u64 - block_hits));
+                        m_configs.add(m * block_cfgs);
+                        m_icap_transfers.add(m * block_cfgs);
+                        m_icap_bytes.add(m * block_cfgs * node.prr_bitstream_bytes);
+                        m_latency.record_cycle(&latencies, m);
+                        n_config += m * block_cfgs;
+                        let shift = m * delta;
+                        prev = Some((
+                            SimTime(prev_start.0 + shift),
+                            SimTime(prev_end.0 + shift),
+                            prev_bytes_in,
+                        ));
+                        icap_free = SimTime(icap_free.max(prev_start).0 + shift);
+                        i += m as usize * p;
+                        seen.clear();
+                        continue;
+                    }
+                }
+                seen.insert(
+                    (keys[i], rel),
+                    SeenAt {
+                        i0: i,
+                        anchor: prev_start,
+                        items_marker: timeline.n_items(),
+                        timings_marker: timings.len(),
+                    },
+                );
+            }
+        }
+
+        let call = &calls[i];
         let (config_start, config_end, ready) = match (call.hit, prev) {
             // Cold start (first call): decision, then configuration (on a
             // miss), strictly serial — nothing exists to overlap with.
@@ -200,7 +547,7 @@ pub fn run_prtr(
                 timeline.push(
                     Lane::Host,
                     EventKind::Decision,
-                    format!("dec:{}", call.task.name),
+                    labels.get(L_DEC, call.task.name, 0),
                     SimTime::ZERO,
                     decision_end,
                 );
@@ -220,7 +567,7 @@ pub fn run_prtr(
                 timeline.push(
                     Lane::Host,
                     EventKind::Decision,
-                    format!("dec:{}", call.task.name),
+                    labels.get(L_DEC, call.task.name, 0),
                     prev_start,
                     decision_end,
                 );
@@ -234,7 +581,7 @@ pub fn run_prtr(
                 timeline.push(
                     Lane::Host,
                     EventKind::Decision,
-                    format!("dec:{}", call.task.name),
+                    labels.get(L_DEC, call.task.name, 0),
                     prev_end,
                     decision_end,
                 );
@@ -255,7 +602,7 @@ pub fn run_prtr(
             timeline.push(
                 Lane::ConfigPort,
                 EventKind::PartialConfig,
-                format!("cfg:{}@PRR{}", call.task.name, call.slot),
+                labels.get(L_CFG, call.task.name, call.slot),
                 cs,
                 ce,
             );
@@ -265,7 +612,7 @@ pub fn run_prtr(
         timeline.push(
             Lane::Host,
             EventKind::Control,
-            format!("ctl:{}", call.task.name),
+            labels.get(L_CTL, call.task.name, 0),
             ready,
             control_end,
         );
@@ -273,6 +620,7 @@ pub fn run_prtr(
         let exec_end = exec_start + SimDuration::from_secs_f64(call.task.task_time_s(node));
         push_exec_events(
             &mut timeline,
+            &mut labels,
             node,
             &call.task,
             call.slot,
@@ -281,7 +629,7 @@ pub fn run_prtr(
         );
 
         timings.push(CallTiming {
-            name: call.task.name.clone(),
+            name: call.task.name,
             hit: call.hit,
             config_start,
             config_end,
@@ -307,6 +655,7 @@ pub fn run_prtr(
         m_latency.record((exec_end - prev_end).as_secs_f64());
 
         prev = Some((exec_start, exec_end, call.task.bytes_in));
+        i += 1;
     }
 
     timeline.record_metrics(registry, "sim.prtr");
@@ -322,6 +671,7 @@ pub fn run_prtr(
 /// Records the execution window plus its streaming data transfers.
 fn push_exec_events(
     timeline: &mut Timeline,
+    labels: &mut LabelCache,
     node: &NodeConfig,
     call: &TaskCall,
     slot: usize,
@@ -331,7 +681,7 @@ fn push_exec_events(
     timeline.push(
         Lane::Prr(slot),
         EventKind::Exec,
-        call.name.clone(),
+        call.name,
         exec_start,
         exec_end,
     );
@@ -339,7 +689,7 @@ fn push_exec_events(
     timeline.push(
         Lane::LinkIn,
         EventKind::DataIn,
-        format!("in:{}", call.name),
+        labels.get(L_IN, call.name, 0),
         exec_start,
         exec_start + t_in,
     );
@@ -349,7 +699,7 @@ fn push_exec_events(
     timeline.push(
         Lane::LinkOut,
         EventKind::DataOut,
-        format!("out:{}", call.name),
+        labels.get(L_OUT, call.name, 0),
         out_start.max(exec_start),
         exec_end,
     );
@@ -465,7 +815,7 @@ mod tests {
         let t_task = node.t_prtr_s(); // the peak-speedup operating point
         let n = 100;
         let prtr_calls = uniform_prtr_calls(&node, t_task, n, true);
-        let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
+        let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task).collect();
         let frtr = run_frtr(&node, &frtr_calls, &dctx()).unwrap();
         let prtr = run_prtr(&node, &prtr_calls, &dctx()).unwrap();
         let speedup = frtr.total_s() / prtr.total_s();
@@ -504,6 +854,7 @@ mod tests {
     #[test]
     fn empty_prtr_run_rejected() {
         assert!(run_prtr(&node(), &[], &dctx()).is_err());
+        assert!(run_prtr_reference(&node(), &[], &dctx()).is_err());
     }
 
     #[test]
@@ -571,5 +922,103 @@ mod tests {
         assert!(text.contains('P'), "partial configs:\n{text}");
         assert!(text.contains('X'), "executions:\n{text}");
         assert!(report.timeline.lane_busy_s(Lane::ConfigPort) > 0.0);
+    }
+
+    /// Checks a fast-path report against its per-call oracle: totals,
+    /// per-call timings, config counts, expanded timelines, and
+    /// registry snapshots must all agree exactly.
+    fn assert_reports_equivalent(
+        fast: &ExecutionReport,
+        reference: &ExecutionReport,
+        fast_snap: &hprc_obs::Snapshot,
+        ref_snap: &hprc_obs::Snapshot,
+    ) {
+        assert_eq!(fast.total, reference.total);
+        assert_eq!(fast.n_config, reference.n_config);
+        assert_eq!(fast.calls, reference.calls);
+        let a: Vec<_> = fast.timeline.iter().collect();
+        let b: Vec<_> = reference.timeline.iter().collect();
+        assert_eq!(a, b, "expanded timelines must match event-for-event");
+        assert_eq!(fast.timeline.len(), reference.timeline.len());
+        assert_eq!(fast_snap.counters, ref_snap.counters);
+        assert_eq!(fast_snap.histograms, ref_snap.histograms);
+        use serde::Serialize;
+        assert_eq!(
+            fast_snap.to_json_value()["gauges"].to_string(),
+            ref_snap.to_json_value()["gauges"].to_string()
+        );
+    }
+
+    #[test]
+    fn prtr_fast_path_matches_reference_and_compresses() {
+        let node = node();
+        for all_miss in [false, true] {
+            let calls = uniform_prtr_calls(&node, 0.01, 240, all_miss);
+            let fctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+            let rctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+            let fast = run_prtr(&node, &calls, &fctx).unwrap();
+            let reference = run_prtr_reference(&node, &calls, &rctx).unwrap();
+            assert_reports_equivalent(
+                &fast,
+                &reference,
+                &fctx.registry.snapshot(),
+                &rctx.registry.snapshot(),
+            );
+            // The periodic steady state must actually compress: far
+            // fewer stored items than expanded events.
+            assert!(
+                fast.timeline.n_items() < 100,
+                "all_miss={all_miss}: {} items for {} events",
+                fast.timeline.n_items(),
+                fast.timeline.len()
+            );
+            assert_eq!(fast.timeline.len(), reference.timeline.len());
+            assert!(reference.timeline.n_items() as u64 == reference.timeline.len());
+        }
+    }
+
+    #[test]
+    fn frtr_fast_path_matches_reference_and_compresses() {
+        let node = node();
+        let calls: Vec<TaskCall> = (0..120)
+            .map(|i| TaskCall::with_task_time(format!("t{}", i % 3), &node, 0.02))
+            .collect();
+        let fctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let rctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let fast = run_frtr(&node, &calls, &fctx).unwrap();
+        let reference = run_frtr_reference(&node, &calls, &rctx).unwrap();
+        assert_reports_equivalent(
+            &fast,
+            &reference,
+            &fctx.registry.snapshot(),
+            &rctx.registry.snapshot(),
+        );
+        assert!(
+            fast.timeline.n_items() < 60,
+            "{} items for {} events",
+            fast.timeline.n_items(),
+            fast.timeline.len()
+        );
+    }
+
+    #[test]
+    fn fast_path_rearms_across_aperiodic_breaks() {
+        // Two periodic runs separated by a one-off call with a unique
+        // name: the detector must jump in both runs.
+        let node = node();
+        let mut calls = uniform_prtr_calls(&node, 0.01, 60, true);
+        calls[30] = PrtrCall {
+            task: TaskCall::with_task_time("oddball", &node, 0.033),
+            hit: false,
+            slot: 0,
+        };
+        let fast = run_prtr(&node, &calls, &dctx()).unwrap();
+        let reference = run_prtr_reference(&node, &calls, &dctx()).unwrap();
+        assert_eq!(fast.total, reference.total);
+        assert_eq!(fast.calls, reference.calls);
+        let a: Vec<_> = fast.timeline.iter().collect();
+        let b: Vec<_> = reference.timeline.iter().collect();
+        assert_eq!(a, b);
+        assert!(fast.timeline.n_items() < reference.timeline.n_items());
     }
 }

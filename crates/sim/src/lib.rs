@@ -30,7 +30,7 @@
 //!         slot: i % 2,
 //!     })
 //!     .collect();
-//! let tasks: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+//! let tasks: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
 //! let frtr = run_frtr(&node, &tasks, &ctx).unwrap();
 //! let prtr = run_prtr(&node, &calls, &ctx).unwrap();
 //! assert!(frtr.total_s() / prtr.total_s() > 50.0); // PRTR wins big here
@@ -52,7 +52,9 @@ pub mod trace;
 pub use cray_api::CrayConfigApi;
 pub use engine::EventQueue;
 pub use error::SimError;
-pub use executor::{run_frtr, run_prtr, CallTiming, ExecutionReport};
+pub use executor::{
+    run_frtr, run_frtr_reference, run_prtr, run_prtr_reference, CallTiming, ExecutionReport,
+};
 pub use icap::IcapPath;
 pub use node::NodeConfig;
 pub use rtcore::{Fifo, MemoryBank, RtCore};

@@ -1,15 +1,17 @@
 //! Task calls: the unit of work of the execution model (Figure 2).
 
+use hprc_ctx::Symbol;
 use serde::{Deserialize, Serialize};
 
 use crate::node::NodeConfig;
 
 /// One hardware function call: which core it needs and how much data it
-/// moves.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// moves. `Copy`: the name is an interned [`Symbol`], so building the
+/// millions of steady-state calls a sweep simulates allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TaskCall {
     /// Module-library name of the core (e.g. `"Median Filter"`).
-    pub name: String,
+    pub name: Symbol,
     /// Input bytes streamed host → FPGA.
     pub bytes_in: u64,
     /// Output bytes streamed FPGA → host.
@@ -18,7 +20,7 @@ pub struct TaskCall {
 
 impl TaskCall {
     /// A call with symmetric input/output sizes (image in, image out).
-    pub fn symmetric(name: impl Into<String>, bytes: u64) -> TaskCall {
+    pub fn symmetric(name: impl Into<Symbol>, bytes: u64) -> TaskCall {
         TaskCall {
             name: name.into(),
             bytes_in: bytes,
@@ -27,7 +29,7 @@ impl TaskCall {
     }
 
     /// A call sized so its task time equals `t_task` seconds on `node`.
-    pub fn with_task_time(name: impl Into<String>, node: &NodeConfig, t_task: f64) -> TaskCall {
+    pub fn with_task_time(name: impl Into<Symbol>, node: &NodeConfig, t_task: f64) -> TaskCall {
         TaskCall::symmetric(name, node.bytes_for_task_time(t_task))
     }
 
@@ -40,7 +42,7 @@ impl TaskCall {
 /// A PRTR call annotated with its cache outcome (from `hprc-sched` or any
 /// other source): whether the configuration was already resident and which
 /// PRR slot serves it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PrtrCall {
     /// The task call.
     pub task: TaskCall,

@@ -1,9 +1,28 @@
 //! Execution timelines: the data behind the paper's execution profiles
 //! (Figures 3 and 4), plus a text Gantt renderer.
+//!
+//! # Representation
+//!
+//! A [`Timeline`] is a run-length-encoded event sequence. Plain events
+//! are stored as themselves; a periodic simulation (the steady state of
+//! the FRTR/PRTR executors) stores one `(pattern, repeat_count,
+//! stride)` block per detected period instead of `repeat_count`
+//! materialized copies, so memory is O(distinct patterns) rather than
+//! O(n_calls). Every consumer — [`Timeline::lane_busy_s`],
+//! [`Timeline::class_intervals`], [`Timeline::render_text`], the
+//! Chrome-trace export — reads through [`Timeline::iter`], a lazy
+//! expansion that replays events in exactly the order a per-call
+//! recording would have created them. Derived quantities (including
+//! order-sensitive floating-point sums) are therefore bit-identical to
+//! a flat timeline holding the same events.
+//!
+//! Labels are interned [`Symbol`]s, so events are `Copy` and repeating
+//! a pattern never clones a `String`.
 
+use hprc_ctx::Symbol;
 use serde::{Deserialize, Serialize};
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// Which resource an event occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -111,26 +130,63 @@ pub enum ActivityClass {
     Data,
 }
 
-/// One timeline event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One timeline event. `Copy`: the label is an interned [`Symbol`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Resource occupied.
     pub lane: Lane,
     /// Activity kind.
     pub kind: EventKind,
-    /// Human label (task name, etc.).
-    pub label: String,
+    /// Human label (task name, etc.), interned.
+    pub label: Symbol,
     /// Start instant.
     pub start: SimTime,
     /// End instant.
     pub end: SimTime,
 }
 
-/// An execution timeline.
+impl TraceEvent {
+    /// The event shifted `offset` nanoseconds later.
+    fn shifted(self, offset_ns: u64) -> TraceEvent {
+        TraceEvent {
+            start: SimTime(self.start.0 + offset_ns),
+            end: SimTime(self.end.0 + offset_ns),
+            ..self
+        }
+    }
+}
+
+/// One stored timeline item: a plain event, or a run-length-encoded
+/// repetition block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Item {
+    /// A single event.
+    Event(TraceEvent),
+    /// `pattern` expanded `count` times; repetition `k` (0-based) is
+    /// the pattern shifted `k * stride` later. The pattern holds the
+    /// absolute times of the first repetition.
+    Repeat {
+        pattern: Vec<TraceEvent>,
+        count: u64,
+        stride: SimDuration,
+    },
+}
+
+/// Upper bound on the number of events [`Timeline::chrome_events`]
+/// expands — the documented cap that keeps an RLE timeline from
+/// materializing millions of trace rows. Representative traces in this
+/// repository export tens to hundreds of events; the cap exists so a
+/// steady-state run compressed to a handful of items can never blow up
+/// the one consumer that must expand per-event.
+pub const MAX_CHROME_EVENTS: usize = 100_000;
+
+/// An execution timeline (run-length encoded; see the module docs).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Timeline {
-    /// Events in creation order.
-    pub events: Vec<TraceEvent>,
+    /// Stored items in creation order.
+    items: Vec<Item>,
+    /// Expanded event count (cached; `items` is the compressed form).
+    n_events: u64,
 }
 
 impl Timeline {
@@ -139,34 +195,127 @@ impl Timeline {
         &mut self,
         lane: Lane,
         kind: EventKind,
-        label: impl Into<String>,
+        label: impl Into<Symbol>,
         start: SimTime,
         end: SimTime,
     ) {
         if end > start {
-            self.events.push(TraceEvent {
+            self.items.push(Item::Event(TraceEvent {
                 lane,
                 kind,
                 label: label.into(),
                 start,
                 end,
-            });
+            }));
+            self.n_events += 1;
         }
     }
 
-    /// End of the last event.
+    /// Records a run-length-encoded block: `pattern` repeated `count`
+    /// times, repetition `k` shifted `k * stride` later than the
+    /// pattern's own (absolute) times. Zero-length pattern events are
+    /// dropped; an empty pattern or zero count records nothing.
+    ///
+    /// [`Timeline::iter`] yields the repetitions in order, so a block
+    /// is observationally identical to pushing the shifted copies one
+    /// by one.
+    pub fn push_repeat(&mut self, pattern: Vec<TraceEvent>, count: u64, stride: SimDuration) {
+        let pattern: Vec<TraceEvent> = pattern.into_iter().filter(|e| e.end > e.start).collect();
+        if pattern.is_empty() || count == 0 {
+            return;
+        }
+        self.n_events += pattern.len() as u64 * count;
+        if count == 1 {
+            // No repetition to encode; store plain events.
+            self.items.extend(pattern.into_iter().map(Item::Event));
+            return;
+        }
+        self.items.push(Item::Repeat {
+            pattern,
+            count,
+            stride,
+        });
+    }
+
+    /// Number of stored items (compressed size). A steady-state run
+    /// keeps this O(distinct patterns) while [`Timeline::len`] counts
+    /// the expanded events.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of (expanded) events.
+    pub fn len(&self) -> u64 {
+        self.n_events
+    }
+
+    /// True when the timeline holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.n_events == 0
+    }
+
+    /// Removes and returns the plain events stored at item index
+    /// `from` and later — the hook the steady-state executors use to
+    /// convert the just-recorded period into a [`Timeline::push_repeat`]
+    /// block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tail contains a repeat block (callers split at
+    /// checkpoints they took themselves, which are always plain-event
+    /// boundaries).
+    pub fn split_off_events(&mut self, from: usize) -> Vec<TraceEvent> {
+        let tail: Vec<TraceEvent> = self
+            .items
+            .drain(from..)
+            .map(|item| match item {
+                Item::Event(e) => e,
+                Item::Repeat { .. } => panic!("split_off_events across a repeat block"),
+            })
+            .collect();
+        self.n_events -= tail.len() as u64;
+        tail
+    }
+
+    /// Lazily expands the timeline into absolute-time events, in
+    /// creation order (repeat blocks yield their repetitions in
+    /// sequence). All derived quantities read through this iterator,
+    /// which is what keeps them bit-identical to a flat recording.
+    pub fn iter(&self) -> TimelineIter<'_> {
+        TimelineIter {
+            items: &self.items,
+            item: 0,
+            rep: 0,
+            idx: 0,
+        }
+    }
+
+    /// End of the last event (computed on the compressed form).
     pub fn span_end(&self) -> SimTime {
-        self.events
+        self.items
             .iter()
-            .map(|e| e.end)
+            .map(|item| match item {
+                Item::Event(e) => e.end,
+                Item::Repeat {
+                    pattern,
+                    count,
+                    stride,
+                } => {
+                    let last = pattern
+                        .iter()
+                        .map(|e| e.end)
+                        .max()
+                        .expect("repeat patterns are non-empty");
+                    SimTime(last.0 + (count - 1) * stride.0)
+                }
+            })
             .max()
             .unwrap_or(SimTime::ZERO)
     }
 
     /// Total busy time on one lane, seconds.
     pub fn lane_busy_s(&self, lane: Lane) -> f64 {
-        self.events
-            .iter()
+        self.iter()
             .filter(|e| e.lane == lane)
             .map(|e| (e.end - e.start).as_secs_f64())
             .sum()
@@ -181,7 +330,6 @@ impl Timeline {
     /// lengths never double-count.
     pub fn class_intervals(&self, class: ActivityClass) -> Vec<(SimTime, SimTime)> {
         let mut iv: Vec<(SimTime, SimTime)> = self
-            .events
             .iter()
             .filter(|e| e.kind.class() == class)
             .map(|e| (e.start, e.end))
@@ -216,13 +364,23 @@ impl Timeline {
     /// that do not overlap in simulation time never overlap in the
     /// exported trace and `ts + dur` never exceeds the floored
     /// simulation end time.
+    ///
+    /// This is the one consumer that must materialize per-event rows,
+    /// so expansion is capped at [`MAX_CHROME_EVENTS`]: a longer
+    /// timeline exports its first `MAX_CHROME_EVENTS` events.
     pub fn chrome_events(&self, pid: u64) -> Vec<hprc_obs::ChromeEvent> {
-        self.events
-            .iter()
+        self.iter()
+            .take(MAX_CHROME_EVENTS)
             .map(|e| {
                 let ts = e.start.0 / 1_000;
                 let dur = e.end.0 / 1_000 - ts;
-                hprc_obs::ChromeEvent::complete(e.label.clone(), ts, dur, pid, e.lane.chrome_tid())
+                hprc_obs::ChromeEvent::complete(
+                    e.label.as_str().to_string(),
+                    ts,
+                    dur,
+                    pid,
+                    e.lane.chrome_tid(),
+                )
             })
             .collect()
     }
@@ -238,22 +396,62 @@ impl Timeline {
         if !registry.is_enabled() {
             return;
         }
-        let mut lanes: Vec<Lane> = self.events.iter().map(|e| e.lane).collect();
-        lanes.sort();
-        lanes.dedup();
-        for lane in &lanes {
+        // Per-lane sums accumulate in expanded event order, which keeps
+        // every gauge bit-identical to a flat recording — but a repeat
+        // block contributes the same duration sequence every repetition
+        // (the stride shifts start and end alike), so the sums run over
+        // the compressed items with a tight add loop instead of
+        // materializing each event.
+        fn slot(lanes: &mut Vec<Lane>, busy: &mut Vec<f64>, lane: Lane) -> usize {
+            lanes.iter().position(|&l| l == lane).unwrap_or_else(|| {
+                lanes.push(lane);
+                busy.push(0.0);
+                lanes.len() - 1
+            })
+        }
+        let mut lanes: Vec<Lane> = Vec::new();
+        let mut busy: Vec<f64> = Vec::new();
+        for item in &self.items {
+            match item {
+                Item::Event(e) => {
+                    let i = slot(&mut lanes, &mut busy, e.lane);
+                    busy[i] += (e.end - e.start).as_secs_f64();
+                }
+                Item::Repeat { pattern, count, .. } => {
+                    let durs: Vec<(usize, f64)> = pattern
+                        .iter()
+                        .map(|e| {
+                            let i = slot(&mut lanes, &mut busy, e.lane);
+                            (i, (e.end - e.start).as_secs_f64())
+                        })
+                        .collect();
+                    for _ in 0..*count {
+                        for &(i, d) in &durs {
+                            busy[i] += d;
+                        }
+                    }
+                }
+            }
+        }
+        let mut by_lane: Vec<(Lane, f64)> = lanes.into_iter().zip(busy).collect();
+        by_lane.sort_by_key(|&(lane, _)| lane);
+        for &(lane, lane_busy) in &by_lane {
             registry
                 .gauge(&format!("{prefix}.lane_busy_s.{}", lane.label()))
-                .set(self.lane_busy_s(*lane));
+                .set(lane_busy);
         }
         let makespan = self.span_end().as_secs_f64();
         registry
             .gauge(&format!("{prefix}.makespan_s"))
             .set(makespan);
         if makespan > 0.0 {
+            let config = by_lane
+                .iter()
+                .find(|&&(lane, _)| lane == Lane::ConfigPort)
+                .map_or(0.0, |&(_, b)| b);
             registry
                 .gauge(&format!("{prefix}.config_port.utilization"))
-                .set(self.lane_busy_s(Lane::ConfigPort) / makespan);
+                .set(config / makespan);
         }
     }
 
@@ -265,10 +463,10 @@ impl Timeline {
     pub fn render_text(&self, width: usize) -> String {
         let width = width.max(10);
         let end = self.span_end().as_secs_f64();
-        if end == 0.0 || self.events.is_empty() {
+        if end == 0.0 || self.is_empty() {
             return String::from("(empty timeline)\n");
         }
-        let mut lanes: Vec<Lane> = self.events.iter().map(|e| e.lane).collect();
+        let mut lanes: Vec<Lane> = self.iter().map(|e| e.lane).collect();
         lanes.sort();
         lanes.dedup();
         let label_w = lanes
@@ -280,7 +478,7 @@ impl Timeline {
         let mut out = String::new();
         for lane in lanes {
             let mut row = vec!['.'; width];
-            for e in self.events.iter().filter(|e| e.lane == lane) {
+            for e in self.iter().filter(|e| e.lane == lane) {
                 let s = ((e.start.as_secs_f64() / end) * width as f64) as usize;
                 let f = ((e.end.as_secs_f64() / end) * width as f64).ceil() as usize;
                 for cell in row.iter_mut().take(f.min(width)).skip(s.min(width - 1)) {
@@ -305,6 +503,50 @@ impl Timeline {
     }
 }
 
+/// Lazy expansion of a [`Timeline`] (see [`Timeline::iter`]).
+#[derive(Debug, Clone)]
+pub struct TimelineIter<'a> {
+    items: &'a [Item],
+    item: usize,
+    rep: u64,
+    idx: usize,
+}
+
+impl Iterator for TimelineIter<'_> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        loop {
+            let item = self.items.get(self.item)?;
+            match item {
+                Item::Event(e) => {
+                    self.item += 1;
+                    return Some(*e);
+                }
+                Item::Repeat {
+                    pattern,
+                    count,
+                    stride,
+                } => {
+                    if self.idx >= pattern.len() {
+                        self.idx = 0;
+                        self.rep += 1;
+                    }
+                    if self.rep >= *count {
+                        self.item += 1;
+                        self.rep = 0;
+                        self.idx = 0;
+                        continue;
+                    }
+                    let e = pattern[self.idx];
+                    self.idx += 1;
+                    return Some(e.shifted(self.rep * stride.0));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,9 +560,9 @@ mod tests {
     fn push_drops_zero_length_events() {
         let mut tl = Timeline::default();
         tl.push(Lane::Host, EventKind::Decision, "d", t(1.0), t(1.0));
-        assert!(tl.events.is_empty());
+        assert!(tl.is_empty());
         tl.push(Lane::Host, EventKind::Decision, "d", t(1.0), t(2.0));
-        assert_eq!(tl.events.len(), 1);
+        assert_eq!(tl.len(), 1);
     }
 
     #[test]
@@ -409,11 +651,7 @@ mod tests {
         .iter()
         .map(|l| tl.lane_busy_s(*l))
         .sum();
-        let event_sum: f64 = tl
-            .events
-            .iter()
-            .map(|e| (e.end - e.start).as_secs_f64())
-            .sum();
+        let event_sum: f64 = tl.iter().map(|e| (e.end - e.start).as_secs_f64()).sum();
         assert!((lane_sum - event_sum).abs() < 1e-12);
         assert!((tl.span_end().as_secs_f64() - 4.0).abs() < 1e-12);
     }
@@ -511,5 +749,150 @@ mod tests {
         let reg = hprc_obs::Registry::noop();
         tl.record_metrics(&reg, "sim");
         assert!(reg.snapshot().gauges.is_empty());
+    }
+
+    /// Builds the same logical timeline twice — flat pushes vs one RLE
+    /// repeat block — and checks every derived view agrees.
+    fn periodic_pair() -> (Timeline, Timeline) {
+        let period_s = 2.0;
+        let mut flat = Timeline::default();
+        for k in 0..4 {
+            let base = k as f64 * period_s;
+            flat.push(
+                Lane::ConfigPort,
+                EventKind::PartialConfig,
+                "cfg",
+                t(base),
+                t(base + 0.5),
+            );
+            flat.push(
+                Lane::Prr(k % 2),
+                EventKind::Exec,
+                "task",
+                t(base + 0.5),
+                t(base + 2.0),
+            );
+        }
+
+        let mut rle = Timeline::default();
+        // First period recorded plainly, then compressed in place —
+        // the exact motion the steady-state executors perform.
+        rle.push(
+            Lane::ConfigPort,
+            EventKind::PartialConfig,
+            "cfg",
+            t(0.0),
+            t(0.5),
+        );
+        rle.push(Lane::Prr(0), EventKind::Exec, "task", t(0.5), t(2.0));
+        rle.push(
+            Lane::ConfigPort,
+            EventKind::PartialConfig,
+            "cfg",
+            t(2.0),
+            t(2.5),
+        );
+        rle.push(Lane::Prr(1), EventKind::Exec, "task", t(2.5), t(4.0));
+        let pattern = rle.split_off_events(0);
+        rle.push_repeat(pattern, 2, t(4.0) - SimTime::ZERO);
+        (flat, rle)
+    }
+
+    #[test]
+    fn rle_expansion_matches_flat_recording() {
+        let (flat, rle) = periodic_pair();
+        assert_eq!(rle.n_items(), 1, "compressed to one repeat block");
+        assert_eq!(rle.len(), flat.len());
+        let a: Vec<TraceEvent> = flat.iter().collect();
+        let b: Vec<TraceEvent> = rle.iter().collect();
+        assert_eq!(a, b, "expansion must replay creation order exactly");
+        assert_eq!(rle.span_end(), flat.span_end());
+        // Order-sensitive float sums are bit-identical, not just close.
+        for lane in [Lane::ConfigPort, Lane::Prr(0), Lane::Prr(1)] {
+            assert_eq!(
+                rle.lane_busy_s(lane).to_bits(),
+                flat.lane_busy_s(lane).to_bits()
+            );
+        }
+        for class in [ActivityClass::Exec, ActivityClass::Config] {
+            assert_eq!(rle.class_intervals(class), flat.class_intervals(class));
+        }
+    }
+
+    /// The RLE golden: rendered Gantt and Chrome export pinned against
+    /// the flat recording (and the Gantt against literal bytes).
+    #[test]
+    fn rle_render_and_chrome_golden() {
+        let (flat, rle) = periodic_pair();
+        let expected = [
+            "config |PPP.......PPP.......PPP.......PPP.......",
+            "  PRR0 |..XXXXXXXX............XXXXXXXX..........",
+            "  PRR1 |............XXXXXXXX............XXXXXXXX",
+            "       |0 ............................ 8.0000s",
+            "",
+        ]
+        .join("\n");
+        assert_eq!(rle.render_text(40), expected);
+        assert_eq!(rle.render_text(40), flat.render_text(40));
+
+        let a = flat.chrome_events(3);
+        let b = rle.chrome_events(3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (&x.name, x.ts, x.dur, x.pid, x.tid),
+                (&y.name, y.ts, y.dur, y.pid, y.tid)
+            );
+        }
+
+        // Both sides export identical gauges too.
+        let (ra, rb) = (hprc_obs::Registry::new(), hprc_obs::Registry::new());
+        flat.record_metrics(&ra, "sim");
+        rle.record_metrics(&rb, "sim");
+        use serde::Serialize;
+        assert_eq!(
+            ra.snapshot().to_json_value()["gauges"].to_string(),
+            rb.snapshot().to_json_value()["gauges"].to_string()
+        );
+    }
+
+    #[test]
+    fn chrome_export_respects_the_expansion_cap() {
+        let mut tl = Timeline::default();
+        tl.push(Lane::Prr(0), EventKind::Exec, "x", SimTime(0), SimTime(500));
+        let pattern = tl.split_off_events(0);
+        // Far more repetitions than the cap allows to materialize.
+        tl.push_repeat(pattern, MAX_CHROME_EVENTS as u64 + 7, SimDuration(1_000));
+        assert_eq!(tl.len(), MAX_CHROME_EVENTS as u64 + 7);
+        assert_eq!(tl.n_items(), 1);
+        let evs = tl.chrome_events(1);
+        assert_eq!(evs.len(), MAX_CHROME_EVENTS);
+    }
+
+    #[test]
+    fn push_repeat_edge_cases() {
+        let mut tl = Timeline::default();
+        // Empty pattern / zero count / zero-length events record nothing.
+        tl.push_repeat(Vec::new(), 5, SimDuration(10));
+        let zero = TraceEvent {
+            lane: Lane::Host,
+            kind: EventKind::Control,
+            label: Symbol::intern("z"),
+            start: SimTime(4),
+            end: SimTime(4),
+        };
+        tl.push_repeat(vec![zero], 5, SimDuration(10));
+        tl.push_repeat(vec![zero], 0, SimDuration(10));
+        assert!(tl.is_empty());
+        assert_eq!(tl.n_items(), 0);
+
+        // count == 1 stores plain events (nothing to encode).
+        let e = TraceEvent {
+            end: SimTime(9),
+            ..zero
+        };
+        tl.push_repeat(vec![e], 1, SimDuration(10));
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl.iter().next().unwrap(), e);
     }
 }

@@ -119,7 +119,7 @@ fn measured_speedup_matches_equation_6() {
     let n = 1000;
     for &t_task in &[0.5 * node.t_prtr_s(), node.t_prtr_s(), 0.3, 2.0] {
         let prtr_calls = uniform_calls(&node, t_task, n, &vec![false; n]);
-        let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
+        let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task).collect();
         let t_task_actual = frtr_calls[0].task_time_s(&node);
         let s_sim = run_frtr(&node, &frtr_calls, &ExecCtx::default())
             .unwrap()
@@ -166,7 +166,7 @@ fn estimated_node_peak_speedup_is_about_7x() {
     let n = 500;
     let t_task = node.t_prtr_s();
     let prtr_calls = uniform_calls(&node, t_task, n, &vec![false; n]);
-    let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
+    let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task).collect();
     let s = run_frtr(&node, &frtr_calls, &ExecCtx::default())
         .unwrap()
         .total_s()
@@ -183,7 +183,7 @@ fn measured_node_peak_speedup_is_about_87x() {
     let n = 500;
     let t_task = node.t_prtr_s();
     let prtr_calls = uniform_calls(&node, t_task, n, &vec![false; n]);
-    let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
+    let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task).collect();
     let s = run_frtr(&node, &frtr_calls, &ExecCtx::default())
         .unwrap()
         .total_s()
@@ -201,7 +201,7 @@ fn data_intensive_tasks_cap_at_2x() {
     for factor in [1.0, 2.0, 5.0] {
         let t_task = factor * node.t_frtr_s();
         let prtr_calls = uniform_calls(&node, t_task, n, &vec![false; n]);
-        let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task.clone()).collect();
+        let frtr_calls: Vec<TaskCall> = prtr_calls.iter().map(|c| c.task).collect();
         let s = run_frtr(&node, &frtr_calls, &ExecCtx::default())
             .unwrap()
             .total_s()

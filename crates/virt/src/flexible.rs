@@ -179,7 +179,8 @@ pub fn run_flexible(
     let m_configs = registry.counter("virt.flex.configs");
     let m_config_bytes = registry.histogram("virt.flex.config_bytes");
 
-    let mut queue: EventQueue<Issue> = EventQueue::instrumented(registry);
+    // Peak occupancy is one in-flight Issue per application.
+    let mut queue: EventQueue<Issue> = EventQueue::instrumented_with_capacity(registry, apps.len());
     let mut next_call = vec![0usize; apps.len()];
     for app in apps {
         if !app.calls.is_empty() {

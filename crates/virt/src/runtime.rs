@@ -250,7 +250,8 @@ pub fn run(
         })
         .collect();
 
-    let mut queue: EventQueue<Issue> = EventQueue::instrumented(registry);
+    // Peak occupancy is one in-flight Issue per application.
+    let mut queue: EventQueue<Issue> = EventQueue::instrumented_with_capacity(registry, apps.len());
     for app in apps {
         if !app.calls.is_empty() {
             let prio = match config.scheduler {

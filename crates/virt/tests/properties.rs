@@ -131,7 +131,6 @@ proptest! {
         for slot in 0..node.n_prrs {
             let mut windows: Vec<(u64, u64)> = report
                 .timeline
-                .events
                 .iter()
                 .filter(|e| e.lane == Lane::Prr(slot) && e.kind == EventKind::Exec)
                 .map(|e| (e.start.0, e.end.0))
@@ -151,7 +150,6 @@ proptest! {
         let report = run(&node, &apps, &RuntimeConfig::prtr_overlapped(), &ExecCtx::default()).unwrap();
         let mut windows: Vec<(u64, u64)> = report
             .timeline
-            .events
             .iter()
             .filter(|e| e.lane == Lane::ConfigPort)
             .map(|e| (e.start.0, e.end.0))
