@@ -4,6 +4,7 @@
 pub mod ext_compress;
 pub mod ext_decision;
 pub mod ext_defrag;
+pub mod ext_faults;
 pub mod ext_fit;
 pub mod ext_flexible;
 pub mod ext_flows;

@@ -61,10 +61,7 @@ fn build(
     let hit_calls: Vec<PrtrCall> = miss_calls
         .iter()
         .enumerate()
-        .map(|(i, c)| PrtrCall {
-            hit: i > 0,
-            ..*c
-        })
+        .map(|(i, c)| PrtrCall { hit: i > 0, ..*c })
         .collect();
     let prtr_hit = run_prtr(&node, &hit_calls, ctx).unwrap();
     (node, t_task, frtr, prtr_miss, prtr_hit)

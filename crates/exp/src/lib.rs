@@ -33,7 +33,7 @@ use hprc_ctx::ExecCtx;
 use report::Report;
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "summary",
     "table1",
     "table2",
@@ -55,6 +55,7 @@ pub const ALL_EXPERIMENTS: [&str; 21] = [
     "ext-fit",
     "ext-platforms",
     "ext-flexible",
+    "ext-faults",
 ];
 
 /// Runs one experiment by id (see [`ALL_EXPERIMENTS`]).
@@ -86,6 +87,7 @@ pub fn run_experiment(id: &str, ctx: &ExecCtx) -> Option<Report> {
         "ext-fit" => experiments::ext_fit::run(ctx),
         "ext-platforms" => experiments::ext_platforms::run(ctx),
         "ext-flexible" => experiments::ext_flexible::run(ctx),
+        "ext-faults" => experiments::ext_faults::run(ctx),
         "ext-icap" => experiments::ext_icap::run(ctx),
         _ => return None,
     })
@@ -114,6 +116,7 @@ pub fn chrome_trace(id: &str, ctx: &ExecCtx) -> Option<Vec<hprc_obs::ChromeEvent
         "fig9b" => experiments::fig9::peak_timeline(experiments::fig9::Panel::Measured, 30, &quiet)
             .chrome_events(1),
         "profiles" => experiments::profiles::chrome_trace(&quiet),
+        "ext-faults" => experiments::ext_faults::chrome_trace(&quiet, &ctx.registry),
         _ => return None,
     })
 }
@@ -134,6 +137,7 @@ pub fn attribution(id: &str, ctx: &ExecCtx) -> Option<hprc_attr::AttributionRepo
             experiments::fig9::peak_attribution(experiments::fig9::Panel::Measured, 300, &quiet)
         }
         "profiles" => experiments::profiles::attribution(&quiet),
+        "ext-faults" => experiments::ext_faults::attribution(&quiet),
         _ => return None,
     })
 }
@@ -161,6 +165,9 @@ pub fn write_series(id: &str, dir: &Path, ctx: &ExecCtx) -> std::io::Result<()> 
         }
         "ext-landscape" => {
             report::write_series_csv(dir, "ext-landscape", &experiments::ext_landscape::series())?;
+        }
+        "ext-faults" => {
+            report::write_series_csv(dir, "ext-faults", &experiments::ext_faults::series(&quiet))?;
         }
         _ => {}
     }

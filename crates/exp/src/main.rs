@@ -98,7 +98,7 @@ fn bench_main(args: impl Iterator<Item = String>) -> ExitCode {
             "--seed" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
                 Some(s) => seed = s,
                 None => {
-                    eprintln!("--seed requires an unsigned integer");
+                    eprintln!("--seed requires an unsigned integer\n\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -181,9 +181,9 @@ fn write_trace_artifacts(
     dir: &Path,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    let snapshot = registry.snapshot();
-    let metrics = serde_json::to_string_pretty(&snapshot)?;
-    std::fs::write(dir.join(format!("{id}.metrics.json")), metrics)?;
+    // The trace export records its own accounting (e.g. truncation
+    // warnings) into the live registry, so it must run before the
+    // metrics snapshot for those counters to land in <id>.metrics.json.
     if let Some(events) = hprc_exp::chrome_trace(id, ctx) {
         let trace = serde_json::to_string(&events)?;
         std::fs::write(dir.join(format!("{id}.trace.json")), trace)?;
@@ -192,6 +192,9 @@ fn write_trace_artifacts(
         let json = serde_json::to_string_pretty(&attr)?;
         std::fs::write(dir.join(format!("{id}.attr.json")), json)?;
     }
+    let snapshot = registry.snapshot();
+    let metrics = serde_json::to_string_pretty(&snapshot)?;
+    std::fs::write(dir.join(format!("{id}.metrics.json")), metrics)?;
     Ok(())
 }
 
@@ -231,7 +234,7 @@ fn main() -> ExitCode {
             "--seed" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
                 Some(s) => seed = s,
                 None => {
-                    eprintln!("--seed requires an unsigned integer");
+                    eprintln!("--seed requires an unsigned integer\n\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -267,7 +270,7 @@ fn main() -> ExitCode {
     }
 
     // One context per experiment, all sharing the seed base so a run of
-    // `all` produces exactly the same artifacts as 21 single-id runs.
+    // `all` produces exactly the same artifacts as 22 single-id runs.
     // The jobs budget goes to whichever level can use it: across
     // experiments when several ids run, into the experiment's own sweep
     // runner when only one does. Each experiment gets its own registry

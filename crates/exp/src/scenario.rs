@@ -9,7 +9,7 @@ use hprc_sched::cache::TaskId;
 use hprc_sched::policy::Policy;
 use hprc_sched::simulate::{simulate, CallOutcome, SimulationOutcome};
 use hprc_sched::traces::TraceSpec;
-use hprc_sim::executor::{run_frtr, run_prtr, ExecutionReport};
+use hprc_sim::executor::{run_frtr, run_frtr_faulty, run_prtr, run_prtr_faulty, ExecutionReport};
 use hprc_sim::node::NodeConfig;
 use hprc_sim::task::{PrtrCall, TaskCall};
 use hprc_sim::trace::Timeline;
@@ -142,6 +142,94 @@ pub fn run_point_full(
     }
 }
 
+/// Everything one fault-injected sweep point produced. The `point`'s
+/// `speedup_sim` is the *paired* speedup — faulty FRTR total over
+/// faulty PRTR total, both carrying their recovery chains (faults tax
+/// FRTR's long chains proportionally harder, so this can exceed the
+/// clean ratio). The monotone *effective* speedup — clean FRTR
+/// baseline over faulty PRTR total — is what `ext-faults` reports,
+/// using its rate-0 point as the baseline. The model column still
+/// evaluates the fault-free equation (6) at the measured (degraded)
+/// `H`, so `point.speedup_model - point.speedup_sim` reads as the
+/// bound gap faults open up.
+#[derive(Debug, Clone)]
+pub struct FaultyPointRun {
+    /// The summary sweep point (effective speedup, degraded `H`).
+    pub point: SweepPoint,
+    /// Full faulty FRTR execution report.
+    pub frtr: ExecutionReport,
+    /// Full faulty PRTR execution report.
+    pub prtr: ExecutionReport,
+    /// Model parameters at the measured degraded hit ratio.
+    pub params: ModelParams,
+    /// The fault-aware cache simulation outcome (fates, wipes,
+    /// blacklists, drops).
+    pub sched: hprc_sched::FaultyOutcome,
+}
+
+impl FaultyPointRun {
+    /// Availability: fraction of calls served (PRTR side; the paper's
+    /// graceful-degradation axis).
+    pub fn availability(&self) -> f64 {
+        self.sched.availability()
+    }
+}
+
+/// [`run_point_full`] with the fault plan threaded through both the
+/// cache layer ([`simulate_faulty`](hprc_sched::simulate_faulty)) and
+/// the executors
+/// ([`run_prtr_faulty`](hprc_sim::executor::run_prtr_faulty) /
+/// [`run_frtr_faulty`](hprc_sim::executor::run_frtr_faulty)).
+///
+/// `trace_seed` is the *resolved* workload seed, used verbatim (not
+/// re-derived through [`ExecCtx::seed_for`]) — callers sweeping fault
+/// rates pass the same trace seed and the same plan seed to every rate
+/// so the draws stay coupled and degradation is monotone by
+/// construction, not by luck. A disarmed plan reproduces
+/// [`run_point_full`] exactly.
+#[allow(clippy::too_many_arguments)] // mirrors run_point_full + plan
+pub fn run_point_faulty(
+    node: &NodeConfig,
+    trace_spec: &TraceSpec,
+    trace_seed: u64,
+    policy: &mut dyn Policy,
+    prefetch: bool,
+    t_task: f64,
+    plan: &hprc_fault::FaultPlan,
+    ctx: &ExecCtx,
+) -> FaultyPointRun {
+    let trace = trace_spec.generate(trace_seed);
+    let sched = hprc_sched::simulate_faulty(&trace, node.n_prrs, policy, prefetch, plan, ctx);
+    let calls = prtr_calls(node, &trace, &sched.base, t_task);
+    let t_task_actual = calls[0].task.task_time_s(node);
+    let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
+    let frtr = run_frtr_faulty(node, &frtr_calls, plan, ctx).expect("faulty FRTR run");
+    let prtr = run_prtr_faulty(node, &calls, plan, ctx).expect("faulty PRTR run");
+    let params = model_params_for(
+        node,
+        t_task_actual,
+        sched.base.hit_ratio(),
+        trace.len() as u64,
+    );
+    ctx.registry
+        .gauge("exp.measured_hit_ratio")
+        .set(sched.base.hit_ratio());
+    let point = SweepPoint {
+        x_task: t_task_actual / node.t_frtr_s(),
+        t_task_s: t_task_actual,
+        hit_ratio: sched.base.hit_ratio(),
+        speedup_sim: frtr.total_s() / prtr.total_s(),
+        speedup_model: hprc_model::speedup::speedup(&params),
+    };
+    FaultyPointRun {
+        point,
+        frtr,
+        prtr,
+        params,
+        sched,
+    }
+}
+
 /// [`run_point_full`], keeping only the summary point and the PRTR
 /// timeline.
 pub fn run_point(
@@ -247,6 +335,106 @@ mod tests {
         let pf = run_point(&node, &spec, 5, &mut Markov::new(), true, t_task, &dctx()).0;
         assert!(pf.hit_ratio > base.hit_ratio);
         assert!(pf.speedup_sim > base.speedup_sim);
+    }
+
+    #[test]
+    fn disarmed_faulty_point_matches_clean_point() {
+        let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
+        let spec = TraceSpec::Looping {
+            stages: 3,
+            n_tasks: 3,
+            noise: 0.0,
+            len: 200,
+        };
+        let ctx = dctx();
+        let clean = run_point_full(
+            &node,
+            &spec,
+            7,
+            &mut Markov::new(),
+            true,
+            node.t_prtr_s(),
+            &ctx,
+        );
+        let faulty = run_point_faulty(
+            &node,
+            &spec,
+            ctx.seed_for(7),
+            &mut Markov::new(),
+            true,
+            node.t_prtr_s(),
+            &hprc_fault::FaultPlan::disarmed(),
+            &ctx,
+        );
+        assert_eq!(clean.point, faulty.point);
+        assert_eq!(clean.frtr, faulty.frtr);
+        assert_eq!(clean.prtr, faulty.prtr);
+        assert_eq!(faulty.sched.dropped, 0);
+    }
+
+    #[test]
+    fn faulty_point_degrades_effective_speedup() {
+        let node = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
+        // Noise keeps the Markov predictor imperfect: real steady-state
+        // misses exist for faults to tax (a perfectly prefetched loop
+        // absorbs low-rate faults entirely).
+        let spec = TraceSpec::Looping {
+            stages: 3,
+            n_tasks: 3,
+            noise: 0.2,
+            len: 300,
+        };
+        let plan = hprc_fault::FaultPlan::new(
+            hprc_fault::FaultSpec::uniform(0.1),
+            hprc_fault::RecoveryPolicy::default(),
+            99,
+        );
+        let mk_clean = || {
+            run_point_faulty(
+                &node,
+                &spec,
+                11,
+                &mut Markov::new(),
+                true,
+                node.t_prtr_s(),
+                &hprc_fault::FaultPlan::disarmed(),
+                &dctx(),
+            )
+        };
+        let clean = mk_clean();
+        let faulty = run_point_faulty(
+            &node,
+            &spec,
+            11,
+            &mut Markov::new(),
+            true,
+            node.t_prtr_s(),
+            &plan,
+            &dctx(),
+        );
+        // Recovery slows both substrates down; the *effective* speedup
+        // (clean FRTR baseline over faulty PRTR) degrades.
+        assert!(faulty.prtr.total_s() > clean.prtr.total_s());
+        assert!(faulty.frtr.total_s() > clean.frtr.total_s());
+        assert!(
+            clean.frtr.total_s() / faulty.prtr.total_s()
+                < clean.frtr.total_s() / clean.prtr.total_s()
+        );
+        assert!(faulty.point.hit_ratio <= clean.point.hit_ratio);
+        assert!(faulty.availability() <= 1.0);
+        // Replay is exact.
+        let again = run_point_faulty(
+            &node,
+            &spec,
+            11,
+            &mut Markov::new(),
+            true,
+            node.t_prtr_s(),
+            &plan,
+            &dctx(),
+        );
+        assert_eq!(faulty.point, again.point);
+        assert_eq!(faulty.prtr, again.prtr);
     }
 
     #[test]

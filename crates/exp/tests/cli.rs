@@ -115,6 +115,49 @@ fn bench_check_fails_on_schema_drift() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn bench_check_fails_cleanly_on_missing_baseline() {
+    let dir = tmp_dir("bench-missing");
+    let out = Command::new(exe())
+        .args(["bench", "--repeat", "1", "--out-file"])
+        .arg(dir.join("bench.json"))
+        .args(["--check", "no-such-baseline.json"])
+        .current_dir(&dir)
+        .output()
+        .expect("run bench check");
+    assert!(!out.status.success(), "missing baseline must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error:") && stderr.contains("no-such-baseline.json"),
+        "stderr should name the missing baseline: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must be a clean error, not a panic: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unparseable_seed_prints_usage_and_fails() {
+    for args in [
+        &["--seed", "not-a-number", "table1"][..],
+        &["bench", "--seed", "0x12", "--repeat", "1"][..],
+    ] {
+        let out = Command::new(exe()).args(args).output().expect("run binary");
+        assert!(!out.status.success(), "{args:?} must exit non-zero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--seed requires an unsigned integer"),
+            "{args:?} stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains("usage: hprc-exp"),
+            "{args:?} should print usage: {stderr}"
+        );
+    }
+}
+
 fn run_fig9a_trace(dir: &Path, jobs: &str) -> Vec<u8> {
     let out = Command::new(exe())
         .args(["--jobs", jobs, "--trace"])

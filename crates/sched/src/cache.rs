@@ -79,6 +79,22 @@ impl ConfigCache {
     pub fn slots(&self) -> &[Option<TaskId>] {
         &self.slots
     }
+
+    /// Invalidates a single slot, returning the evicted occupant (if
+    /// any). Out-of-range slots are a no-op — an SEU can "strike" a
+    /// region the floorplan does not expose, and that must not panic.
+    pub fn clear_slot(&mut self, slot: usize) -> Option<TaskId> {
+        self.slots.get_mut(slot).and_then(|s| s.take())
+    }
+
+    /// Invalidates every slot (a full reconfiguration overwrites the
+    /// whole device, taking all resident partial configurations with
+    /// it), returning how many occupants were evicted.
+    pub fn clear(&mut self) -> usize {
+        let evicted = self.slots.iter().filter(|s| s.is_some()).count();
+        self.slots.iter_mut().for_each(|s| *s = None);
+        evicted
+    }
 }
 
 /// Hit/miss statistics of one cache simulation.
@@ -156,6 +172,26 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_slots_rejected() {
         ConfigCache::new(0);
+    }
+
+    #[test]
+    fn clear_slot_evicts_and_tolerates_out_of_range() {
+        let mut c = ConfigCache::new(2);
+        c.load(0, TaskId(1));
+        assert_eq!(c.clear_slot(0), Some(TaskId(1)));
+        assert_eq!(c.clear_slot(0), None);
+        assert_eq!(c.clear_slot(99), None);
+        assert!(!c.contains(TaskId(1)));
+    }
+
+    #[test]
+    fn clear_wipes_everything() {
+        let mut c = ConfigCache::new(3);
+        c.load(0, TaskId(1));
+        c.load(2, TaskId(2));
+        assert_eq!(c.clear(), 2);
+        assert_eq!(c.slots(), &[None, None, None]);
+        assert_eq!(c.clear(), 0);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   LFU, random, Belady's clairvoyant optimum, and a first-order Markov
 //!   prefetcher;
 //! * [`simulate`] — trace-driven simulation measuring the achieved `H`;
+//! * [`faulty`] — the same simulation with `hprc-fault` recovery state:
+//!   escalations wipe the cache, repeated escalations blacklist PRRs,
+//!   and seeded SEUs evict residents, so `H` degrades honestly;
 //! * [`traces`] — seeded workload generators (uniform, Zipf, phased,
 //!   looping pipelines).
 //!
@@ -29,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faulty;
 pub mod policies;
 pub mod policy;
 pub mod simulate;
 pub mod traces;
 
 pub use cache::{CacheStats, ConfigCache, TaskId};
+pub use faulty::{simulate_faulty, FaultyOutcome};
 pub use policy::Policy;
 pub use simulate::{simulate, CallOutcome, SimulationOutcome};
 pub use traces::TraceSpec;

@@ -90,39 +90,50 @@ pub fn simulate(
     let registry = &ctx.registry;
     let _span = registry.span("sched.simulate");
     let outcome = simulate_inner(trace, slots, policy, prefetch);
-    if registry.is_enabled() {
-        let prefix = format!("sched.{}", policy.name());
-        let s = &outcome.stats;
-        registry.counter(&format!("{prefix}.calls")).add(s.calls);
-        registry.counter(&format!("{prefix}.hits")).add(s.hits);
-        registry.counter(&format!("{prefix}.misses")).add(s.misses);
-        let evictions = outcome
-            .outcomes
-            .iter()
-            .filter(|o| {
-                matches!(
-                    o,
-                    CallOutcome::Miss {
-                        evicted: Some(_),
-                        ..
-                    }
-                )
-            })
-            .count() as u64;
-        registry
-            .counter(&format!("{prefix}.evictions"))
-            .add(evictions);
-        registry
-            .counter(&format!("{prefix}.prefetch_loads"))
-            .add(s.prefetch_loads);
-        registry
-            .counter(&format!("{prefix}.useful_prefetches"))
-            .add(s.useful_prefetches);
-        registry
-            .gauge(&format!("{prefix}.hit_ratio"))
-            .set(outcome.hit_ratio());
-    }
+    record_outcome(registry, policy.name(), &outcome);
     outcome
+}
+
+/// Records one simulation's per-policy cache metrics (shared with the
+/// fault-injecting [`simulate_faulty`](crate::faulty::simulate_faulty)).
+pub(crate) fn record_outcome(
+    registry: &hprc_obs::Registry,
+    policy_name: &str,
+    outcome: &SimulationOutcome,
+) {
+    if !registry.is_enabled() {
+        return;
+    }
+    let prefix = format!("sched.{policy_name}");
+    let s = &outcome.stats;
+    registry.counter(&format!("{prefix}.calls")).add(s.calls);
+    registry.counter(&format!("{prefix}.hits")).add(s.hits);
+    registry.counter(&format!("{prefix}.misses")).add(s.misses);
+    let evictions = outcome
+        .outcomes
+        .iter()
+        .filter(|o| {
+            matches!(
+                o,
+                CallOutcome::Miss {
+                    evicted: Some(_),
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    registry
+        .counter(&format!("{prefix}.evictions"))
+        .add(evictions);
+    registry
+        .counter(&format!("{prefix}.prefetch_loads"))
+        .add(s.prefetch_loads);
+    registry
+        .counter(&format!("{prefix}.useful_prefetches"))
+        .add(s.useful_prefetches);
+    registry
+        .gauge(&format!("{prefix}.hit_ratio"))
+        .set(outcome.hit_ratio());
 }
 
 fn simulate_inner(

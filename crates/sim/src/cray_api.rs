@@ -118,6 +118,39 @@ impl CrayConfigApi {
             .record_cycle(&[d.as_secs_f64()], count);
     }
 
+    /// One fault-injectable configuration attempt: the injection hook
+    /// the faulty executors drive for full reconfigurations. Runs the
+    /// normal [`CrayConfigApi::configure`] accounting (the transfer
+    /// happened and occupied the port either way), then applies the
+    /// injected `outcome`: on a fault, bumps `sim.cray_api.faults` and
+    /// returns [`SimError::TransientFault`] for the caller's recovery
+    /// policy to handle.
+    ///
+    /// # Errors
+    ///
+    /// Size/DONE rejections propagate as in [`CrayConfigApi::configure`];
+    /// injected faults surface as [`SimError::TransientFault`].
+    pub fn configure_attempt(
+        &self,
+        bytes: u64,
+        is_partial: bool,
+        done_high: bool,
+        outcome: hprc_fault::AttemptOutcome,
+        ctx: &ExecCtx,
+    ) -> Result<SimDuration, SimError> {
+        let d = self.configure(bytes, is_partial, done_high, ctx)?;
+        match outcome {
+            hprc_fault::AttemptOutcome::Success => Ok(d),
+            hprc_fault::AttemptOutcome::Fault(site) => {
+                ctx.registry.counter("sim.cray_api.faults").inc();
+                Err(SimError::TransientFault(format!(
+                    "configuration transfer failed: {}",
+                    site.name()
+                )))
+            }
+        }
+    }
+
     /// Full-configuration time in seconds (the `T_FRTR` this API induces).
     pub fn full_configuration_time_s(&self) -> f64 {
         self.software_overhead_s + self.full_bitstream_bytes as f64 / self.port_bytes_per_sec
@@ -176,6 +209,34 @@ mod tests {
         assert_eq!(snap.counters["sim.cray_api.calls"], 2);
         assert_eq!(snap.counters["sim.cray_api.rejections"], 1);
         assert_eq!(snap.histograms["sim.cray_api.busy_s"].count, 1);
+    }
+
+    #[test]
+    fn configure_attempt_applies_injected_outcome() {
+        use hprc_fault::{AttemptOutcome, FaultSite};
+        let ctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let api = CrayConfigApi::xd1_measured(FULL);
+        let ok = api
+            .configure_attempt(FULL, false, false, AttemptOutcome::Success, &ctx)
+            .unwrap();
+        assert_eq!(
+            ok,
+            api.configure(FULL, false, false, &ExecCtx::default())
+                .unwrap()
+        );
+        let err = api.configure_attempt(
+            FULL,
+            false,
+            false,
+            AttemptOutcome::Fault(FaultSite::ApiTransfer),
+            &ctx,
+        );
+        assert!(matches!(err, Err(SimError::TransientFault(_))));
+        let snap = ctx.registry.snapshot();
+        assert_eq!(snap.counters["sim.cray_api.calls"], 2);
+        assert_eq!(snap.counters["sim.cray_api.faults"], 1);
+        // The failed attempt still occupied the port for its duration.
+        assert_eq!(snap.histograms["sim.cray_api.busy_s"].count, 2);
     }
 
     #[test]

@@ -9,6 +9,10 @@ pub enum SimError {
     ApiRejected(String),
     /// The executor was driven with inconsistent inputs.
     InvalidRun(String),
+    /// A configuration attempt failed with an injected transient fault
+    /// (crate `hprc-fault`); the recovery policy decides what happens
+    /// next, so this error never escapes a faulty executor.
+    TransientFault(String),
 }
 
 impl fmt::Display for SimError {
@@ -16,6 +20,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::ApiRejected(msg) => write!(f, "configuration API rejected: {msg}"),
             SimError::InvalidRun(msg) => write!(f, "invalid run: {msg}"),
+            SimError::TransientFault(msg) => write!(f, "transient fault injected: {msg}"),
         }
     }
 }

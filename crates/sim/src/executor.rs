@@ -54,6 +54,7 @@
 use std::collections::HashMap;
 
 use hprc_ctx::{ExecCtx, Symbol};
+use hprc_fault::{AttemptOutcome, CallFate, FaultPlan, FaultSite, FaultState};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
@@ -101,8 +102,11 @@ pub struct ExecutionReport {
     pub calls: Vec<CallTiming>,
     /// Full event timeline (renders the Figures 3/4 profiles).
     pub timeline: Timeline,
-    /// Number of (re-)configurations performed.
+    /// Number of *successful* (re-)configurations performed.
     pub n_config: u64,
+    /// Calls dropped after exhausting every recovery attempt (always 0
+    /// on fault-free runs; see crate `hprc-fault`).
+    pub n_dropped: u64,
 }
 
 impl ExecutionReport {
@@ -194,6 +198,7 @@ const L_DEC: u8 = 2;
 const L_CFG: u8 = 3;
 const L_IN: u8 = 4;
 const L_OUT: u8 = 5;
+const L_RCV: u8 = 6;
 
 impl LabelCache {
     fn get(&mut self, tag: u8, name: Symbol, slot: usize) -> Symbol {
@@ -204,10 +209,187 @@ impl LabelCache {
                 L_DEC => format!("dec:{name}"),
                 L_CFG => format!("cfg:{name}@PRR{slot}"),
                 L_IN => format!("in:{name}"),
+                L_RCV => format!("rcv:{name}"),
                 _ => format!("out:{name}"),
             })
         })
     }
+}
+
+/// The fault/recovery counter bundle of one faulty run, registered
+/// under `{prefix}.fault.*`. Only created when a plan is armed, so
+/// fault-free runs keep their metric snapshots byte-identical.
+struct FaultMetrics {
+    injected: hprc_obs::Counter,
+    crc: hprc_obs::Counter,
+    icap_timeout: hprc_obs::Counter,
+    activation: hprc_obs::Counter,
+    api_transfer: hprc_obs::Counter,
+    retries: hprc_obs::Counter,
+    escalations: hprc_obs::Counter,
+    forced_full: hprc_obs::Counter,
+    drops: hprc_obs::Counter,
+    escalated_full_configs: hprc_obs::Counter,
+    recovery_s: hprc_obs::Histogram,
+}
+
+impl FaultMetrics {
+    fn new(registry: &hprc_obs::Registry, prefix: &str) -> Self {
+        let c = |name: &str| registry.counter(&format!("{prefix}.fault.{name}"));
+        FaultMetrics {
+            injected: c("injected"),
+            crc: c("crc"),
+            icap_timeout: c("icap_timeout"),
+            activation: c("activation"),
+            api_transfer: c("api_transfer"),
+            retries: c("retries"),
+            escalations: c("escalations"),
+            forced_full: c("forced_full"),
+            drops: c("drops"),
+            escalated_full_configs: c("escalated_full_configs"),
+            recovery_s: registry.histogram(&format!("{prefix}.fault.recovery_s")),
+        }
+    }
+
+    /// Records one faulty call's fate; `recovery_extra_s` is the
+    /// chain's wall-clock beyond what the clean configuration would
+    /// have cost (the retry-latency histogram sample).
+    fn record(&self, fate: &CallFate, recovery_extra_s: f64) {
+        self.injected.add(fate.injected());
+        self.crc.add(fate.crc_refetches as u64);
+        self.icap_timeout.add(fate.icap_timeouts as u64);
+        self.activation.add(fate.activation_fails as u64);
+        self.api_transfer.add(fate.api_fails as u64);
+        self.retries.add(fate.retries());
+        if fate.escalated {
+            self.escalations.inc();
+        }
+        if fate.forced_full {
+            self.forced_full.inc();
+        }
+        if fate.dropped {
+            self.drops.inc();
+        } else if fate.escalated || fate.forced_full {
+            self.escalated_full_configs.inc();
+        }
+        self.recovery_s.record(recovery_extra_s);
+    }
+}
+
+/// Lays out a faulty call's full-reconfiguration attempts from `start`:
+/// per attempt one [`EventKind::FullConfig`] window (driven through the
+/// [`crate::cray_api::CrayConfigApi::configure_attempt`] hook) plus an
+/// [`EventKind::Recovery`] backoff window after each non-terminal
+/// failure (a drop's last failure retries nothing, so it pays no
+/// backoff). Returns the chain's end. A zero-attempt fate (pure partial
+/// success) returns `start` untouched.
+#[allow(clippy::too_many_arguments)]
+fn push_full_attempts(
+    node: &NodeConfig,
+    timeline: &mut Timeline,
+    labels: &mut LabelCache,
+    plan: &FaultPlan,
+    fate: &CallFate,
+    call_idx: u64,
+    name: Symbol,
+    start: SimTime,
+    ctx: &ExecCtx,
+) -> Result<SimTime, SimError> {
+    let full_bytes = node.full_config.full_bitstream_bytes;
+    let t_full = SimDuration::from_secs_f64(node.full_config.full_configuration_time_s());
+    let mut t = start;
+    for attempt in 1..=fate.full_attempts {
+        let outcome = plan.full_attempt(call_idx, attempt);
+        let d = match node
+            .full_config
+            .configure_attempt(full_bytes, false, false, outcome, ctx)
+        {
+            Ok(d) => d,
+            Err(SimError::TransientFault(_)) => t_full,
+            Err(e) => return Err(e),
+        };
+        timeline.push(
+            Lane::ConfigPort,
+            EventKind::FullConfig,
+            labels.get(L_FULL, name, 0),
+            t,
+            t + d,
+        );
+        t += d;
+        if matches!(outcome, AttemptOutcome::Fault(_)) && attempt < fate.full_attempts {
+            let pd = SimDuration::from_secs_f64(plan.policy.backoff_s(attempt));
+            timeline.push(
+                Lane::ConfigPort,
+                EventKind::Recovery,
+                labels.get(L_RCV, name, 0),
+                t,
+                t + pd,
+            );
+            t += pd;
+        }
+    }
+    Ok(t)
+}
+
+/// Lays out a faulty PRTR miss's whole recovery chain from `start`:
+/// the partial attempts (each an [`EventKind::PartialConfig`] window
+/// through the [`crate::icap::IcapPath::transfer_attempt`] hook,
+/// followed on failure by an [`EventKind::Recovery`] backoff — plus a
+/// bitstream re-fetch after a CRC mismatch), then, if the fate
+/// escalated or was forced full, the full-reconfiguration chain.
+/// Returns the chain's end.
+#[allow(clippy::too_many_arguments)]
+fn push_partial_fault_chain(
+    node: &NodeConfig,
+    timeline: &mut Timeline,
+    labels: &mut LabelCache,
+    plan: &FaultPlan,
+    fate: &CallFate,
+    call_idx: u64,
+    name: Symbol,
+    slot: usize,
+    start: SimTime,
+    ctx: &ExecCtx,
+) -> Result<SimTime, SimError> {
+    let t_prtr = node.icap.transfer_duration(node.prr_bitstream_bytes);
+    let mut t = start;
+    for attempt in 1..=fate.partial_attempts {
+        let outcome = plan.partial_attempt(call_idx, attempt);
+        let d = match node
+            .icap
+            .transfer_attempt(node.prr_bitstream_bytes, outcome, ctx)
+        {
+            Ok(d) => d,
+            Err(SimError::TransientFault(_)) => t_prtr,
+            Err(e) => return Err(e),
+        };
+        timeline.push(
+            Lane::ConfigPort,
+            EventKind::PartialConfig,
+            labels.get(L_CFG, name, slot),
+            t,
+            t + d,
+        );
+        t += d;
+        if let AttemptOutcome::Fault(site) = outcome {
+            // Every partial failure is followed by another attempt
+            // (retry or escalation), so it always pays its backoff.
+            let mut pause = plan.policy.backoff_s(attempt);
+            if site == FaultSite::CrcMismatch {
+                pause += plan.policy.refetch_s;
+            }
+            let pd = SimDuration::from_secs_f64(pause);
+            timeline.push(
+                Lane::ConfigPort,
+                EventKind::Recovery,
+                labels.get(L_RCV, name, slot),
+                t,
+                t + pd,
+            );
+            t += pd;
+        }
+    }
+    push_full_attempts(node, timeline, labels, plan, fate, call_idx, name, t, ctx)
 }
 
 /// Executes `calls` under **FRTR**: full reconfiguration before every call.
@@ -228,7 +410,43 @@ pub fn run_frtr(
     calls: &[TaskCall],
     ctx: &ExecCtx,
 ) -> Result<ExecutionReport, SimError> {
-    run_frtr_impl(node, calls, ctx, true)
+    run_frtr_impl(node, calls, ctx, true, None)
+}
+
+/// [`run_frtr`] with a fault plan armed: every call's full
+/// reconfiguration runs the plan's attempt chain (retries with
+/// exponential backoff, then a drop once `max_full_attempts` is
+/// exhausted). A disarmed plan takes the exact fault-free code path.
+/// The steady-state fast path stays enabled and jumps across fault-free
+/// stretches only — a faulty call can never sit inside a proven period,
+/// so the result is bit-identical to [`run_frtr_faulty_reference`].
+///
+/// # Errors
+///
+/// As [`run_frtr`]; injected faults are recovered internally and never
+/// escape.
+pub fn run_frtr_faulty(
+    node: &NodeConfig,
+    calls: &[TaskCall],
+    plan: &FaultPlan,
+    ctx: &ExecCtx,
+) -> Result<ExecutionReport, SimError> {
+    run_frtr_impl(node, calls, ctx, true, Some(plan))
+}
+
+/// The per-call oracle for [`run_frtr_faulty`]: same recurrence and
+/// fault chains, no jumps.
+///
+/// # Errors
+///
+/// As [`run_frtr`].
+pub fn run_frtr_faulty_reference(
+    node: &NodeConfig,
+    calls: &[TaskCall],
+    plan: &FaultPlan,
+    ctx: &ExecCtx,
+) -> Result<ExecutionReport, SimError> {
+    run_frtr_impl(node, calls, ctx, false, Some(plan))
 }
 
 /// The per-call FRTR reference path: identical recurrence, no jumps.
@@ -242,7 +460,7 @@ pub fn run_frtr_reference(
     calls: &[TaskCall],
     ctx: &ExecCtx,
 ) -> Result<ExecutionReport, SimError> {
-    run_frtr_impl(node, calls, ctx, false)
+    run_frtr_impl(node, calls, ctx, false, None)
 }
 
 fn run_frtr_impl(
@@ -250,6 +468,7 @@ fn run_frtr_impl(
     calls: &[TaskCall],
     ctx: &ExecCtx,
     enable_jump: bool,
+    plan: Option<&FaultPlan>,
 ) -> Result<ExecutionReport, SimError> {
     let registry = &ctx.registry;
     let _span = registry.span("sim.run_frtr");
@@ -260,19 +479,43 @@ fn run_frtr_impl(
     let t_control = SimDuration::from_secs_f64(node.control_overhead_s);
     let full_bytes = node.full_config.full_bitstream_bytes;
 
-    let keys: Vec<FrtrKey> = if enable_jump {
+    // Armed fault plan: pre-derive every call's fate (a pure function
+    // of the plan). Disarmed plans take the exact fault-free path.
+    let plan = plan.filter(|p| p.armed());
+    let fates: Vec<CallFate> = plan
+        .map(|p| (0..calls.len()).map(|i| p.full_fate(i as u64)).collect())
+        .unwrap_or_default();
+    let fm = plan.map(|_| FaultMetrics::new(registry, "sim.frtr"));
+    let t_frtr_clean_s = node.full_config.full_configuration_time_s();
+
+    // Keys carry a salt: 0 for fault-free fates, a unique per-index
+    // value for faulty ones — so a faulty call never key-matches and no
+    // proven period can span a fault. Jumps stay confined to clean
+    // stretches, where the recurrence is untouched.
+    let keys: Vec<(FrtrKey, u64)> = if enable_jump {
         calls
             .iter()
-            .map(|c| FrtrKey {
-                name: c.name,
-                bytes_in: c.bytes_in,
-                bytes_out: c.bytes_out,
+            .enumerate()
+            .map(|(i, c)| {
+                let salt = match plan {
+                    Some(_) if !fates[i].is_clean() => i as u64 + 1,
+                    _ => 0,
+                };
+                (
+                    FrtrKey {
+                        name: c.name,
+                        bytes_in: c.bytes_in,
+                        bytes_out: c.bytes_out,
+                    },
+                    salt,
+                )
             })
             .collect()
     } else {
         Vec::new()
     };
-    let mut seen: HashMap<FrtrKey, SeenAt> = HashMap::new();
+    let mut seen: HashMap<(FrtrKey, u64), SeenAt> = HashMap::new();
+    let mut n_dropped = 0u64;
 
     let mut now = SimTime::ZERO;
     let mut timeline = Timeline::default();
@@ -329,6 +572,78 @@ fn run_frtr_impl(
         }
 
         let call = &calls[i];
+
+        // Faulty call: lay out its recovery chain instead of the plain
+        // configure. Clean-fated calls fall through to the unchanged
+        // fault-free body (and stay jumpable).
+        if let Some(p) = plan {
+            let fate = fates[i];
+            if !fate.is_clean() {
+                let cs = now;
+                let ce = push_full_attempts(
+                    node,
+                    &mut timeline,
+                    &mut labels,
+                    p,
+                    &fate,
+                    i as u64,
+                    call.name,
+                    cs,
+                    ctx,
+                )?;
+                if let Some(fm) = &fm {
+                    fm.record(&fate, (ce - cs).as_secs_f64() - t_frtr_clean_s);
+                }
+                m_calls.inc();
+                if fate.dropped {
+                    n_dropped += 1;
+                    timings.push(CallTiming {
+                        name: call.name,
+                        hit: false,
+                        config_start: Some(cs),
+                        config_end: Some(ce),
+                        exec_start: ce,
+                        exec_end: ce,
+                    });
+                    m_latency.record((ce - cs).as_secs_f64());
+                    now = ce;
+                } else {
+                    m_configs.inc();
+                    let control_end = ce + t_control;
+                    timeline.push(
+                        Lane::Host,
+                        EventKind::Control,
+                        labels.get(L_CTL, call.name, 0),
+                        ce,
+                        control_end,
+                    );
+                    let exec_start = control_end;
+                    let exec_end = exec_start + SimDuration::from_secs_f64(call.task_time_s(node));
+                    push_exec_events(
+                        &mut timeline,
+                        &mut labels,
+                        node,
+                        call,
+                        0,
+                        exec_start,
+                        exec_end,
+                    );
+                    timings.push(CallTiming {
+                        name: call.name,
+                        hit: false,
+                        config_start: Some(cs),
+                        config_end: Some(ce),
+                        exec_start,
+                        exec_end,
+                    });
+                    m_latency.record((exec_end - cs).as_secs_f64());
+                    now = exec_end;
+                }
+                i += 1;
+                continue;
+            }
+        }
+
         let config_start = now;
         // A full bitstream resets the device, so DONE is irrelevant here.
         let d = node.full_config.configure(full_bytes, false, false, ctx)?;
@@ -377,9 +692,10 @@ fn run_frtr_impl(
     timeline.record_metrics(registry, "sim.frtr");
     Ok(ExecutionReport {
         total: now - SimTime::ZERO,
-        n_config: calls.len() as u64,
+        n_config: calls.len() as u64 - n_dropped,
         calls: timings,
         timeline,
+        n_dropped,
     })
 }
 
@@ -403,7 +719,46 @@ pub fn run_prtr(
     calls: &[PrtrCall],
     ctx: &ExecCtx,
 ) -> Result<ExecutionReport, SimError> {
-    run_prtr_impl(node, calls, ctx, true)
+    run_prtr_impl(node, calls, ctx, true, None)
+}
+
+/// [`run_prtr`] with a fault plan armed: every miss runs the plan's
+/// partial-attempt chain — bounded retries with exponential backoff
+/// (plus a bitstream re-fetch after a CRC mismatch), escalation to full
+/// reconfiguration after `max_partial_attempts` failures, blacklisting
+/// of repeatedly escalating PRRs (via a [`FaultState`] that replays in
+/// lockstep with the scheduler's), and a drop once every attempt is
+/// exhausted. A disarmed plan takes the exact fault-free code path.
+/// The steady-state fast path stays enabled and jumps across fault-free
+/// stretches only, so the result is bit-identical to
+/// [`run_prtr_faulty_reference`].
+///
+/// # Errors
+///
+/// As [`run_prtr`]; injected faults are recovered internally and never
+/// escape.
+pub fn run_prtr_faulty(
+    node: &NodeConfig,
+    calls: &[PrtrCall],
+    plan: &FaultPlan,
+    ctx: &ExecCtx,
+) -> Result<ExecutionReport, SimError> {
+    run_prtr_impl(node, calls, ctx, true, Some(plan))
+}
+
+/// The per-call oracle for [`run_prtr_faulty`]: same recurrence and
+/// fault chains, no jumps.
+///
+/// # Errors
+///
+/// As [`run_prtr`].
+pub fn run_prtr_faulty_reference(
+    node: &NodeConfig,
+    calls: &[PrtrCall],
+    plan: &FaultPlan,
+    ctx: &ExecCtx,
+) -> Result<ExecutionReport, SimError> {
+    run_prtr_impl(node, calls, ctx, false, Some(plan))
 }
 
 /// The per-call PRTR reference path: identical recurrence, no jumps.
@@ -417,7 +772,7 @@ pub fn run_prtr_reference(
     calls: &[PrtrCall],
     ctx: &ExecCtx,
 ) -> Result<ExecutionReport, SimError> {
-    run_prtr_impl(node, calls, ctx, false)
+    run_prtr_impl(node, calls, ctx, false, None)
 }
 
 fn run_prtr_impl(
@@ -425,6 +780,7 @@ fn run_prtr_impl(
     calls: &[PrtrCall],
     ctx: &ExecCtx,
     enable_jump: bool,
+    plan: Option<&FaultPlan>,
 ) -> Result<ExecutionReport, SimError> {
     let registry = &ctx.registry;
     if calls.is_empty() {
@@ -450,21 +806,59 @@ fn run_prtr_impl(
     let t_control = SimDuration::from_secs_f64(node.control_overhead_s);
     let t_prtr = node.icap.transfer_duration(node.prr_bitstream_bytes);
 
-    let keys: Vec<PrtrKey> = if enable_jump {
+    // Armed fault plan: replay the recovery state over the miss stream
+    // to pre-derive every call's fate. The scheduler that produced
+    // `calls` ran the identical [`FaultState`] over the identical
+    // `(call index, slot)` stream, so escalations and blacklisting stay
+    // in lockstep without any fate passing. Disarmed plans take the
+    // exact fault-free path.
+    let plan = plan.filter(|p| p.armed());
+    let fates: Vec<CallFate> = plan
+        .map(|p| {
+            let mut state = FaultState::new(*p, node.n_prrs);
+            calls
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if c.hit {
+                        CallFate::clean_partial()
+                    } else {
+                        state.on_miss(i as u64, c.slot)
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let fm = plan.map(|_| FaultMetrics::new(registry, "sim.prtr"));
+
+    // Salted keys confine steady-state jumps to fault-free stretches
+    // (see `run_frtr_impl`).
+    let keys: Vec<(PrtrKey, u64)> = if enable_jump {
         calls
             .iter()
-            .map(|c| PrtrKey {
-                name: c.task.name,
-                bytes_in: c.task.bytes_in,
-                bytes_out: c.task.bytes_out,
-                hit: c.hit,
-                slot: c.slot,
+            .enumerate()
+            .map(|(i, c)| {
+                let salt = match plan {
+                    Some(_) if !fates[i].is_clean() => i as u64 + 1,
+                    _ => 0,
+                };
+                (
+                    PrtrKey {
+                        name: c.task.name,
+                        bytes_in: c.task.bytes_in,
+                        bytes_out: c.task.bytes_out,
+                        hit: c.hit,
+                        slot: c.slot,
+                    },
+                    salt,
+                )
             })
             .collect()
     } else {
         Vec::new()
     };
-    let mut seen: HashMap<(PrtrKey, RelState), SeenAt> = HashMap::new();
+    let mut seen: HashMap<((PrtrKey, u64), RelState), SeenAt> = HashMap::new();
+    let mut n_dropped = 0u64;
 
     let mut timeline = Timeline::default();
     let mut labels = LabelCache::default();
@@ -539,6 +933,112 @@ fn run_prtr_impl(
         }
 
         let call = &calls[i];
+
+        // Faulty miss: decision timing mirrors the fault-free miss
+        // arms, then the recovery chain replaces the single partial
+        // transfer. Clean-fated calls (all hits included) fall through
+        // to the unchanged fault-free body and stay jumpable.
+        if let Some(p) = plan {
+            let fate = fates[i];
+            if !fate.is_clean() {
+                let decision_start = prev.map_or(SimTime::ZERO, |(_, pe, _)| pe);
+                let decision_end = decision_start + t_decision;
+                timeline.push(
+                    Lane::Host,
+                    EventKind::Decision,
+                    labels.get(L_DEC, call.task.name, 0),
+                    decision_start,
+                    decision_end,
+                );
+                let earliest = match prev {
+                    None => decision_end,
+                    Some((prev_start, _, prev_bytes_in)) => {
+                        if node.config_waits_for_data_input {
+                            prev_start + node.data_in_duration(prev_bytes_in)
+                        } else {
+                            prev_start
+                        }
+                    }
+                };
+                let cs = earliest.max(icap_free);
+                let ce = push_partial_fault_chain(
+                    node,
+                    &mut timeline,
+                    &mut labels,
+                    p,
+                    &fate,
+                    i as u64,
+                    call.task.name,
+                    call.slot,
+                    cs,
+                    ctx,
+                )?;
+                icap_free = ce;
+                if let Some(fm) = &fm {
+                    fm.record(&fate, (ce - cs).as_secs_f64() - t_prtr.as_secs_f64());
+                }
+                let ready = decision_end.max(ce);
+                m_calls.inc();
+                m_misses.inc();
+                if !fate.dropped {
+                    n_config += 1;
+                    if !(fate.escalated || fate.forced_full) {
+                        m_configs.inc();
+                    }
+                } else {
+                    n_dropped += 1;
+                }
+                let prev_end_t = prev.map_or(SimTime::ZERO, |(_, end, _)| end);
+                if fate.dropped {
+                    // The call never ran: zero-length execution window
+                    // at its ready point, no control transfer, no data.
+                    timings.push(CallTiming {
+                        name: call.task.name,
+                        hit: false,
+                        config_start: Some(cs),
+                        config_end: Some(ce),
+                        exec_start: ready,
+                        exec_end: ready,
+                    });
+                    m_latency.record((ready - prev_end_t).as_secs_f64());
+                    prev = Some((ready, ready, 0));
+                } else {
+                    let control_end = ready + t_control;
+                    timeline.push(
+                        Lane::Host,
+                        EventKind::Control,
+                        labels.get(L_CTL, call.task.name, 0),
+                        ready,
+                        control_end,
+                    );
+                    let exec_start = control_end;
+                    let exec_end =
+                        exec_start + SimDuration::from_secs_f64(call.task.task_time_s(node));
+                    push_exec_events(
+                        &mut timeline,
+                        &mut labels,
+                        node,
+                        &call.task,
+                        call.slot,
+                        exec_start,
+                        exec_end,
+                    );
+                    timings.push(CallTiming {
+                        name: call.task.name,
+                        hit: false,
+                        config_start: Some(cs),
+                        config_end: Some(ce),
+                        exec_start,
+                        exec_end,
+                    });
+                    m_latency.record((exec_end - prev_end_t).as_secs_f64());
+                    prev = Some((exec_start, exec_end, call.task.bytes_in));
+                }
+                i += 1;
+                continue;
+            }
+        }
+
         let (config_start, config_end, ready) = match (call.hit, prev) {
             // Cold start (first call): decision, then configuration (on a
             // miss), strictly serial — nothing exists to overlap with.
@@ -665,6 +1165,7 @@ fn run_prtr_impl(
         calls: timings,
         timeline,
         n_config,
+        n_dropped,
     })
 }
 
@@ -999,6 +1500,124 @@ mod tests {
             fast.timeline.n_items(),
             fast.timeline.len()
         );
+    }
+
+    fn armed_plan(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan::new(
+            hprc_fault::FaultSpec::uniform(rate),
+            hprc_fault::RecoveryPolicy::default(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn disarmed_faulty_runs_are_identical_to_clean_runs() {
+        let node = node();
+        let plan = FaultPlan::disarmed();
+        let calls = uniform_prtr_calls(&node, 0.01, 50, true);
+        let cctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let fctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let clean = run_prtr(&node, &calls, &cctx).unwrap();
+        let faulty = run_prtr_faulty(&node, &calls, &plan, &fctx).unwrap();
+        assert_eq!(clean, faulty);
+        assert_reports_equivalent(
+            &faulty,
+            &clean,
+            &fctx.registry.snapshot(),
+            &cctx.registry.snapshot(),
+        );
+
+        let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
+        let clean = run_frtr(&node, &frtr_calls, &dctx()).unwrap();
+        let faulty = run_frtr_faulty(&node, &frtr_calls, &plan, &dctx()).unwrap();
+        assert_eq!(clean, faulty);
+    }
+
+    #[test]
+    fn faulty_prtr_fast_path_matches_reference() {
+        let node = node();
+        let plan = armed_plan(0.08, 42);
+        let calls = uniform_prtr_calls(&node, 0.01, 240, true);
+        let fctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let rctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let fast = run_prtr_faulty(&node, &calls, &plan, &fctx).unwrap();
+        let reference = run_prtr_faulty_reference(&node, &calls, &plan, &rctx).unwrap();
+        assert_reports_equivalent(
+            &fast,
+            &reference,
+            &fctx.registry.snapshot(),
+            &rctx.registry.snapshot(),
+        );
+        // Faults happened and recovery is visible in the timeline.
+        let snap = fctx.registry.snapshot();
+        assert!(snap.counters["sim.prtr.fault.injected"] > 0);
+        assert!(fast.timeline.iter().any(|e| e.kind == EventKind::Recovery));
+        // The clean stretches between faults must still jump.
+        assert!(
+            fast.timeline.n_items() < reference.timeline.n_items(),
+            "{} vs {} items",
+            fast.timeline.n_items(),
+            reference.timeline.n_items()
+        );
+    }
+
+    #[test]
+    fn faulty_frtr_fast_path_matches_reference() {
+        let node = node();
+        let plan = armed_plan(0.1, 7);
+        let calls: Vec<TaskCall> = (0..160)
+            .map(|i| TaskCall::with_task_time(format!("t{}", i % 2), &node, 0.02))
+            .collect();
+        let fctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let rctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let fast = run_frtr_faulty(&node, &calls, &plan, &fctx).unwrap();
+        let reference = run_frtr_faulty_reference(&node, &calls, &plan, &rctx).unwrap();
+        assert_reports_equivalent(
+            &fast,
+            &reference,
+            &fctx.registry.snapshot(),
+            &rctx.registry.snapshot(),
+        );
+        assert!(fast.timeline.n_items() < reference.timeline.n_items());
+    }
+
+    #[test]
+    fn faulty_runs_slow_down_and_drop_monotonically() {
+        let node = node();
+        let calls = uniform_prtr_calls(&node, 0.01, 120, true);
+        let mut prev_total = 0.0;
+        for rate in [0.0, 0.05, 0.2, 0.6] {
+            let plan = armed_plan(rate, 1234);
+            let report = run_prtr_faulty(&node, &calls, &plan, &dctx()).unwrap();
+            assert!(
+                report.total_s() >= prev_total,
+                "total must grow with fault rate (rate {rate})"
+            );
+            prev_total = report.total_s();
+            assert_eq!(report.calls.len(), 120);
+            assert!(report.n_config + report.n_dropped <= 120);
+        }
+    }
+
+    #[test]
+    fn certain_faults_drop_every_miss_without_panicking() {
+        let node = node();
+        let spec = hprc_fault::FaultSpec {
+            p_icap_timeout: 1.0,
+            p_api_transfer: 1.0,
+            ..hprc_fault::FaultSpec::default()
+        };
+        let plan = FaultPlan::new(spec, hprc_fault::RecoveryPolicy::default(), 9);
+        let calls = uniform_prtr_calls(&node, 0.01, 30, true);
+        let ctx = ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let report = run_prtr_faulty(&node, &calls, &plan, &ctx).unwrap();
+        assert_eq!(report.n_dropped, 30);
+        assert_eq!(report.n_config, 0);
+        let snap = ctx.registry.snapshot();
+        assert_eq!(snap.counters["sim.prtr.fault.drops"], 30);
+        // Two escalations blacklist each PRR; later misses go forced-full.
+        assert!(snap.counters["sim.prtr.fault.forced_full"] > 0);
+        assert!(snap.counters["sim.prtr.fault.escalations"] >= 4);
     }
 
     #[test]

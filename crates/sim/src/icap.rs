@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::SimError;
 use crate::time::SimDuration;
 
 /// The ICAP feeder: clock, FSM cost model, and BRAM buffering.
@@ -103,6 +104,36 @@ impl IcapPath {
             .record(d.as_secs_f64());
         d
     }
+
+    /// One fault-injectable transfer attempt: the injection hook the
+    /// faulty PRTR executor drives. Counts `sim.icap.transfers` /
+    /// `sim.icap.bytes` for every attempt (failed attempts consumed the
+    /// port just the same) and returns the transfer duration on
+    /// success. On an injected fault, bumps `sim.icap.faults` and
+    /// returns [`SimError::TransientFault`] — the caller's recovery
+    /// policy decides what happens next; the whole `transfer_duration`
+    /// still elapsed (a CRC mismatch or timeout is detected at the end
+    /// of the window).
+    pub fn transfer_attempt(
+        &self,
+        bytes: u64,
+        outcome: hprc_fault::AttemptOutcome,
+        ctx: &hprc_ctx::ExecCtx,
+    ) -> Result<SimDuration, SimError> {
+        let d = self.transfer_duration(bytes);
+        ctx.registry.counter("sim.icap.transfers").inc();
+        ctx.registry.counter("sim.icap.bytes").add(bytes);
+        match outcome {
+            hprc_fault::AttemptOutcome::Success => Ok(d),
+            hprc_fault::AttemptOutcome::Fault(site) => {
+                ctx.registry.counter("sim.icap.faults").inc();
+                Err(SimError::TransientFault(format!(
+                    "icap transfer failed: {}",
+                    site.name()
+                )))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +191,22 @@ mod tests {
         assert_eq!(snap.counters["sim.icap.transfers"], 1);
         assert_eq!(snap.counters["sim.icap.bytes"], 404_168);
         assert_eq!(snap.histograms["sim.icap.transfer_s"].count, 1);
+    }
+
+    #[test]
+    fn transfer_attempt_counts_faults_and_keeps_timing() {
+        use hprc_fault::{AttemptOutcome, FaultSite};
+        let ctx = hprc_ctx::ExecCtx::default().with_registry(hprc_obs::Registry::new());
+        let p = IcapPath::xd1();
+        let ok = p.transfer_attempt(404_168, AttemptOutcome::Success, &ctx);
+        assert_eq!(ok.unwrap(), p.transfer_duration(404_168));
+        let err = p.transfer_attempt(404_168, AttemptOutcome::Fault(FaultSite::IcapTimeout), &ctx);
+        assert!(matches!(err, Err(SimError::TransientFault(_))));
+        let snap = ctx.registry.snapshot();
+        // Both attempts consumed the port.
+        assert_eq!(snap.counters["sim.icap.transfers"], 2);
+        assert_eq!(snap.counters["sim.icap.bytes"], 2 * 404_168);
+        assert_eq!(snap.counters["sim.icap.faults"], 1);
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub enum EventKind {
     DataIn,
     /// Output data transfer.
     DataOut,
+    /// Fault recovery on the configuration path: retry backoff and
+    /// bitstream re-fetch after an injected fault (crate `hprc-fault`).
+    /// Never appears in a fault-free run.
+    Recovery,
 }
 
 impl EventKind {
@@ -96,6 +100,7 @@ impl EventKind {
             EventKind::Exec => 'X',
             EventKind::DataIn => 'i',
             EventKind::DataOut => 'o',
+            EventKind::Recovery => 'r',
         }
     }
 
@@ -105,7 +110,13 @@ impl EventKind {
     pub fn class(&self) -> ActivityClass {
         match self {
             EventKind::Exec => ActivityClass::Exec,
-            EventKind::FullConfig | EventKind::PartialConfig => ActivityClass::Config,
+            // Recovery time is visible configuration-path stall, so it
+            // lands in the Config bucket and the attribution identity
+            // (exclusive buckets summing to the span) holds unchanged
+            // on faulty runs.
+            EventKind::FullConfig | EventKind::PartialConfig | EventKind::Recovery => {
+                ActivityClass::Config
+            }
             EventKind::Decision => ActivityClass::Decision,
             EventKind::Control => ActivityClass::Control,
             EventKind::DataIn | EventKind::DataOut => ActivityClass::Data,
@@ -367,9 +378,24 @@ impl Timeline {
     ///
     /// This is the one consumer that must materialize per-event rows,
     /// so expansion is capped at [`MAX_CHROME_EVENTS`]: a longer
-    /// timeline exports its first `MAX_CHROME_EVENTS` events.
+    /// timeline exports its first `MAX_CHROME_EVENTS` events followed by
+    /// a synthetic zero-duration `[truncated N events]` marker at the
+    /// timeline's end, so a capped trace is detectable in the viewer.
     pub fn chrome_events(&self, pid: u64) -> Vec<hprc_obs::ChromeEvent> {
-        self.iter()
+        self.chrome_events_recorded(pid, &hprc_obs::Registry::noop())
+    }
+
+    /// [`Timeline::chrome_events`] that additionally records truncation
+    /// to `registry` when the cap bites: bumps the
+    /// `sim.trace.chrome_truncations` warning counter and adds the
+    /// number of dropped events to `sim.trace.chrome_truncated_events`.
+    pub fn chrome_events_recorded(
+        &self,
+        pid: u64,
+        registry: &hprc_obs::Registry,
+    ) -> Vec<hprc_obs::ChromeEvent> {
+        let mut out: Vec<hprc_obs::ChromeEvent> = self
+            .iter()
             .take(MAX_CHROME_EVENTS)
             .map(|e| {
                 let ts = e.start.0 / 1_000;
@@ -382,7 +408,22 @@ impl Timeline {
                     e.lane.chrome_tid(),
                 )
             })
-            .collect()
+            .collect();
+        let truncated = self.n_events.saturating_sub(MAX_CHROME_EVENTS as u64);
+        if truncated > 0 {
+            out.push(hprc_obs::ChromeEvent::complete(
+                format!("[truncated {truncated} events]"),
+                self.span_end().0 / 1_000,
+                0,
+                pid,
+                Lane::Host.chrome_tid(),
+            ));
+            registry.counter("sim.trace.chrome_truncations").inc();
+            registry
+                .counter("sim.trace.chrome_truncated_events")
+                .add(truncated);
+        }
+        out
     }
 
     /// Records per-lane busy time and configuration-port utilization
@@ -865,8 +906,43 @@ mod tests {
         tl.push_repeat(pattern, MAX_CHROME_EVENTS as u64 + 7, SimDuration(1_000));
         assert_eq!(tl.len(), MAX_CHROME_EVENTS as u64 + 7);
         assert_eq!(tl.n_items(), 1);
-        let evs = tl.chrome_events(1);
-        assert_eq!(evs.len(), MAX_CHROME_EVENTS);
+        let registry = hprc_obs::Registry::new();
+        let evs = tl.chrome_events_recorded(1, &registry);
+        // Cap + the synthetic truncation marker.
+        assert_eq!(evs.len(), MAX_CHROME_EVENTS + 1);
+        let marker = evs.last().unwrap();
+        assert_eq!(marker.name, "[truncated 7 events]");
+        assert_eq!(marker.dur, 0);
+        assert_eq!(marker.ts, tl.span_end().0 / 1_000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["sim.trace.chrome_truncations"], 1);
+        assert_eq!(snap.counters["sim.trace.chrome_truncated_events"], 7);
+    }
+
+    #[test]
+    fn chrome_export_below_cap_has_no_marker() {
+        let mut tl = Timeline::default();
+        tl.push(Lane::Prr(0), EventKind::Exec, "x", SimTime(0), SimTime(500));
+        let registry = hprc_obs::Registry::new();
+        let evs = tl.chrome_events_recorded(1, &registry);
+        assert_eq!(evs.len(), 1);
+        let snap = registry.snapshot();
+        assert!(!snap.counters.contains_key("sim.trace.chrome_truncations"));
+    }
+
+    #[test]
+    fn recovery_events_class_as_config() {
+        assert_eq!(EventKind::Recovery.class(), ActivityClass::Config);
+        assert_eq!(EventKind::Recovery.glyph(), 'r');
+        let mut tl = Timeline::default();
+        tl.push(
+            Lane::ConfigPort,
+            EventKind::Recovery,
+            "rcv",
+            SimTime(0),
+            SimTime(1_000),
+        );
+        assert!((tl.class_busy_s(ActivityClass::Config) - 1e-6).abs() < 1e-15);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   arrival times and priorities;
 //! * [`runtime`] — the OS-style scheduler over fixed PRRs: FCFS/priority
 //!   disciplines, FRTR vs PRTR modes, optional next-configuration
-//!   overlap, per-app turnaround/hit statistics, Gantt timelines;
+//!   overlap, per-app turnaround/hit statistics, Gantt timelines, and a
+//!   fault-injecting variant ([`runtime::run_faulty`]) that surfaces
+//!   recovery outcomes instead of unwinding;
 //! * [`flexible`] — the variable-width runtime: modules occupy exactly
 //!   the columns they need inside one reconfigurable window, with LRU
 //!   eviction and on-block defragmentation (width-scaled configuration
@@ -45,4 +47,6 @@ pub mod runtime;
 pub use app::{App, VirtCall};
 pub use error::VirtError;
 pub use flexible::{run_flexible, DefragPolicy, FlexApp, FlexCall, FlexConfig, FlexReport};
-pub use runtime::{run, ReconfigMode, RunReport, RuntimeConfig, SchedulerKind};
+pub use runtime::{
+    run, run_faulty, FaultyRunReport, ReconfigMode, RunReport, RuntimeConfig, SchedulerKind,
+};

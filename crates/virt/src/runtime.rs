@@ -412,6 +412,402 @@ pub fn run(
     Ok(report)
 }
 
+/// Result of a fault-injecting runtime simulation: the ordinary
+/// [`RunReport`] plus the recovery outcomes the runtime *surfaced*
+/// instead of unwinding on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultyRunReport {
+    /// The underlying schedule, with recovery time folded into the
+    /// affected calls' configuration charges.
+    pub report: RunReport,
+    /// Calls that hit at least one injected fault but still completed.
+    pub recovered: u64,
+    /// Partial chains that escalated to a full reconfiguration.
+    pub escalated_full: u64,
+    /// Calls whose recovery chain exhausted every attempt — served as
+    /// zero-length records rather than an error.
+    pub dropped_calls: u64,
+    /// Resident modules lost to seeded SEU strikes.
+    pub seu_invalidations: u64,
+    /// PRRs blacklisted by the end of the run.
+    pub blacklisted_slots: usize,
+}
+
+impl FaultyRunReport {
+    /// Availability: the fraction of calls that were not dropped.
+    pub fn availability(&self) -> f64 {
+        let calls: u64 = self.report.per_app.iter().map(|a| a.calls).sum();
+        if calls == 0 {
+            1.0
+        } else {
+            1.0 - self.dropped_calls as f64 / calls as f64
+        }
+    }
+}
+
+/// [`run`] with the `hprc-fault` recovery machinery armed. A disarmed
+/// plan delegates to [`run`] and is observably identical to it.
+///
+/// Recovery is charged *coarsely*: each demand miss draws its
+/// [`CallFate`](hprc_fault::CallFate) and the whole retry/backoff/
+/// escalation chain occupies the configuration port as one
+/// [`EventKind::Recovery`] stretch followed by the successful
+/// configuration event (none for a dropped call — the whole chain is
+/// recovery). Prefetches are charged clean — only demand chains draw
+/// faults, which keeps the per-call draw stream aligned with the other
+/// layers. Escalated and forced-full chains overwrite the whole device
+/// (every resident module is lost); SEU strikes silently evict
+/// residents after each call; a PRR that escalates repeatedly is
+/// blacklisted and the runtime degrades toward pure full
+/// reconfiguration, never unwinding.
+///
+/// Armed runs add to [`run`]'s instruments: counters
+/// `virt.fault.injected` / `.recovered` / `.escalated_full` /
+/// `.dropped` / `.seu_invalidations` and gauge
+/// `virt.fault.blacklisted_slots`.
+///
+/// # Errors
+///
+/// Exactly [`run`]'s errors — injected faults never surface as `Err`.
+pub fn run_faulty(
+    node: &NodeConfig,
+    apps: &[App],
+    config: &RuntimeConfig,
+    plan: &hprc_fault::FaultPlan,
+    ctx: &hprc_ctx::ExecCtx,
+) -> Result<FaultyRunReport, VirtError> {
+    if !plan.armed() {
+        return Ok(FaultyRunReport {
+            report: run(node, apps, config, ctx)?,
+            recovered: 0,
+            escalated_full: 0,
+            dropped_calls: 0,
+            seu_invalidations: 0,
+            blacklisted_slots: 0,
+        });
+    }
+
+    let registry = &ctx.registry;
+    let _span = registry.span("virt.run_faulty");
+    if apps.is_empty() {
+        return Err(VirtError::NoApplications);
+    }
+    if apps.iter().enumerate().any(|(i, a)| a.id != i) {
+        return Err(VirtError::BadAppIds);
+    }
+    let m_dispatch = registry.histogram("virt.dispatch_latency_s");
+    let m_calls = registry.counter("virt.calls");
+    let m_hits = registry.counter("virt.hits");
+    let m_configs = registry.counter("virt.configs");
+
+    let n_slots = match config.mode {
+        ReconfigMode::Frtr => 1,
+        ReconfigMode::Prtr => node.n_prrs,
+    };
+    let t_control = SimDuration::from_secs_f64(node.control_overhead_s);
+    let t_partial_s = node.t_prtr_s();
+    let t_full_s = node.t_frtr_s();
+    let t_config = match config.mode {
+        ReconfigMode::Frtr => SimDuration::from_secs_f64(t_full_s),
+        ReconfigMode::Prtr => SimDuration::from_secs_f64(t_partial_s),
+    };
+
+    let mut state = hprc_fault::FaultState::new(*plan, n_slots);
+    let mut slots = vec![
+        Slot {
+            module: None,
+            free_at: SimTime::ZERO,
+            last_used: SimTime::ZERO,
+        };
+        n_slots
+    ];
+    let mut config_port_free = SimTime::ZERO;
+    let mut config_busy_s = 0.0f64;
+    let mut n_config = 0u64;
+    let mut seq = 0u64;
+    let mut injected = 0u64;
+    let mut recovered = 0u64;
+    let mut escalated_full = 0u64;
+    let mut dropped_calls = 0u64;
+    let mut seu_invalidations = 0u64;
+    let mut next_call = vec![0usize; apps.len()];
+    let mut timeline = Timeline::default();
+    let mut records = Vec::new();
+    let mut stats: Vec<AppStats> = apps
+        .iter()
+        .map(|a| AppStats {
+            app: a.id,
+            turnaround_s: 0.0,
+            exec_s: 0.0,
+            calls: 0,
+            hits: 0,
+        })
+        .collect();
+
+    let mut queue: EventQueue<Issue> = EventQueue::instrumented_with_capacity(registry, apps.len());
+    for app in apps {
+        if !app.calls.is_empty() {
+            let prio = match config.scheduler {
+                SchedulerKind::Fcfs => 128,
+                SchedulerKind::Priority => app.priority,
+            };
+            queue.schedule_with_priority(
+                SimTime::ZERO + SimDuration::from_secs_f64(app.arrival_s),
+                prio,
+                Issue { app: app.id },
+            );
+        }
+    }
+
+    while let Some((now, Issue { app: app_id })) = queue.pop() {
+        let app = &apps[app_id];
+        let call = &app.calls[next_call[app_id]];
+        let t_task = SimDuration::from_secs_f64(call.t_task_s);
+        let call_seq = seq;
+        seq += 1;
+
+        let resident = slots
+            .iter()
+            .position(|s| s.module.as_deref() == Some(call.module.as_str()));
+        let (slot_idx, exec_ready, hit, config_s, fate) = match resident {
+            Some(s) => (
+                s,
+                now.max(slots[s].free_at),
+                true,
+                0.0,
+                hprc_fault::CallFate::clean_partial(),
+            ),
+            None => {
+                // LRU victim among usable PRRs; with every PRR retired
+                // the chain is forced full and slot 0 stands in for the
+                // whole device.
+                let victim = (0..slots.len())
+                    .filter(|&i| !state.is_blacklisted(i))
+                    .min_by_key(|&i| (slots[i].free_at, slots[i].last_used, i))
+                    .unwrap_or(0);
+                let fate = match config.mode {
+                    ReconfigMode::Frtr => state.on_full(call_seq),
+                    ReconfigMode::Prtr => state.on_miss(call_seq, victim),
+                };
+                let chain_s = fate.chain_s(&plan.policy, t_partial_s, t_full_s);
+                let cfg_start = now.max(slots[victim].free_at).max(config_port_free);
+                let cfg_end = cfg_start + SimDuration::from_secs_f64(chain_s);
+                config_port_free = cfg_end;
+                config_busy_s += chain_s;
+                // The successful configuration closes the chain; every
+                // earlier attempt and backoff is one Recovery stretch.
+                let success_kind =
+                    if config.mode == ReconfigMode::Frtr || fate.escalated || fate.forced_full {
+                        EventKind::FullConfig
+                    } else {
+                        EventKind::PartialConfig
+                    };
+                let clean_s = if fate.dropped {
+                    0.0
+                } else if success_kind == EventKind::FullConfig {
+                    t_full_s
+                } else {
+                    t_partial_s
+                };
+                let success_start =
+                    cfg_start + SimDuration::from_secs_f64((chain_s - clean_s).max(0.0));
+                if success_start > cfg_start {
+                    timeline.push(
+                        Lane::ConfigPort,
+                        EventKind::Recovery,
+                        format!("rcv:{}(app{})", call.module, app_id),
+                        cfg_start,
+                        success_start,
+                    );
+                }
+                if fate.escalated || fate.forced_full {
+                    escalated_full += 1;
+                }
+                if fate.injected() > 0 {
+                    injected += fate.injected();
+                }
+                if fate.escalated || fate.forced_full || config.mode == ReconfigMode::Frtr {
+                    // A full bitstream overwrites the whole device.
+                    for s in slots.iter_mut() {
+                        s.module = None;
+                    }
+                }
+                if fate.dropped {
+                    dropped_calls += 1;
+                } else {
+                    if fate.injected() > 0 {
+                        recovered += 1;
+                    }
+                    n_config += 1;
+                    timeline.push(
+                        Lane::ConfigPort,
+                        success_kind,
+                        format!("cfg:{}(app{})", call.module, app_id),
+                        success_start,
+                        cfg_end,
+                    );
+                    if !state.is_blacklisted(victim) || config.mode == ReconfigMode::Frtr {
+                        slots[victim].module = Some(call.module.clone());
+                    }
+                }
+                (victim, cfg_end, false, chain_s, fate)
+            }
+        };
+
+        if fate.dropped {
+            // The call is surfaced as a zero-length record: no control
+            // hand-off, no execution window, the app simply moves on.
+            slots[slot_idx].free_at = slots[slot_idx].free_at.max(exec_ready);
+            slots[slot_idx].last_used = exec_ready;
+            stats[app_id].calls += 1;
+            records.push(CallRecord {
+                app: app_id,
+                module: call.module.clone(),
+                slot: slot_idx,
+                hit: false,
+                issued: now,
+                config_s,
+                exec_start: exec_ready,
+                exec_end: exec_ready,
+            });
+            m_calls.inc();
+            m_dispatch.record((exec_ready - now).as_secs_f64());
+        } else {
+            let control_end = exec_ready + t_control;
+            timeline.push(
+                Lane::Host,
+                EventKind::Control,
+                format!("ctl:app{app_id}"),
+                exec_ready,
+                control_end,
+            );
+            let exec_start = control_end;
+            let exec_end = exec_start + t_task;
+            timeline.push(
+                Lane::Prr(slot_idx),
+                EventKind::Exec,
+                format!("{}(app{})", call.module, app_id),
+                exec_start,
+                exec_end,
+            );
+            slots[slot_idx].free_at = exec_end;
+            slots[slot_idx].last_used = exec_end;
+
+            stats[app_id].calls += 1;
+            stats[app_id].exec_s += t_task.as_secs_f64();
+            if hit {
+                stats[app_id].hits += 1;
+            }
+            records.push(CallRecord {
+                app: app_id,
+                module: call.module.clone(),
+                slot: slot_idx,
+                hit,
+                issued: now,
+                config_s,
+                exec_start,
+                exec_end,
+            });
+            m_calls.inc();
+            if hit {
+                m_hits.inc();
+            }
+            m_dispatch.record((exec_start - now).as_secs_f64());
+        }
+
+        // SEU sweep: seeded upsets silently corrupt resident modules.
+        for (s, slot) in slots.iter_mut().enumerate() {
+            if slot.module.is_some() && state.seu_strikes(call_seq, s) {
+                slot.module = None;
+                seu_invalidations += 1;
+            }
+        }
+
+        // Optional overlap, demand chains only draw faults: the
+        // prefetched configuration is charged clean and only lands in a
+        // usable PRR.
+        if config.prefetch_next && config.mode == ReconfigMode::Prtr && slots.len() > 1 {
+            if let Some(next) = app.calls.get(next_call[app_id] + 1) {
+                let already = slots
+                    .iter()
+                    .any(|s| s.module.as_deref() == Some(next.module.as_str()));
+                let victim = (0..slots.len())
+                    .filter(|&i| i != slot_idx && !state.is_blacklisted(i))
+                    .min_by_key(|&i| (slots[i].free_at, slots[i].last_used, i));
+                if let (false, Some(victim)) = (already, victim) {
+                    let pf_anchor = records.last().map_or(now, |r| r.exec_start);
+                    let cfg_start = pf_anchor.max(slots[victim].free_at).max(config_port_free);
+                    let cfg_end = cfg_start + t_config;
+                    config_port_free = cfg_end;
+                    config_busy_s += t_config.as_secs_f64();
+                    n_config += 1;
+                    timeline.push(
+                        Lane::ConfigPort,
+                        EventKind::PartialConfig,
+                        format!("pf:{}(app{})", next.module, app_id),
+                        cfg_start,
+                        cfg_end,
+                    );
+                    slots[victim].module = Some(next.module.clone());
+                    slots[victim].free_at = slots[victim].free_at.max(cfg_end);
+                }
+            }
+        }
+
+        next_call[app_id] += 1;
+        if next_call[app_id] < app.calls.len() {
+            let prio = match config.scheduler {
+                SchedulerKind::Fcfs => 128,
+                SchedulerKind::Priority => app.priority,
+            };
+            let resume = records.last().map_or(now, |r| r.exec_end);
+            queue.schedule_with_priority(resume, prio, Issue { app: app_id });
+        } else {
+            let done = records.last().map_or(now, |r| r.exec_end);
+            stats[app_id].turnaround_s = done.as_secs_f64() - app.arrival_s;
+        }
+    }
+
+    let makespan_s = records
+        .iter()
+        .map(|r| r.exec_end.as_secs_f64())
+        .fold(0.0, f64::max);
+    let report = RunReport {
+        makespan_s,
+        per_app: stats,
+        records,
+        n_config,
+        config_busy_s,
+        timeline,
+    };
+    m_configs.add(report.n_config);
+    if registry.is_enabled() {
+        registry.gauge("virt.makespan_s").set(report.makespan_s);
+        registry.gauge("virt.hit_ratio").set(report.hit_ratio());
+        report.timeline.record_metrics(registry, "virt");
+        registry.counter("virt.fault.injected").add(injected);
+        registry.counter("virt.fault.recovered").add(recovered);
+        registry
+            .counter("virt.fault.escalated_full")
+            .add(escalated_full);
+        registry.counter("virt.fault.dropped").add(dropped_calls);
+        registry
+            .counter("virt.fault.seu_invalidations")
+            .add(seu_invalidations);
+        registry
+            .gauge("virt.fault.blacklisted_slots")
+            .set(state.blacklisted_slots() as f64);
+    }
+    Ok(FaultyRunReport {
+        report,
+        recovered,
+        escalated_full,
+        dropped_calls,
+        seu_invalidations,
+        blacklisted_slots: state.blacklisted_slots(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +1030,151 @@ mod tests {
         assert_eq!(snap.spans[0].name, "virt.run");
         // The event queue was instrumented too.
         assert!(snap.counters["sim.queue.popped"] >= 30);
+    }
+
+    fn fault_plan(rate: f64, seed: u64) -> hprc_fault::FaultPlan {
+        hprc_fault::FaultPlan::new(
+            hprc_fault::FaultSpec::uniform(rate),
+            hprc_fault::RecoveryPolicy::default(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn disarmed_run_faulty_is_identical_to_run() {
+        let node = node();
+        let mk = || App::cycling(0, "a", &cores(), 40, 0.005, 0.0);
+        let cctx = dctx().with_registry(hprc_obs::Registry::new());
+        let fctx = dctx().with_registry(hprc_obs::Registry::new());
+        let clean = run(&node, &[mk()], &RuntimeConfig::prtr_overlapped(), &cctx).unwrap();
+        let faulty = run_faulty(
+            &node,
+            &[mk()],
+            &RuntimeConfig::prtr_overlapped(),
+            &hprc_fault::FaultPlan::disarmed(),
+            &fctx,
+        )
+        .unwrap();
+        assert_eq!(clean, faulty.report);
+        assert_eq!(faulty.dropped_calls, 0);
+        assert!((faulty.availability() - 1.0).abs() < 1e-12);
+        let csnap = cctx.registry.snapshot();
+        let fsnap = fctx.registry.snapshot();
+        assert_eq!(csnap.counters, fsnap.counters);
+        assert_eq!(csnap.histograms, fsnap.histograms);
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic_and_slower() {
+        let node = node();
+        let mk = || App::cycling(0, "a", &cores(), 60, 0.01, 0.0);
+        let plan = fault_plan(0.2, 17);
+        let clean = run(&node, &[mk()], &RuntimeConfig::prtr_demand(), &dctx()).unwrap();
+        let a = run_faulty(
+            &node,
+            &[mk()],
+            &RuntimeConfig::prtr_demand(),
+            &plan,
+            &dctx(),
+        )
+        .unwrap();
+        let b = run_faulty(
+            &node,
+            &[mk()],
+            &RuntimeConfig::prtr_demand(),
+            &plan,
+            &dctx(),
+        )
+        .unwrap();
+        assert_eq!(a, b, "same plan, same schedule");
+        assert!(a.recovered + a.dropped_calls > 0, "faults must land");
+        assert!(
+            a.report.makespan_s > clean.makespan_s,
+            "faulty {} vs clean {}",
+            a.report.makespan_s,
+            clean.makespan_s
+        );
+        // Recovery stretches are visible in the timeline.
+        assert!(a
+            .report
+            .timeline
+            .iter()
+            .any(|e| e.kind == EventKind::Recovery));
+    }
+
+    #[test]
+    fn certain_faults_drop_every_miss_and_blacklist_the_device() {
+        let node = node();
+        let spec = hprc_fault::FaultSpec {
+            p_crc: 1.0,
+            p_api_transfer: 1.0,
+            ..hprc_fault::FaultSpec::default()
+        };
+        let plan = hprc_fault::FaultPlan::new(spec, hprc_fault::RecoveryPolicy::default(), 3);
+        let app = App::cycling(0, "a", &cores(), 30, 0.01, 0.0);
+        let ctx = dctx().with_registry(hprc_obs::Registry::new());
+        let faulty = run_faulty(&node, &[app], &RuntimeConfig::prtr_demand(), &plan, &ctx).unwrap();
+        // Nothing ever configures: every call is a dropped miss.
+        assert_eq!(faulty.dropped_calls, 30);
+        assert_eq!(faulty.report.n_config, 0);
+        assert_eq!(faulty.availability(), 0.0);
+        assert_eq!(faulty.blacklisted_slots, node.n_prrs);
+        assert_eq!(faulty.report.records.len(), 30);
+        assert!(faulty
+            .report
+            .records
+            .iter()
+            .all(|r| r.exec_start == r.exec_end));
+        let snap = ctx.registry.snapshot();
+        assert_eq!(snap.counters["virt.fault.dropped"], 30);
+        assert_eq!(
+            snap.gauges["virt.fault.blacklisted_slots"],
+            node.n_prrs as f64
+        );
+    }
+
+    #[test]
+    fn seu_strikes_cost_hits_in_the_runtime() {
+        let node = node();
+        let spec = hprc_fault::FaultSpec {
+            p_seu: 0.4,
+            ..hprc_fault::FaultSpec::default()
+        };
+        let plan = hprc_fault::FaultPlan::new(spec, hprc_fault::RecoveryPolicy::default(), 23);
+        let mk = || App::cycling(0, "a", &cores()[..2], 60, 0.005, 0.0);
+        let clean = run(&node, &[mk()], &RuntimeConfig::prtr_demand(), &dctx()).unwrap();
+        let faulty = run_faulty(
+            &node,
+            &[mk()],
+            &RuntimeConfig::prtr_demand(),
+            &plan,
+            &dctx(),
+        )
+        .unwrap();
+        assert!(faulty.seu_invalidations > 0);
+        assert_eq!(faulty.dropped_calls, 0);
+        assert!(
+            faulty.report.hit_ratio() < clean.hit_ratio(),
+            "H {} !< clean {}",
+            faulty.report.hit_ratio(),
+            clean.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn faulty_frtr_recovers_through_the_vendor_api() {
+        let node = node();
+        let spec = hprc_fault::FaultSpec {
+            p_api_transfer: 0.5,
+            ..hprc_fault::FaultSpec::default()
+        };
+        let plan = hprc_fault::FaultPlan::new(spec, hprc_fault::RecoveryPolicy::default(), 41);
+        let app = App::cycling(0, "a", &cores(), 20, 0.01, 0.0);
+        let faulty = run_faulty(&node, &[app], &RuntimeConfig::frtr(), &plan, &dctx()).unwrap();
+        assert!(faulty.recovered + faulty.dropped_calls > 0);
+        assert_eq!(faulty.escalated_full, 0, "FRTR has nothing to escalate");
+        assert_eq!(faulty.blacklisted_slots, 0);
+        assert_eq!(faulty.report.records.len(), 20);
     }
 
     #[test]

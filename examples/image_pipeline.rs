@@ -73,7 +73,7 @@ fn main() {
 
     let lru_calls = to_calls(&outcome);
     let markov_calls = to_calls(&prefetched);
-    let frtr_calls: Vec<TaskCall> = lru_calls.iter().map(|c| c.task.clone()).collect();
+    let frtr_calls: Vec<TaskCall> = lru_calls.iter().map(|c| c.task).collect();
 
     let frtr = run_frtr(&node, &frtr_calls, &ctx).unwrap();
     let prtr_lru = run_prtr(&node, &lru_calls, &ctx).unwrap();

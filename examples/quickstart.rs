@@ -46,7 +46,7 @@ fn main() {
             slot: i % node.n_prrs,
         })
         .collect();
-    let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+    let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
     let ctx = ExecCtx::default();
     let frtr = run_frtr(&node, &frtr_calls, &ctx).expect("FRTR run");
     let prtr = run_prtr(&node, &calls, &ctx).expect("PRTR run");

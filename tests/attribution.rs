@@ -16,10 +16,35 @@ fn attr_json(id: &str, jobs: usize) -> String {
 
 #[test]
 fn attribution_artifacts_are_jobs_invariant() {
-    for id in ["fig9a", "fig9b", "profiles"] {
+    for id in ["fig9a", "fig9b", "profiles", "ext-faults"] {
         let serial = attr_json(id, 1);
         let parallel = attr_json(id, 4);
         assert_eq!(serial, parallel, "{id}.attr.json must not depend on jobs");
+    }
+}
+
+#[test]
+fn faulty_runs_keep_the_six_bucket_identity() {
+    // The ext-faults attribution re-runs the mid-sweep fault rate, so
+    // its timelines carry recovery stretches (retries, backoff,
+    // escalated full reconfigurations). The attr layer machine-checks
+    // the sum-to-span identity on construction; re-verify it here over
+    // the serialized seconds, and confirm recovery really was present.
+    let ctx = ExecCtx::default();
+    let report = exp::attribution("ext-faults", &ctx).unwrap();
+    for run in [&report.frtr, &report.prtr] {
+        let sum = run.exec_s
+            + run.hidden_config_s
+            + run.visible_config_s
+            + run.decision_s
+            + run.control_s
+            + run.idle_s;
+        assert!(
+            (sum - run.span_s).abs() < 1e-9,
+            "sum {sum} vs span {}",
+            run.span_s
+        );
+        assert!(run.total_config_s > 0.0);
     }
 }
 

@@ -43,7 +43,7 @@ fn pipeline_to_speedup() {
             }
         })
         .collect();
-    let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task.clone()).collect();
+    let frtr_calls: Vec<TaskCall> = calls.iter().map(|c| c.task).collect();
     let frtr = run_frtr(&node, &frtr_calls, &ExecCtx::default()).unwrap();
     let prtr = run_prtr(&node, &calls, &ExecCtx::default()).unwrap();
     let s_sim = frtr.total_s() / prtr.total_s();
