@@ -39,7 +39,7 @@ pub mod timing;
 
 pub use symbol::Symbol;
 
-use hprc_obs::Registry;
+use hprc_obs::{Journal, Registry};
 
 /// Which calibration of the modeled platform a run uses.
 ///
@@ -68,6 +68,10 @@ pub struct ExecCtx {
     /// Metrics/span registry. [`Registry::noop`] (the default) makes
     /// every instrumentation site a single branch.
     pub registry: Registry,
+    /// Causal run journal. [`Journal::noop`] (the default) makes every
+    /// journaling site a single branch; a live journal records the
+    /// deterministic, replayable event log.
+    pub journal: Journal,
     /// Deterministic base RNG seed. Call-site seeds combine with it via
     /// [`ExecCtx::seed_for`] (XOR), so the default base 0 leaves
     /// explicit seeds untouched.
@@ -84,6 +88,7 @@ impl Default for ExecCtx {
     fn default() -> Self {
         ExecCtx {
             registry: Registry::noop(),
+            journal: Journal::noop(),
             seed: 0,
             calibration: Calibration::default(),
             jobs: 1,
@@ -102,6 +107,13 @@ impl ExecCtx {
     #[must_use]
     pub fn with_registry(mut self, registry: Registry) -> Self {
         self.registry = registry;
+        self
+    }
+
+    /// Replaces the journal.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
         self
     }
 
@@ -148,6 +160,7 @@ impl ExecCtx {
     pub fn child(&self, index: usize) -> ExecCtx {
         ExecCtx {
             seed: self.seed ^ index as u64,
+            journal: self.journal.child(index as u64),
             ..self.fork()
         }
     }
@@ -165,6 +178,7 @@ impl ExecCtx {
             } else {
                 Registry::noop()
             },
+            journal: self.journal.fork(),
             seed: self.seed,
             calibration: self.calibration,
             jobs: 1,

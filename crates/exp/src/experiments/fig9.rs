@@ -131,6 +131,7 @@ pub fn run(panel: Panel, ctx: &ExecCtx) -> Report {
         CALLS_PER_POINT,
         &ExecCtx {
             registry: hprc_obs::Registry::noop(),
+            journal: hprc_obs::Journal::noop(),
             ..ctx.clone()
         },
     );

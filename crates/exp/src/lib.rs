@@ -22,6 +22,7 @@
 
 pub mod bench;
 pub mod experiments;
+pub mod journal_cli;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -99,24 +100,132 @@ pub fn run_experiment(id: &str, ctx: &ExecCtx) -> Option<Report> {
 fn quiet(ctx: &ExecCtx) -> ExecCtx {
     ExecCtx {
         registry: hprc_obs::Registry::noop(),
+        journal: hprc_obs::Journal::noop(),
         ..ctx.clone()
     }
 }
 
+/// Salt for the fixed side-journal that decorates Chrome traces with
+/// flow arrows. Any constant works — the export only reads structure,
+/// never raw ids — but it must be *one* constant so traces stay
+/// byte-identical across runs and `--jobs` budgets.
+const TRACE_FLOW_SALT: u64 = 0x0C0A_1D0E;
+
+/// The deterministic journal salt for one experiment run: FNV-1a over
+/// the experiment id, XOR the base seed. Gives every experiment a
+/// distinct, stable [`SpanId`](hprc_obs::SpanId) namespace while
+/// keeping `<id>.journal.jsonl` reproducible from `(id, seed)` alone —
+/// which is exactly what `hprc-exp journal replay-check` re-derives.
+pub fn journal_salt(id: &str, seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ seed
+}
+
+/// Re-runs experiment `id` under a live journal and returns the JSONL
+/// journal text — the exact bytes `--trace` writes to
+/// `<id>.journal.jsonl` for the same `(id, seed)`, at any `jobs`
+/// budget. `None` for an unknown id.
+pub fn run_journaled(id: &str, seed: u64, jobs: usize) -> Option<String> {
+    let ctx = ExecCtx::default()
+        .with_registry(hprc_obs::Registry::new())
+        .with_journal(hprc_obs::Journal::new(journal_salt(id, seed)))
+        .with_seed(seed)
+        .with_jobs(jobs);
+    run_experiment(id, &ctx)?;
+    Some(ctx.journal.to_jsonl(id, seed))
+}
+
+/// Chrome lane name for a thread row (`Lane::chrome_tid` inverse).
+fn lane_name(tid: u64) -> String {
+    match tid {
+        0 => "host".to_string(),
+        1 => "config-port".to_string(),
+        2 => "link-in".to_string(),
+        3 => "link-out".to_string(),
+        t if t >= 10 => format!("prr{}", t - 10),
+        t => format!("tid{t}"),
+    }
+}
+
+/// Prepends `ph:"M"` process/thread-naming metadata (derived from the
+/// distinct `(pid, tid)` rows of `events`) and appends causal flow
+/// arrows, producing the final trace artifact.
+fn assemble_trace(
+    events: Vec<hprc_obs::ChromeEvent>,
+    processes: &[(u64, &str)],
+    flows: Vec<hprc_obs::ChromeEvent>,
+) -> Vec<hprc_obs::ChromeEvent> {
+    use std::collections::BTreeSet;
+    let rows: BTreeSet<(u64, u64)> = events.iter().map(|e| (e.pid, e.tid)).collect();
+    let mut out = Vec::with_capacity(events.len() + flows.len() + rows.len() + processes.len());
+    for (pid, name) in processes {
+        out.push(hprc_obs::ChromeEvent::process_name(*pid, *name));
+    }
+    for (pid, tid) in rows {
+        out.push(hprc_obs::ChromeEvent::thread_name(pid, tid, lane_name(tid)));
+    }
+    out.extend(events);
+    out.extend(flows);
+    out
+}
+
 /// A representative Chrome trace (trace-event format) for experiments
 /// that have one: the peak-speedup PRTR timeline for the Figure 9
-/// panels, the three Figures 2-4 profiles for `profiles`.
+/// panels, the three Figures 2-4 profiles for `profiles`. Every trace
+/// opens with `ph:"M"` metadata naming its process/thread rows; the
+/// single-timeline traces additionally carry the journal's causal
+/// links (decision→configure→execute, fault→retry) as Chrome flow
+/// arrows (`ph:"s"`/`"f"`).
 pub fn chrome_trace(id: &str, ctx: &ExecCtx) -> Option<Vec<hprc_obs::ChromeEvent>> {
     let quiet = quiet(ctx);
+    // Flow-bearing traces re-run under a fresh fixed-salt journal so
+    // the causal links can be exported; the fixed salt (not the run
+    // seed) keeps the artifact a pure function of the experiment.
+    let journaled = ExecCtx {
+        journal: hprc_obs::Journal::new(TRACE_FLOW_SALT),
+        ..quiet.clone()
+    };
     Some(match id {
         "fig9a" => {
-            experiments::fig9::peak_timeline(experiments::fig9::Panel::Estimated, 30, &quiet)
-                .chrome_events(1)
+            let events = experiments::fig9::peak_timeline(
+                experiments::fig9::Panel::Estimated,
+                30,
+                &journaled,
+            )
+            .chrome_events(1);
+            let flows = journaled
+                .journal
+                .chrome_flow_events(1, Some("sim.run_prtr"));
+            assemble_trace(events, &[(1, "fig9a peak PRTR")], flows)
         }
-        "fig9b" => experiments::fig9::peak_timeline(experiments::fig9::Panel::Measured, 30, &quiet)
-            .chrome_events(1),
-        "profiles" => experiments::profiles::chrome_trace(&quiet),
-        "ext-faults" => experiments::ext_faults::chrome_trace(&quiet, &ctx.registry),
+        "fig9b" => {
+            let events = experiments::fig9::peak_timeline(
+                experiments::fig9::Panel::Measured,
+                30,
+                &journaled,
+            )
+            .chrome_events(1);
+            let flows = journaled
+                .journal
+                .chrome_flow_events(1, Some("sim.run_prtr"));
+            assemble_trace(events, &[(1, "fig9b peak PRTR")], flows)
+        }
+        "profiles" => assemble_trace(
+            experiments::profiles::chrome_trace(&quiet),
+            &[(1, "FRTR"), (2, "PRTR all-miss"), (3, "PRTR pre-fetched")],
+            Vec::new(),
+        ),
+        "ext-faults" => {
+            let events = experiments::ext_faults::chrome_trace(&journaled, &ctx.registry);
+            let flows = journaled
+                .journal
+                .chrome_flow_events(1, Some("sim.run_prtr"));
+            assemble_trace(events, &[(1, "faulty PRTR")], flows)
+        }
         _ => return None,
     })
 }

@@ -29,10 +29,13 @@ fn usage() -> String {
         "usage: hprc-exp [--out DIR] [--trace DIR] [--jobs N] [--seed S] [all | id...]\n\
          \x20      hprc-exp bench [--repeat K] [--out-file PATH] [--check BASELINE]\n\
          \x20                     [--update-baseline] [--threshold X] [--jobs N] [--seed S]\n\
+         \x20      hprc-exp journal [summarize FILE | diff A B |\n\
+         \x20                        replay-check [--jobs N] FILE...]\n\
          \n\
          --out DIR    write reports and CSV artifacts under DIR (default: results)\n\
-         --trace DIR  run instrumented; write <id>.metrics.json, <id>.trace.json and\n\
-         \x20            <id>.attr.json (timeline attribution) under DIR\n\
+         --trace DIR  run instrumented; write <id>.metrics.json, <id>.trace.json,\n\
+         \x20            <id>.attr.json (timeline attribution) and <id>.journal.jsonl\n\
+         \x20            (the causal run journal) under DIR\n\
          --jobs N     worker threads (default: available cores); results are\n\
          \x20            byte-identical at any N, only wall-clock time changes\n\
          --seed S     base RNG seed XOR-ed into every workload stream (default: 0)\n\
@@ -42,6 +45,11 @@ fn usage() -> String {
          repo root; with --check, compare p50s against a committed baseline at\n\
          --threshold (default 2.0) and exit non-zero on regression or schema drift;\n\
          with --update-baseline, also rewrite BENCH_BASELINE.json in place.\n\
+         \n\
+         journal: analyze the causal run journals --trace writes — summarize one,\n\
+         diff two (first divergent line; exit 1 on divergence), or replay-check:\n\
+         re-run each journal's experiment from its recorded (experiment, seed)\n\
+         header and require byte-identical regeneration.\n\
          \n\
          ids: {}",
         hprc_exp::ALL_EXPERIMENTS.join(" ")
@@ -195,6 +203,10 @@ fn write_trace_artifacts(
     let snapshot = registry.snapshot();
     let metrics = serde_json::to_string_pretty(&snapshot)?;
     std::fs::write(dir.join(format!("{id}.metrics.json")), metrics)?;
+    std::fs::write(
+        dir.join(format!("{id}.journal.jsonl")),
+        ctx.journal.to_jsonl(id, ctx.seed),
+    )?;
     Ok(())
 }
 
@@ -207,6 +219,9 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     if std::env::args().nth(1).as_deref() == Some("bench") {
         return bench_main(args.skip(1));
+    }
+    if std::env::args().nth(1).as_deref() == Some("journal") {
+        return hprc_exp::journal_cli::journal_main(args.skip(1));
     }
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -278,12 +293,17 @@ fn main() -> ExitCode {
     let inner_jobs = if ids.len() == 1 { jobs } else { 1 };
     let contexts: Vec<ExecCtx> = ids
         .iter()
-        .map(|_| {
+        .map(|id| {
             ExecCtx::default()
                 .with_registry(if trace_dir.is_some() {
                     Registry::new()
                 } else {
                     Registry::noop()
+                })
+                .with_journal(if trace_dir.is_some() {
+                    hprc_obs::Journal::new(hprc_exp::journal_salt(id, seed))
+                } else {
+                    hprc_obs::Journal::noop()
                 })
                 .with_seed(seed)
                 .with_jobs(inner_jobs)

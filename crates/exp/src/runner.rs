@@ -76,8 +76,12 @@ where
         slots.into_inner().expect("runner slots lock")
     };
 
-    // Index-ordered merge reproduces the serial instrument state.
+    // Index-ordered merge reproduces the serial instrument state — for
+    // the sharded registry and the per-child journals alike.
     shards.merge(&ctx.registry);
+    for child in &children {
+        ctx.journal.merge_from(&child.journal);
+    }
     results
         .iter_mut()
         .map(|slot| slot.take().expect("every index completed"))

@@ -116,6 +116,7 @@ pub fn run_point_full(
     t_task: f64,
     ctx: &ExecCtx,
 ) -> PointRun {
+    let jp = ctx.journal.enter("scenario.point", 0, 0);
     let trace = trace_spec.generate(ctx.seed_for(seed));
     let outcome = simulate(&trace, node.n_prrs, policy, prefetch, ctx);
     let calls = prtr_calls(node, &trace, &outcome, t_task);
@@ -134,6 +135,7 @@ pub fn run_point_full(
         speedup_sim: frtr.total_s() / prtr.total_s(),
         speedup_model: hprc_model::speedup::speedup(&params),
     };
+    ctx.journal.exit(jp, frtr.total.0.max(prtr.total.0));
     PointRun {
         point,
         frtr,
@@ -198,6 +200,7 @@ pub fn run_point_faulty(
     plan: &hprc_fault::FaultPlan,
     ctx: &ExecCtx,
 ) -> FaultyPointRun {
+    let jp = ctx.journal.enter("scenario.point", 0, 0);
     let trace = trace_spec.generate(trace_seed);
     let sched = hprc_sched::simulate_faulty(&trace, node.n_prrs, policy, prefetch, plan, ctx);
     let calls = prtr_calls(node, &trace, &sched.base, t_task);
@@ -221,6 +224,7 @@ pub fn run_point_faulty(
         speedup_sim: frtr.total_s() / prtr.total_s(),
         speedup_model: hprc_model::speedup::speedup(&params),
     };
+    ctx.journal.exit(jp, frtr.total.0.max(prtr.total.0));
     FaultyPointRun {
         point,
         frtr,

@@ -191,3 +191,115 @@ fn fig9a_attribution_is_byte_identical_across_jobs() {
     let _ = std::fs::remove_dir_all(&d1);
     let _ = std::fs::remove_dir_all(&d4);
 }
+
+#[test]
+fn journal_cli_replay_check_diff_and_usage() {
+    let dir = tmp_dir("journal-cli");
+    let out = Command::new(exe())
+        .args(["--trace"])
+        .arg(&dir)
+        .arg("--out")
+        .arg(dir.join("results"))
+        .arg("profiles")
+        .output()
+        .expect("run profiles");
+    assert!(
+        out.status.success(),
+        "profiles --trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let jpath = dir.join("profiles.journal.jsonl");
+    assert!(jpath.exists(), "--trace writes <id>.journal.jsonl");
+
+    // replay-check regenerates byte-identically from the header.
+    let out = Command::new(exe())
+        .args(["journal", "replay-check"])
+        .arg(&jpath)
+        .output()
+        .expect("run replay-check");
+    assert!(
+        out.status.success(),
+        "replay-check failed: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("replay-check ok"));
+
+    // diff of a journal against itself is clean…
+    let out = Command::new(exe())
+        .args(["journal", "diff"])
+        .arg(&jpath)
+        .arg(&jpath)
+        .output()
+        .expect("run diff");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("journals identical"));
+
+    // …and a corrupted copy both diffs (line-exact) and fails replay.
+    let corrupted = dir.join("corrupted.journal.jsonl");
+    let text = std::fs::read_to_string(&jpath).unwrap();
+    std::fs::write(&corrupted, text.replacen("\"seed\":0", "\"seed\":1", 1)).unwrap();
+    let out = Command::new(exe())
+        .args(["journal", "diff"])
+        .arg(&jpath)
+        .arg(&corrupted)
+        .output()
+        .expect("run diff");
+    assert!(
+        !out.status.success(),
+        "divergent journals must exit non-zero"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("diverge at line 1"));
+    let out = Command::new(exe())
+        .args(["journal", "replay-check"])
+        .arg(&corrupted)
+        .output()
+        .expect("run replay-check");
+    assert!(
+        !out.status.success(),
+        "forged header must fail replay-check"
+    );
+
+    // summarize renders the causal report.
+    let out = Command::new(exe())
+        .args(["journal", "summarize"])
+        .arg(&jpath)
+        .output()
+        .expect("run summarize");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("experiment profiles"));
+    assert!(text.contains("per-class span time"));
+
+    // journal with no/unknown subcommand fails with usage.
+    let out = Command::new(exe()).arg("journal").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: hprc-exp journal"));
+
+    // top-level usage advertises the subcommand.
+    let out = Command::new(exe()).arg("--help").output().expect("run");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("journal"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig9a_journal_is_byte_identical_across_jobs_via_cli() {
+    let d1 = tmp_dir("journal-j1");
+    let d4 = tmp_dir("journal-j4");
+    run_fig9a_trace(&d1, "1");
+    run_fig9a_trace(&d4, "4");
+    let out = Command::new(exe())
+        .args(["journal", "diff"])
+        .arg(d1.join("fig9a.journal.jsonl"))
+        .arg(d4.join("fig9a.journal.jsonl"))
+        .output()
+        .expect("run diff");
+    assert!(
+        out.status.success(),
+        "fig9a journal must not depend on --jobs: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d4);
+}

@@ -1,0 +1,70 @@
+//! Journal artifact tests: the committed golden journal pins the
+//! schema and byte layout of `<id>.journal.jsonl` (drift fails here
+//! first, loudly), `--jobs` invariance holds at the library level, and
+//! the header/footer carry the fields the `journal` CLI relies on.
+
+use serde_json::Value;
+
+const GOLDEN: &str = include_str!("golden/profiles.journal.jsonl");
+
+#[test]
+fn golden_profiles_journal_regenerates_byte_identically() {
+    let actual = hprc_exp::run_journaled("profiles", 0, 1).expect("profiles is a known id");
+    assert_eq!(
+        actual, GOLDEN,
+        "profiles journal drifted from the committed golden; if the change is\n\
+         intentional, regenerate with:\n\
+         \x20 cargo run --release -p hprc-exp -- --trace /tmp/tr profiles\n\
+         \x20 cp /tmp/tr/profiles.journal.jsonl crates/exp/tests/golden/"
+    );
+}
+
+#[test]
+fn journal_is_jobs_invariant() {
+    let j1 = hprc_exp::run_journaled("fig9a", 0, 1).expect("fig9a is a known id");
+    let j4 = hprc_exp::run_journaled("fig9a", 0, 4).expect("fig9a is a known id");
+    assert_eq!(j1, j4, "journal bytes must not depend on --jobs");
+}
+
+#[test]
+fn run_journaled_rejects_unknown_ids() {
+    assert!(hprc_exp::run_journaled("no-such-experiment", 0, 1).is_none());
+}
+
+#[test]
+fn header_and_footer_carry_the_replay_contract() {
+    let mut lines = GOLDEN.lines();
+    let header: Value = serde_json::from_str(lines.next().unwrap()).unwrap();
+    assert_eq!(header["schema"].as_str().unwrap(), hprc_obs::JOURNAL_SCHEMA);
+    assert_eq!(header["experiment"].as_str().unwrap(), "profiles");
+    assert_eq!(header["seed"].as_u64().unwrap(), 0);
+
+    let footer_line = GOLDEN.lines().last().unwrap();
+    let footer: Value = serde_json::from_str(footer_line).unwrap();
+    let account = &footer["account"];
+    assert!(account["events"].as_u64().unwrap() > 0);
+    assert_eq!(account["dropped"].as_u64().unwrap(), 0);
+    assert!(account["sim_ns"].as_u64().unwrap() > 0);
+    // The bytes field accounts for everything *before* the footer.
+    let body_len = GOLDEN.len() - footer_line.len() - 1; // trailing newline
+    assert_eq!(account["bytes"].as_u64().unwrap() as usize, body_len);
+
+    // Every line is standalone JSON (that is what makes it JSONL).
+    for line in GOLDEN.lines() {
+        let v: Value = serde_json::from_str(line).expect("each journal line parses");
+        assert!(v.as_object().is_some());
+    }
+}
+
+#[test]
+fn journal_salt_separates_experiments_but_not_runs() {
+    let a = hprc_exp::journal_salt("fig9a", 0);
+    let b = hprc_exp::journal_salt("fig9b", 0);
+    assert_ne!(a, b, "different experiments get different id namespaces");
+    assert_eq!(a, hprc_exp::journal_salt("fig9a", 0), "stable across runs");
+    assert_ne!(
+        a,
+        hprc_exp::journal_salt("fig9a", 1),
+        "seed shifts the salt"
+    );
+}

@@ -3,36 +3,50 @@
 //! The [Chrome trace-event format] is a JSON array of event objects;
 //! complete events (`"ph": "X"`) carry a start timestamp `ts` and
 //! duration `dur`, both in microseconds, and are grouped into rows by
-//! `(pid, tid)`. Files in this format load directly in
+//! `(pid, tid)`. Flow events (`"ph": "s"`/`"f"`) draw causal arrows
+//! between slices, paired by `id`; metadata events (`"ph": "M"`) name
+//! the process/thread rows. Files in this format load directly in
 //! `chrome://tracing` and <https://ui.perfetto.dev>.
 //!
 //! This crate only defines the event type; producers (the simulator's
-//! `Timeline`) convert their own representations into `Vec<ChromeEvent>`
-//! and serialize the vector.
+//! `Timeline`, the [`Journal`](crate::Journal)'s flow export) convert
+//! their own representations into `Vec<ChromeEvent>` and serialize the
+//! vector.
 //!
 //! [Chrome trace-event format]:
 //!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
-/// One complete ("X") trace event.
+/// One trace event: a complete slice (`"X"`), a flow arrow endpoint
+/// (`"s"`/`"f"`), or a metadata row-naming record (`"M"`).
 ///
 /// Field order matches the conventional layout
-/// `{"name", "ph", "ts", "dur", "pid", "tid"}`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+/// `{"name", "ph", "ts", "dur", "pid", "tid"}`; the optional fields
+/// (`id`, `bp`, `args`) are omitted entirely when unused, so complete
+/// events serialize byte-for-byte as they always have.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChromeEvent {
-    /// Event label shown on the slice.
+    /// Event label shown on the slice (or flow/metadata name).
     pub name: String,
-    /// Phase; always `"X"` (complete event) for our exports.
+    /// Phase: `"X"` complete, `"s"` flow start, `"f"` flow finish,
+    /// `"M"` metadata.
     pub ph: String,
     /// Start time in microseconds.
     pub ts: u64,
-    /// Duration in microseconds.
+    /// Duration in microseconds (zero for non-complete events).
     pub dur: u64,
     /// Process id; used as the top-level row group.
     pub pid: u64,
     /// Thread id; one per timeline lane.
     pub tid: u64,
+    /// Flow-pairing id (`"s"`/`"f"` events only).
+    pub id: Option<u64>,
+    /// Flow binding point; `"e"` on `"f"` events binds the arrow to
+    /// the enclosing slice.
+    pub bp: Option<&'static str>,
+    /// Metadata arguments (`"M"` events only), e.g. `{"name": ...}`.
+    pub args: Option<Vec<(String, String)>>,
 }
 
 impl ChromeEvent {
@@ -45,7 +59,75 @@ impl ChromeEvent {
             dur,
             pid,
             tid,
+            id: None,
+            bp: None,
+            args: None,
         }
+    }
+
+    /// Builds the starting endpoint of a flow arrow.
+    pub fn flow_start(name: impl Into<String>, ts: u64, pid: u64, tid: u64, id: u64) -> Self {
+        ChromeEvent {
+            ph: "s".to_string(),
+            id: Some(id),
+            ..ChromeEvent::complete(name, ts, 0, pid, tid)
+        }
+    }
+
+    /// Builds the finishing endpoint of a flow arrow (`bp:"e"` binds it
+    /// to the enclosing slice rather than the next one).
+    pub fn flow_end(name: impl Into<String>, ts: u64, pid: u64, tid: u64, id: u64) -> Self {
+        ChromeEvent {
+            ph: "f".to_string(),
+            id: Some(id),
+            bp: Some("e"),
+            ..ChromeEvent::complete(name, ts, 0, pid, tid)
+        }
+    }
+
+    /// Builds a `process_name` metadata event labelling `pid`'s row group.
+    pub fn process_name(pid: u64, name: impl Into<String>) -> Self {
+        ChromeEvent {
+            ph: "M".to_string(),
+            args: Some(vec![("name".to_string(), name.into())]),
+            ..ChromeEvent::complete("process_name", 0, 0, pid, 0)
+        }
+    }
+
+    /// Builds a `thread_name` metadata event labelling lane `tid` of `pid`.
+    pub fn thread_name(pid: u64, tid: u64, name: impl Into<String>) -> Self {
+        ChromeEvent {
+            ph: "M".to_string(),
+            args: Some(vec![("name".to_string(), name.into())]),
+            ..ChromeEvent::complete("thread_name", 0, 0, pid, tid)
+        }
+    }
+}
+
+impl Serialize for ChromeEvent {
+    fn to_json_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_json_value()),
+            ("ph".to_string(), self.ph.to_json_value()),
+            ("ts".to_string(), self.ts.to_json_value()),
+            ("dur".to_string(), self.dur.to_json_value()),
+            ("pid".to_string(), self.pid.to_json_value()),
+            ("tid".to_string(), self.tid.to_json_value()),
+        ];
+        if let Some(id) = self.id {
+            fields.push(("id".to_string(), id.to_json_value()));
+        }
+        if let Some(bp) = self.bp {
+            fields.push(("bp".to_string(), bp.to_json_value()));
+        }
+        if let Some(args) = &self.args {
+            let obj = args
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect();
+            fields.push(("args".to_string(), Value::Object(obj)));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -71,5 +153,33 @@ mod tests {
         ];
         let json = evs.to_json_value().to_string();
         assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn flow_events_pair_by_id_and_bind_enclosing() {
+        let s = ChromeEvent::flow_start("hide", 10, 1, 0, 7);
+        let f = ChromeEvent::flow_end("hide", 25, 1, 3, 7);
+        assert_eq!(
+            s.to_json_value().to_string(),
+            r#"{"name":"hide","ph":"s","ts":10,"dur":0,"pid":1,"tid":0,"id":7}"#
+        );
+        assert_eq!(
+            f.to_json_value().to_string(),
+            r#"{"name":"hide","ph":"f","ts":25,"dur":0,"pid":1,"tid":3,"id":7,"bp":"e"}"#
+        );
+    }
+
+    #[test]
+    fn metadata_events_name_rows() {
+        let p = ChromeEvent::process_name(2, "node");
+        let t = ChromeEvent::thread_name(2, 10, "prr0");
+        assert_eq!(
+            p.to_json_value().to_string(),
+            r#"{"name":"process_name","ph":"M","ts":0,"dur":0,"pid":2,"tid":0,"args":{"name":"node"}}"#
+        );
+        assert_eq!(
+            t.to_json_value().to_string(),
+            r#"{"name":"thread_name","ph":"M","ts":0,"dur":0,"pid":2,"tid":10,"args":{"name":"prr0"}}"#
+        );
     }
 }

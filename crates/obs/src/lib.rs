@@ -4,7 +4,9 @@
 //! histograms, and hierarchical timed spans, all reachable through a
 //! single cheap [`Registry`] handle, plus the [`ChromeEvent`] type for
 //! exporting simulator timelines in Chrome trace-event format
-//! (loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)).
+//! (loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)),
+//! and the causal [`Journal`] — a deterministic, replayable event log
+//! with parent/flow links exported as Chrome flow events.
 //!
 //! The design constraint is that instrumentation must be free to leave
 //! in hot paths: the default [`Registry::noop`] handle is a `None` and
@@ -33,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod journal;
 pub mod metrics;
 pub mod registry;
 pub mod shard;
 pub mod span;
 
 pub use chrome::ChromeEvent;
+pub use journal::{Journal, JournalMark, JournalRecord, SpanId, JOURNAL_SCHEMA};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::{Registry, Snapshot};
 pub use shard::ShardedRegistry;

@@ -138,6 +138,8 @@ pub struct HistogramSummary {
     pub mean: f64,
     /// Median, nearest-rank.
     pub p50: f64,
+    /// 90th percentile, nearest-rank.
+    pub p90: f64,
     /// 95th percentile, nearest-rank.
     pub p95: f64,
     /// 99th percentile, nearest-rank.
@@ -168,6 +170,7 @@ impl HistogramSummary {
             min: sorted[0],
             mean: sum / sorted.len() as f64,
             p50: rank(0.50),
+            p90: rank(0.90),
             p95: rank(0.95),
             p99: rank(0.99),
             max: *sorted.last().expect("non-empty"),
@@ -205,8 +208,12 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 100.0);
         assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
         assert_eq!(s.p95, 95.0);
         assert_eq!(s.p99, 99.0);
+        // Nearest-rank on a non-divisible count: ceil(0.9 * 7) = 7.
+        let odd: Vec<f64> = (1..=7).map(f64::from).collect();
+        assert_eq!(HistogramSummary::from_samples(&odd).p90, 7.0);
         assert!((s.mean - 50.5).abs() < 1e-12);
         assert_eq!(s.sum, 5050.0);
     }
@@ -217,6 +224,7 @@ mod tests {
         assert_eq!(s.count, 1);
         assert_eq!(s.min, 2.5);
         assert_eq!(s.p50, 2.5);
+        assert_eq!(s.p90, 2.5);
         assert_eq!(s.p99, 2.5);
         assert_eq!(s.max, 2.5);
         assert_eq!(s.sum, 2.5);
@@ -229,7 +237,9 @@ mod tests {
         use serde::Serialize;
         let s = HistogramSummary::from_samples(&[1.0, 2.0, 3.0]);
         let json = s.to_json_value();
-        for key in ["count", "min", "mean", "p50", "p95", "p99", "max", "sum"] {
+        for key in [
+            "count", "min", "mean", "p50", "p90", "p95", "p99", "max", "sum",
+        ] {
             assert!(json.get(key).is_some(), "missing {key}");
         }
         assert_eq!(json["sum"].as_f64().unwrap(), 6.0);

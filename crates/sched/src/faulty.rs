@@ -114,6 +114,8 @@ pub fn simulate_faulty(
 
     let registry = &ctx.registry;
     let _span = registry.span("sched.simulate_faulty");
+    let j = &ctx.journal;
+    let js = j.enter("sched.simulate_faulty", 0, 0);
 
     let mut state = FaultState::new(*plan, slots);
     let mut cache = ConfigCache::new(slots);
@@ -243,6 +245,13 @@ pub fn simulate_faulty(
             .gauge("sched.fault.blacklisted_slots")
             .set(state.blacklisted_slots() as f64);
     }
+    j.metric("sched.calls", base.stats.calls);
+    j.metric("sched.hits", base.stats.hits);
+    j.metric("sched.misses", base.stats.misses);
+    j.metric("sched.fault.seu_invalidations", seu_invalidations);
+    j.metric("sched.fault.escalation_wipes", escalation_wipes);
+    j.metric("sched.fault.dropped", dropped);
+    j.exit(js, 0);
     FaultyOutcome {
         base,
         fates,

@@ -89,8 +89,14 @@ pub fn simulate(
 ) -> SimulationOutcome {
     let registry = &ctx.registry;
     let _span = registry.span("sched.simulate");
+    let j = &ctx.journal;
+    let js = j.enter("sched.simulate", 0, 0);
     let outcome = simulate_inner(trace, slots, policy, prefetch);
     record_outcome(registry, policy.name(), &outcome);
+    j.metric("sched.calls", outcome.stats.calls);
+    j.metric("sched.hits", outcome.stats.hits);
+    j.metric("sched.misses", outcome.stats.misses);
+    j.exit(js, 0);
     outcome
 }
 

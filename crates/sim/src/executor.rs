@@ -55,6 +55,7 @@ use std::collections::HashMap;
 
 use hprc_ctx::{ExecCtx, Symbol};
 use hprc_fault::{AttemptOutcome, CallFate, FaultPlan, FaultSite, FaultState};
+use hprc_obs::SpanId;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
@@ -168,6 +169,9 @@ struct SeenAt {
     items_marker: usize,
     /// `timings.len()` at that point.
     timings_marker: usize,
+    /// The journal position at that point (for
+    /// [`hprc_obs::Journal::replay_cycle`]).
+    jmark: hprc_obs::JournalMark,
 }
 
 /// Key-compares forward from call `j`: how many whole periods of length
@@ -276,6 +280,29 @@ impl FaultMetrics {
     }
 }
 
+/// Pending outgoing flow link while laying out a recovery chain: the
+/// latest chain node's journal id plus the kind the *next* edge out of
+/// it carries (`fault` out of a failed attempt, `retry` out of a
+/// recovery window, `escalate` into the full chain, `hide` out of the
+/// originating prefetch decision). `None` while the journal is off or
+/// the chain has no node yet.
+type PendingLink = Option<(SpanId, &'static str)>;
+
+/// Journals one chain node: links the pending edge into it, then makes
+/// it the new pending tail with `next_kind`.
+fn link_chain(
+    j: &hprc_obs::Journal,
+    chain: &mut PendingLink,
+    node: Option<SpanId>,
+    next_kind: &'static str,
+) {
+    let Some(id) = node else { return };
+    if let Some((from, kind)) = chain.take() {
+        j.flow(Some(from), Some(id), kind);
+    }
+    *chain = Some((id, next_kind));
+}
+
 /// Lays out a faulty call's full-reconfiguration attempts from `start`:
 /// per attempt one [`EventKind::FullConfig`] window (driven through the
 /// [`crate::cray_api::CrayConfigApi::configure_attempt`] hook) plus an
@@ -283,6 +310,10 @@ impl FaultMetrics {
 /// failure (a drop's last failure retries nothing, so it pays no
 /// backoff). Returns the chain's end. A zero-attempt fate (pure partial
 /// success) returns `start` untouched.
+///
+/// Journal: each attempt is a `full-configure` event and each backoff a
+/// `recovery` span, all parented to `jparent` and threaded onto
+/// `jchain`'s flow-link chain.
 #[allow(clippy::too_many_arguments)]
 fn push_full_attempts(
     node: &NodeConfig,
@@ -294,9 +325,13 @@ fn push_full_attempts(
     name: Symbol,
     start: SimTime,
     ctx: &ExecCtx,
+    jparent: Option<SpanId>,
+    jchain: &mut PendingLink,
 ) -> Result<SimTime, SimError> {
+    let j = &ctx.journal;
     let full_bytes = node.full_config.full_bitstream_bytes;
     let t_full = SimDuration::from_secs_f64(node.full_config.full_configuration_time_s());
+    let tid_cfg = Lane::ConfigPort.chrome_tid();
     let mut t = start;
     for attempt in 1..=fate.full_attempts {
         let outcome = plan.full_attempt(call_idx, attempt);
@@ -308,6 +343,8 @@ fn push_full_attempts(
             Err(SimError::TransientFault(_)) => t_full,
             Err(e) => return Err(e),
         };
+        let ja = j.event("full-configure", jparent, t.0, tid_cfg);
+        link_chain(j, jchain, ja, "fault");
         timeline.push(
             Lane::ConfigPort,
             EventKind::FullConfig,
@@ -318,6 +355,8 @@ fn push_full_attempts(
         t += d;
         if matches!(outcome, AttemptOutcome::Fault(_)) && attempt < fate.full_attempts {
             let pd = SimDuration::from_secs_f64(plan.policy.backoff_s(attempt));
+            let jr = j.open("recovery", jparent, t.0, tid_cfg);
+            link_chain(j, jchain, jr, "retry");
             timeline.push(
                 Lane::ConfigPort,
                 EventKind::Recovery,
@@ -326,6 +365,7 @@ fn push_full_attempts(
                 t + pd,
             );
             t += pd;
+            j.close(jr, t.0);
         }
     }
     Ok(t)
@@ -338,6 +378,11 @@ fn push_full_attempts(
 /// bitstream re-fetch after a CRC mismatch), then, if the fate
 /// escalated or was forced full, the full-reconfiguration chain.
 /// Returns the chain's end.
+///
+/// Journal: each partial attempt is a `configure` event and each
+/// backoff a `recovery` span, parented to `jparent` and chained on
+/// `jchain`; when the fate escalates, the edge into the first full
+/// attempt is re-labelled `escalate`.
 #[allow(clippy::too_many_arguments)]
 fn push_partial_fault_chain(
     node: &NodeConfig,
@@ -350,8 +395,12 @@ fn push_partial_fault_chain(
     slot: usize,
     start: SimTime,
     ctx: &ExecCtx,
+    jparent: Option<SpanId>,
+    jchain: &mut PendingLink,
 ) -> Result<SimTime, SimError> {
+    let j = &ctx.journal;
     let t_prtr = node.icap.transfer_duration(node.prr_bitstream_bytes);
+    let tid_cfg = Lane::ConfigPort.chrome_tid();
     let mut t = start;
     for attempt in 1..=fate.partial_attempts {
         let outcome = plan.partial_attempt(call_idx, attempt);
@@ -363,6 +412,8 @@ fn push_partial_fault_chain(
             Err(SimError::TransientFault(_)) => t_prtr,
             Err(e) => return Err(e),
         };
+        let ja = j.event("configure", jparent, t.0, tid_cfg);
+        link_chain(j, jchain, ja, "fault");
         timeline.push(
             Lane::ConfigPort,
             EventKind::PartialConfig,
@@ -379,6 +430,8 @@ fn push_partial_fault_chain(
                 pause += plan.policy.refetch_s;
             }
             let pd = SimDuration::from_secs_f64(pause);
+            let jr = j.open("recovery", jparent, t.0, tid_cfg);
+            link_chain(j, jchain, jr, "retry");
             timeline.push(
                 Lane::ConfigPort,
                 EventKind::Recovery,
@@ -387,9 +440,17 @@ fn push_partial_fault_chain(
                 t + pd,
             );
             t += pd;
+            j.close(jr, t.0);
         }
     }
-    push_full_attempts(node, timeline, labels, plan, fate, call_idx, name, t, ctx)
+    if fate.full_attempts > 0 {
+        if let Some(c) = jchain.as_mut() {
+            c.1 = "escalate";
+        }
+    }
+    push_full_attempts(
+        node, timeline, labels, plan, fate, call_idx, name, t, ctx, jparent, jchain,
+    )
 }
 
 /// Executes `calls` under **FRTR**: full reconfiguration before every call.
@@ -472,6 +533,10 @@ fn run_frtr_impl(
 ) -> Result<ExecutionReport, SimError> {
     let registry = &ctx.registry;
     let _span = registry.span("sim.run_frtr");
+    let j = &ctx.journal;
+    let tid_host = Lane::Host.chrome_tid();
+    let tid_cfg = Lane::ConfigPort.chrome_tid();
+    let jrun = j.enter("sim.run_frtr", 0, tid_host);
     let m_calls = registry.counter("sim.frtr.calls");
     let m_configs = registry.counter("sim.frtr.full_configs");
     let m_latency = registry.histogram("sim.frtr.call_latency_s");
@@ -553,6 +618,7 @@ fn run_frtr_impl(
                     m_configs.add(jumped);
                     m_latency.record_cycle(&latencies, m);
                     node.full_config.record_repeated(last_api_d, jumped, ctx);
+                    j.replay_cycle(at.jmark, m, delta);
                     now = SimTime(now.0 + m * delta);
                     i += m as usize * p;
                     // Re-arm: the tail may hold further periodic runs.
@@ -567,6 +633,7 @@ fn run_frtr_impl(
                     anchor: now,
                     items_marker: timeline.n_items(),
                     timings_marker: timings.len(),
+                    jmark: j.mark(),
                 },
             );
         }
@@ -580,6 +647,8 @@ fn run_frtr_impl(
             let fate = fates[i];
             if !fate.is_clean() {
                 let cs = now;
+                let jcall = j.open(call.name.as_str(), jrun, cs.0, tid_host);
+                let mut jchain: PendingLink = None;
                 let ce = push_full_attempts(
                     node,
                     &mut timeline,
@@ -590,6 +659,8 @@ fn run_frtr_impl(
                     call.name,
                     cs,
                     ctx,
+                    jcall,
+                    &mut jchain,
                 )?;
                 if let Some(fm) = &fm {
                     fm.record(&fate, (ce - cs).as_secs_f64() - t_frtr_clean_s);
@@ -606,6 +677,7 @@ fn run_frtr_impl(
                         exec_end: ce,
                     });
                     m_latency.record((ce - cs).as_secs_f64());
+                    j.close(jcall, ce.0);
                     now = ce;
                 } else {
                     m_configs.inc();
@@ -628,6 +700,8 @@ fn run_frtr_impl(
                         exec_start,
                         exec_end,
                     );
+                    let jexec = j.event("execute", jcall, exec_start.0, Lane::Prr(0).chrome_tid());
+                    j.flow(jchain.map(|(id, _)| id), jexec, "activate");
                     timings.push(CallTiming {
                         name: call.name,
                         hit: false,
@@ -637,6 +711,7 @@ fn run_frtr_impl(
                         exec_end,
                     });
                     m_latency.record((exec_end - cs).as_secs_f64());
+                    j.close(jcall, exec_end.0);
                     now = exec_end;
                 }
                 i += 1;
@@ -649,6 +724,8 @@ fn run_frtr_impl(
         let d = node.full_config.configure(full_bytes, false, false, ctx)?;
         last_api_d = d;
         let config_end = config_start + d;
+        let jcall = j.open(call.name.as_str(), jrun, config_start.0, tid_host);
+        let jcfg = j.event("configure", jcall, config_start.0, tid_cfg);
         timeline.push(
             Lane::ConfigPort,
             EventKind::FullConfig,
@@ -675,6 +752,9 @@ fn run_frtr_impl(
             exec_start,
             exec_end,
         );
+        let jexec = j.event("execute", jcall, exec_start.0, Lane::Prr(0).chrome_tid());
+        j.flow(jcfg, jexec, "activate");
+        j.close(jcall, exec_end.0);
         timings.push(CallTiming {
             name: call.name,
             hit: false,
@@ -689,6 +769,7 @@ fn run_frtr_impl(
         now = exec_end;
         i += 1;
     }
+    j.exit(jrun, now.0);
     timeline.record_metrics(registry, "sim.frtr");
     Ok(ExecutionReport {
         total: now - SimTime::ZERO,
@@ -794,6 +875,10 @@ fn run_prtr_impl(
     }
 
     let _span = registry.span("sim.run_prtr");
+    let j = &ctx.journal;
+    let tid_host = Lane::Host.chrome_tid();
+    let tid_cfg = Lane::ConfigPort.chrome_tid();
+    let jrun = j.enter("sim.run_prtr", 0, tid_host);
     let m_calls = registry.counter("sim.prtr.calls");
     let m_hits = registry.counter("sim.prtr.hits");
     let m_misses = registry.counter("sim.prtr.misses");
@@ -908,6 +993,7 @@ fn run_prtr_impl(
                         m_icap_bytes.add(m * block_cfgs * node.prr_bitstream_bytes);
                         m_latency.record_cycle(&latencies, m);
                         n_config += m * block_cfgs;
+                        j.replay_cycle(at.jmark, m, delta);
                         let shift = m * delta;
                         prev = Some((
                             SimTime(prev_start.0 + shift),
@@ -927,6 +1013,7 @@ fn run_prtr_impl(
                         anchor: prev_start,
                         items_marker: timeline.n_items(),
                         timings_marker: timings.len(),
+                        jmark: j.mark(),
                     },
                 );
             }
@@ -943,6 +1030,9 @@ fn run_prtr_impl(
             if !fate.is_clean() {
                 let decision_start = prev.map_or(SimTime::ZERO, |(_, pe, _)| pe);
                 let decision_end = decision_start + t_decision;
+                let jcall = j.open(call.task.name.as_str(), jrun, decision_start.0, tid_host);
+                let jdec = j.event("decide", jcall, decision_start.0, tid_host);
+                let mut jchain: PendingLink = jdec.map(|d| (d, "hide"));
                 timeline.push(
                     Lane::Host,
                     EventKind::Decision,
@@ -972,6 +1062,8 @@ fn run_prtr_impl(
                     call.slot,
                     cs,
                     ctx,
+                    jcall,
+                    &mut jchain,
                 )?;
                 icap_free = ce;
                 if let Some(fm) = &fm {
@@ -1001,6 +1093,7 @@ fn run_prtr_impl(
                         exec_end: ready,
                     });
                     m_latency.record((ready - prev_end_t).as_secs_f64());
+                    j.close(jcall, ready.0);
                     prev = Some((ready, ready, 0));
                 } else {
                     let control_end = ready + t_control;
@@ -1023,6 +1116,13 @@ fn run_prtr_impl(
                         exec_start,
                         exec_end,
                     );
+                    let jexec = j.event(
+                        "execute",
+                        jcall,
+                        exec_start.0,
+                        Lane::Prr(call.slot).chrome_tid(),
+                    );
+                    j.flow(jchain.map(|(id, _)| id), jexec, "activate");
                     timings.push(CallTiming {
                         name: call.task.name,
                         hit: false,
@@ -1032,12 +1132,23 @@ fn run_prtr_impl(
                         exec_end,
                     });
                     m_latency.record((exec_end - prev_end_t).as_secs_f64());
+                    j.close(jcall, exec_end.0);
                     prev = Some((exec_start, exec_end, call.task.bytes_in));
                 }
                 i += 1;
                 continue;
             }
         }
+
+        // The decision's start anchor is arm-dependent; the journal's
+        // call span opens there (it is the call's first action).
+        let decision_anchor = match (call.hit, prev) {
+            (_, None) => SimTime::ZERO,
+            (true, Some((prev_start, _, _))) => prev_start,
+            (false, Some((_, prev_end, _))) => prev_end,
+        };
+        let jcall = j.open(call.task.name.as_str(), jrun, decision_anchor.0, tid_host);
+        let jdec = j.event("decide", jcall, decision_anchor.0, tid_host);
 
         let (config_start, config_end, ready) = match (call.hit, prev) {
             // Cold start (first call): decision, then configuration (on a
@@ -1098,6 +1209,14 @@ fn run_prtr_impl(
             }
         };
 
+        let jcfg = match config_start {
+            Some(cs) => {
+                let c = j.event("configure", jcall, cs.0, tid_cfg);
+                j.flow(jdec, c, "hide");
+                c
+            }
+            None => None,
+        };
         if let (Some(cs), Some(ce)) = (config_start, config_end) {
             timeline.push(
                 Lane::ConfigPort,
@@ -1127,6 +1246,18 @@ fn run_prtr_impl(
             exec_start,
             exec_end,
         );
+        let jexec = j.event(
+            "execute",
+            jcall,
+            exec_start.0,
+            Lane::Prr(call.slot).chrome_tid(),
+        );
+        if jcfg.is_some() {
+            j.flow(jcfg, jexec, "activate");
+        } else {
+            j.flow(jdec, jexec, "hit");
+        }
+        j.close(jcall, exec_end.0);
 
         timings.push(CallTiming {
             name: call.task.name,
@@ -1158,8 +1289,9 @@ fn run_prtr_impl(
         i += 1;
     }
 
-    timeline.record_metrics(registry, "sim.prtr");
     let total = timings.last().expect("non-empty").exec_end - SimTime::ZERO;
+    j.exit(jrun, timings.last().expect("non-empty").exec_end.0);
+    timeline.record_metrics(registry, "sim.prtr");
     Ok(ExecutionReport {
         total,
         calls: timings,

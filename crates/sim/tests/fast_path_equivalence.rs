@@ -112,6 +112,15 @@ fn assert_equivalent(
         fsnap.to_json_value()["gauges"].to_string(),
         rsnap.to_json_value()["gauges"].to_string()
     );
+    // The causal journal must be byte-identical too: the fast path's
+    // replayed cycles mint the same ids, parents, flows, and times the
+    // reference path would.
+    assert_eq!(fctx.journal.records(), rctx.journal.records());
+    assert_eq!(
+        fctx.journal.to_jsonl("equiv", 0),
+        rctx.journal.to_jsonl("equiv", 0),
+        "journal JSONL must be byte-identical"
+    );
 }
 
 proptest! {
@@ -136,8 +145,12 @@ proptest! {
                 slot: t.slot % node.n_prrs,
             })
             .collect();
-        let fctx = ExecCtx::default().with_registry(Registry::new());
-        let rctx = ExecCtx::default().with_registry(Registry::new());
+        let fctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
+        let rctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
         let fast = run_prtr(&node, &calls, &fctx).unwrap();
         let reference = run_prtr_reference(&node, &calls, &rctx).unwrap();
         assert_equivalent(&fast, &reference, &fctx, &rctx);
@@ -158,8 +171,12 @@ proptest! {
                 bytes_out: t.bytes_out,
             })
             .collect();
-        let fctx = ExecCtx::default().with_registry(Registry::new());
-        let rctx = ExecCtx::default().with_registry(Registry::new());
+        let fctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
+        let rctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
         let fast = run_frtr(&node, &calls, &fctx).unwrap();
         let reference = run_frtr_reference(&node, &calls, &rctx).unwrap();
         assert_equivalent(&fast, &reference, &fctx, &rctx);

@@ -163,6 +163,15 @@ fn assert_equivalent(
         fsnap.to_json_value()["gauges"].to_string(),
         rsnap.to_json_value()["gauges"].to_string()
     );
+    // The causal journal must be byte-identical too: the fast path's
+    // replayed cycles mint the same ids, parents, flows, and times the
+    // reference path would.
+    assert_eq!(fctx.journal.records(), rctx.journal.records());
+    assert_eq!(
+        fctx.journal.to_jsonl("equiv", 0),
+        rctx.journal.to_jsonl("equiv", 0),
+        "journal JSONL must be byte-identical"
+    );
 }
 
 proptest! {
@@ -177,8 +186,12 @@ proptest! {
     ) {
         let node = node(estimated, waits);
         let calls = prtr_calls(&seq, &node);
-        let fctx = ExecCtx::default().with_registry(Registry::new());
-        let rctx = ExecCtx::default().with_registry(Registry::new());
+        let fctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
+        let rctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
         let fast = run_prtr_faulty(&node, &calls, &plan, &fctx).unwrap();
         let reference = run_prtr_faulty_reference(&node, &calls, &plan, &rctx).unwrap();
         assert_equivalent(&fast, &reference, &fctx, &rctx);
@@ -193,8 +206,12 @@ proptest! {
     ) {
         let node = node(estimated, waits);
         let calls = frtr_calls(&seq);
-        let fctx = ExecCtx::default().with_registry(Registry::new());
-        let rctx = ExecCtx::default().with_registry(Registry::new());
+        let fctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
+        let rctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
         let fast = run_frtr_faulty(&node, &calls, &plan, &fctx).unwrap();
         let reference = run_frtr_faulty_reference(&node, &calls, &plan, &rctx).unwrap();
         assert_equivalent(&fast, &reference, &fctx, &rctx);
@@ -219,16 +236,24 @@ proptest! {
         };
 
         let calls = prtr_calls(&seq, &node);
-        let cctx = ExecCtx::default().with_registry(Registry::new());
-        let fctx = ExecCtx::default().with_registry(Registry::new());
+        let cctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
+        let fctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
         let clean = run_prtr(&node, &calls, &cctx).unwrap();
         let faulty = run_prtr_faulty(&node, &calls, &plan, &fctx).unwrap();
         prop_assert_eq!(&clean, &faulty);
         assert_equivalent(&faulty, &clean, &fctx, &cctx);
 
         let calls = frtr_calls(&seq);
-        let cctx = ExecCtx::default().with_registry(Registry::new());
-        let fctx = ExecCtx::default().with_registry(Registry::new());
+        let cctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
+        let fctx = ExecCtx::default()
+            .with_registry(Registry::new())
+            .with_journal(hprc_obs::Journal::new(7));
         let clean = run_frtr(&node, &calls, &cctx).unwrap();
         let faulty = run_frtr_faulty(&node, &calls, &plan, &fctx).unwrap();
         prop_assert_eq!(&clean, &faulty);

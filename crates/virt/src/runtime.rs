@@ -210,6 +210,8 @@ pub fn run(
     if apps.iter().enumerate().any(|(i, a)| a.id != i) {
         return Err(VirtError::BadAppIds);
     }
+    let j = &ctx.journal;
+    let js = j.enter("virt.run", 0, 0);
     let m_dispatch = registry.histogram("virt.dispatch_latency_s");
     let m_calls = registry.counter("virt.calls");
     let m_hits = registry.counter("virt.hits");
@@ -409,6 +411,9 @@ pub fn run(
         registry.gauge("virt.hit_ratio").set(report.hit_ratio());
         report.timeline.record_metrics(registry, "virt");
     }
+    j.metric("virt.calls", report.records.len() as u64);
+    j.metric("virt.configs", report.n_config);
+    j.exit(js, (report.makespan_s * 1e9).round() as u64);
     Ok(report)
 }
 
@@ -495,6 +500,8 @@ pub fn run_faulty(
     if apps.iter().enumerate().any(|(i, a)| a.id != i) {
         return Err(VirtError::BadAppIds);
     }
+    let j = &ctx.journal;
+    let js = j.enter("virt.run_faulty", 0, 0);
     let m_dispatch = registry.histogram("virt.dispatch_latency_s");
     let m_calls = registry.counter("virt.calls");
     let m_hits = registry.counter("virt.hits");
@@ -798,6 +805,12 @@ pub fn run_faulty(
             .gauge("virt.fault.blacklisted_slots")
             .set(state.blacklisted_slots() as f64);
     }
+    j.metric("virt.calls", report.records.len() as u64);
+    j.metric("virt.configs", report.n_config);
+    j.metric("virt.fault.injected", injected);
+    j.metric("virt.fault.recovered", recovered);
+    j.metric("virt.fault.dropped", dropped_calls);
+    j.exit(js, (report.makespan_s * 1e9).round() as u64);
     Ok(FaultyRunReport {
         report,
         recovered,
