@@ -14,6 +14,7 @@ pub mod ext_icap;
 pub mod ext_landscape;
 pub mod ext_multitask;
 pub mod ext_platforms;
+pub mod ext_preempt;
 pub mod ext_prefetch;
 pub mod fig5;
 pub mod fig9;

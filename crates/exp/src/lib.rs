@@ -34,7 +34,7 @@ use hprc_ctx::ExecCtx;
 use report::Report;
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "summary",
     "table1",
     "table2",
@@ -57,7 +57,80 @@ pub const ALL_EXPERIMENTS: [&str; 22] = [
     "ext-platforms",
     "ext-flexible",
     "ext-faults",
+    "ext-preempt",
 ];
+
+/// One-line description per experiment id, in [`ALL_EXPERIMENTS`] order
+/// (what `hprc-exp list` prints).
+pub const EXPERIMENT_DESCRIPTIONS: [(&str, &str); 23] = [
+    (
+        "summary",
+        "Paper-vs-reproduced digest of every headline number",
+    ),
+    ("table1", "Table 1: the three image filters' per-call times"),
+    (
+        "table2",
+        "Table 2: configuration times and X ratios per platform",
+    ),
+    (
+        "fig5",
+        "Figure 5: analytic speedup bound vs task:config ratio",
+    ),
+    (
+        "fig9a",
+        "Figure 9(a): measured-vs-model speedup, estimated node",
+    ),
+    (
+        "fig9b",
+        "Figure 9(b): measured-vs-model speedup, measured node",
+    ),
+    (
+        "profiles",
+        "Figures 2-4: FRTR / all-miss / pre-fetched timelines",
+    ),
+    (
+        "validate",
+        "Cross-checks the simulator against the closed forms",
+    ),
+    ("ext-prefetch", "E1: prefetch policies vs hit ratio H"),
+    ("ext-decision", "E2: decision-latency sensitivity"),
+    (
+        "ext-flows",
+        "E3: data-flow regimes on the shared input channel",
+    ),
+    ("ext-granularity", "E4: PRR granularity sweep"),
+    ("ext-icap", "E5: ICAP bandwidth sweep"),
+    ("ext-compress", "E6: bitstream compression sweep"),
+    (
+        "ext-multitask",
+        "Multi-tasking contention on the configuration port",
+    ),
+    ("ext-hybrid", "Hybrid FRTR/PRTR cutover policies"),
+    ("ext-landscape", "Speedup landscape over (H, X_PRTR)"),
+    (
+        "ext-defrag",
+        "Fragmentation and defragmentation of the PRR pool",
+    ),
+    ("ext-fit", "Bitstream placement/fitting strategies"),
+    ("ext-platforms", "Cross-platform calibration sweep"),
+    ("ext-flexible", "Flexible region shapes and relocation"),
+    (
+        "ext-faults",
+        "Fault injection and recovery across the reconfig path",
+    ),
+    (
+        "ext-preempt",
+        "Preemptive execution via PR: deadlines, priority + EDF",
+    ),
+];
+
+/// The one-line description for an experiment id, if known.
+pub fn describe(id: &str) -> Option<&'static str> {
+    EXPERIMENT_DESCRIPTIONS
+        .iter()
+        .find(|(i, _)| *i == id)
+        .map(|(_, d)| *d)
+}
 
 /// Runs one experiment by id (see [`ALL_EXPERIMENTS`]).
 ///
@@ -89,6 +162,7 @@ pub fn run_experiment(id: &str, ctx: &ExecCtx) -> Option<Report> {
         "ext-platforms" => experiments::ext_platforms::run(ctx),
         "ext-flexible" => experiments::ext_flexible::run(ctx),
         "ext-faults" => experiments::ext_faults::run(ctx),
+        "ext-preempt" => experiments::ext_preempt::run(ctx),
         "ext-icap" => experiments::ext_icap::run(ctx),
         _ => return None,
     })
@@ -226,6 +300,13 @@ pub fn chrome_trace(id: &str, ctx: &ExecCtx) -> Option<Vec<hprc_obs::ChromeEvent
                 .chrome_flow_events(1, Some("sim.run_prtr"));
             assemble_trace(events, &[(1, "faulty PRTR")], flows)
         }
+        "ext-preempt" => {
+            let events = experiments::ext_preempt::chrome_trace(&journaled, &ctx.registry);
+            let flows = journaled
+                .journal
+                .chrome_flow_events(1, Some("sim.run_preemptive"));
+            assemble_trace(events, &[(1, "preemptive schedule")], flows)
+        }
         _ => return None,
     })
 }
@@ -247,6 +328,7 @@ pub fn attribution(id: &str, ctx: &ExecCtx) -> Option<hprc_attr::AttributionRepo
         }
         "profiles" => experiments::profiles::attribution(&quiet),
         "ext-faults" => experiments::ext_faults::attribution(&quiet),
+        "ext-preempt" => experiments::ext_preempt::attribution(&quiet),
         _ => return None,
     })
 }
@@ -278,7 +360,34 @@ pub fn write_series(id: &str, dir: &Path, ctx: &ExecCtx) -> std::io::Result<()> 
         "ext-faults" => {
             report::write_series_csv(dir, "ext-faults", &experiments::ext_faults::series(&quiet))?;
         }
+        "ext-preempt" => {
+            report::write_series_csv(
+                dir,
+                "ext-preempt",
+                &experiments::ext_preempt::series(&quiet),
+            )?;
+        }
         _ => {}
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn descriptions_cover_all_experiments_in_order() {
+        assert_eq!(EXPERIMENT_DESCRIPTIONS.len(), ALL_EXPERIMENTS.len());
+        for ((id, description), expected) in EXPERIMENT_DESCRIPTIONS.iter().zip(ALL_EXPERIMENTS) {
+            assert_eq!(*id, expected, "descriptions must follow presentation order");
+            assert!(!description.is_empty());
+            assert!(description.len() <= 60, "keep `list` one-line: {id}");
+        }
+        assert_eq!(
+            describe("ext-preempt"),
+            Some("Preemptive execution via PR: deadlines, priority + EDF")
+        );
+        assert!(describe("no-such-id").is_none());
+    }
 }

@@ -27,6 +27,7 @@ use hprc_obs::Registry;
 fn usage() -> String {
     format!(
         "usage: hprc-exp [--out DIR] [--trace DIR] [--jobs N] [--seed S] [all | id...]\n\
+         \x20      hprc-exp list\n\
          \x20      hprc-exp bench [--repeat K] [--out-file PATH] [--check BASELINE]\n\
          \x20                     [--update-baseline] [--threshold X] [--jobs N] [--seed S]\n\
          \x20      hprc-exp journal [summarize FILE | diff A B |\n\
@@ -39,6 +40,8 @@ fn usage() -> String {
          --jobs N     worker threads (default: available cores); results are\n\
          \x20            byte-identical at any N, only wall-clock time changes\n\
          --seed S     base RNG seed XOR-ed into every workload stream (default: 0)\n\
+         \n\
+         list: print every experiment id with a one-line description.\n\
          \n\
          bench: wall-clock-time every experiment (p50 over K repetitions, default 3)\n\
          and write a schema-stable BENCH_<YYYYMMDD>.json (or --out-file PATH) at the\n\
@@ -222,6 +225,12 @@ fn main() -> ExitCode {
     }
     if std::env::args().nth(1).as_deref() == Some("journal") {
         return hprc_exp::journal_cli::journal_main(args.skip(1));
+    }
+    if std::env::args().nth(1).as_deref() == Some("list") {
+        for (id, description) in hprc_exp::EXPERIMENT_DESCRIPTIONS {
+            println!("{id:<16} {description}");
+        }
+        return ExitCode::SUCCESS;
     }
     while let Some(arg) = args.next() {
         match arg.as_str() {

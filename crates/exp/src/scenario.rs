@@ -7,11 +7,14 @@ use hprc_ctx::{ExecCtx, Symbol};
 use hprc_model::params::{ModelParams, NormalizedTimes};
 use hprc_sched::cache::TaskId;
 use hprc_sched::policy::Policy;
+use hprc_sched::preempt::{simulate_preemptive, PreemptCosts, PreemptOutcome, RtTask};
 use hprc_sched::simulate::{simulate, CallOutcome, SimulationOutcome};
 use hprc_sched::traces::TraceSpec;
 use hprc_sim::executor::{run_frtr, run_frtr_faulty, run_prtr, run_prtr_faulty, ExecutionReport};
 use hprc_sim::node::NodeConfig;
+use hprc_sim::preempt::{run_preemptive, PreemptSegment};
 use hprc_sim::task::{PrtrCall, TaskCall};
+use hprc_sim::time::{SimDuration, SimTime};
 use hprc_sim::trace::Timeline;
 use serde::{Deserialize, Serialize};
 
@@ -232,6 +235,83 @@ pub fn run_point_faulty(
         params,
         sched,
     }
+}
+
+/// The preemption cost model equivalent to a node: decision, control,
+/// and transfer times come straight from the calibration, and the
+/// configuration port's effective bandwidth (bitstream bytes over the
+/// partial transfer time) prices context save/restore transfers.
+pub fn preempt_costs_for(node: &NodeConfig, quantum_s: f64) -> PreemptCosts {
+    PreemptCosts {
+        t_decision_s: node.decision_latency_s,
+        t_control_s: node.control_overhead_s,
+        t_partial_s: node.t_prtr_s(),
+        t_full_s: node.t_frtr_s(),
+        quantum_s,
+        port_bytes_per_s: node.prr_bitstream_bytes as f64 / node.t_prtr_s(),
+    }
+}
+
+/// Converts the preemptible engine's schedule into renderable simulator
+/// segments: absolute nanosecond windows become [`SimTime`] pairs and
+/// each [`TaskId`] gets its Table 1 core name.
+pub fn preempt_segments(outcome: &PreemptOutcome) -> Vec<PreemptSegment> {
+    let names: [Symbol; 3] = std::array::from_fn(|i| Symbol::intern(core_name(TaskId(i))));
+    outcome
+        .segments
+        .iter()
+        .map(|s| PreemptSegment {
+            name: names[s.task.0 % names.len()],
+            slot: s.slot,
+            decision_start: SimTime(s.decision.start_ns),
+            decision_end: SimTime(s.decision.end_ns),
+            config: s.config.map(|w| (SimTime(w.start_ns), SimTime(w.end_ns))),
+            config_clean: SimDuration(s.config_clean_ns),
+            restore: s.restore.map(|w| (SimTime(w.start_ns), SimTime(w.end_ns))),
+            restore_clean: SimDuration(s.restore_clean_ns),
+            control_start: SimTime(s.control.start_ns),
+            control_end: SimTime(s.control.end_ns),
+            exec_start: SimTime(s.exec.start_ns),
+            exec_end: SimTime(s.exec.end_ns),
+            save: s.save.map(|w| (SimTime(w.start_ns), SimTime(w.end_ns))),
+            hit: s.hit,
+            forced_full: s.forced_full,
+            resumed: s.resumed,
+            preempted: s.preempted,
+            dropped: s.dropped,
+            clean: s.clean,
+        })
+        .collect()
+}
+
+/// One executed preemptive operating point: the engine's outcome plus
+/// the rendered execution report (timeline, metrics, journal spans with
+/// `preempt`/`save`/`restore` flows all land in `ctx`).
+#[derive(Debug, Clone)]
+pub struct PreemptPointRun {
+    /// The engine's schedule, per-job records, and aggregates.
+    pub outcome: PreemptOutcome,
+    /// The rendered execution report of the schedule.
+    pub report: ExecutionReport,
+}
+
+/// Runs one preemptive operating point: simulates the task set under
+/// `policy` on the engine, then renders the resulting schedule through
+/// the fast-path executor (fast == reference, bit-identical).
+pub fn run_point_preemptive(
+    node: &NodeConfig,
+    tasks: &[RtTask],
+    n_slots: usize,
+    policy: &mut dyn Policy,
+    quantum_s: f64,
+    plan: &hprc_fault::FaultPlan,
+    ctx: &ExecCtx,
+) -> PreemptPointRun {
+    let costs = preempt_costs_for(node, quantum_s);
+    let outcome = simulate_preemptive(tasks, n_slots, policy, &costs, plan, ctx);
+    let segments = preempt_segments(&outcome);
+    let report = run_preemptive(node, &segments, ctx).expect("engine emits renderable schedules");
+    PreemptPointRun { outcome, report }
 }
 
 /// [`run_point_full`], keeping only the summary point and the PRTR

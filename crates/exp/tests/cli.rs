@@ -32,6 +32,39 @@ fn help_prints_usage_and_exits_zero() {
 }
 
 #[test]
+fn list_prints_one_line_per_experiment() {
+    let out = Command::new(exe()).arg("list").output().expect("run list");
+    assert!(out.status.success(), "list should exit 0");
+    let text = String::from_utf8(out.stdout).expect("utf-8 listing");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        hprc_exp::ALL_EXPERIMENTS.len(),
+        "one line per experiment id:\n{text}"
+    );
+    // Lines lead with the ids, in presentation order, each followed by
+    // its one-line description.
+    for (line, (id, description)) in lines.iter().zip(hprc_exp::EXPERIMENT_DESCRIPTIONS) {
+        assert!(
+            line.starts_with(id),
+            "line should lead with {id:?}: {line:?}"
+        );
+        assert!(
+            line.ends_with(description),
+            "line should end with the description for {id:?}: {line:?}"
+        );
+    }
+    // Pin the new experiment's row verbatim.
+    assert!(
+        lines.contains(&"ext-preempt      Preemptive execution via PR: deadlines, priority + EDF"),
+        "ext-preempt row changed:\n{text}"
+    );
+    // The usage text advertises the subcommand.
+    let out = Command::new(exe()).arg("--help").output().expect("run");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hprc-exp list"));
+}
+
+#[test]
 fn unknown_flag_and_unknown_id_fail() {
     let out = Command::new(exe())
         .arg("--frobnicate")

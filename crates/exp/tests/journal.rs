@@ -56,6 +56,38 @@ fn header_and_footer_carry_the_replay_contract() {
     }
 }
 
+/// The preemption flow-kind vocabulary is additive: `preempt`, `save`,
+/// and `restore` edges appear ONLY on preemptive schedules. The golden
+/// non-preemptive journal must not contain them (its bytes are already
+/// pinned verbatim above), and the `ext-preempt` journal must contain
+/// all three.
+#[test]
+fn preemption_flow_vocabulary_is_additive() {
+    for kind in ["preempt", "save", "restore"] {
+        let needle = format!("\"kind\":\"{kind}\"");
+        assert!(
+            !GOLDEN.contains(&needle),
+            "non-preemptive golden journal must not carry {kind:?} flows"
+        );
+    }
+    let preemptive =
+        hprc_exp::run_journaled("ext-preempt", 0, 1).expect("ext-preempt is a known id");
+    for kind in ["preempt", "save", "restore"] {
+        let needle = format!("\"kind\":\"{kind}\"");
+        assert!(
+            preemptive.contains(&needle),
+            "ext-preempt journal must carry {kind:?} flows"
+        );
+    }
+}
+
+#[test]
+fn ext_preempt_journal_is_jobs_invariant() {
+    let j1 = hprc_exp::run_journaled("ext-preempt", 0, 1).expect("ext-preempt is a known id");
+    let j4 = hprc_exp::run_journaled("ext-preempt", 0, 4).expect("ext-preempt is a known id");
+    assert_eq!(j1, j4, "journal bytes must not depend on --jobs");
+}
+
 #[test]
 fn journal_salt_separates_experiments_but_not_runs() {
     let a = hprc_exp::journal_salt("fig9a", 0);

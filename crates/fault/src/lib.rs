@@ -461,6 +461,13 @@ impl FaultPlan {
     }
 }
 
+/// Salt XORed into the call number for context-restore transfers
+/// ([`FaultState::on_restore`]): restores share the partial-bitstream
+/// fault model but draw from their own stream, so the same `(site,
+/// call, attempt)` triple never collides between a configuration and
+/// a restore within one run.
+pub const RESTORE_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// The mutable recovery state layered over a plan: per-PRR escalation
 /// counts and blacklist flags. Both the scheduler and the simulator
 /// run their own copy over the identical call stream, so the two stay
@@ -534,6 +541,16 @@ impl FaultState {
     /// The fate of full-reconfiguration call `call` (FRTR mode).
     pub fn on_full(&self, call: u64) -> CallFate {
         self.plan.full_fate(call)
+    }
+
+    /// The fate of a context-restore transfer for preemption call
+    /// `call` targeting `slot`. Restores ride the same ICAP/API path
+    /// as partial bitstreams, so they fault and escalate exactly like
+    /// a miss — but on an independent draw stream
+    /// ([`RESTORE_STREAM_SALT`]) so arming restores never perturbs the
+    /// fates of ordinary configuration calls sharing call numbers.
+    pub fn on_restore(&mut self, call: u64, slot: usize) -> CallFate {
+        self.on_miss(call ^ RESTORE_STREAM_SALT, slot)
     }
 
     /// Whether an SEU strikes resident slot `slot` after call `call`
@@ -745,5 +762,31 @@ mod tests {
         let ctx = ExecCtx::default().with_seed(77);
         let plan = FaultPlan::from_ctx(FaultSpec::uniform(0.1), RecoveryPolicy::default(), &ctx);
         assert_eq!(plan.seed(), ctx.seed_for(FAULT_STREAM));
+    }
+
+    #[test]
+    fn restore_stream_is_independent_of_miss_stream() {
+        let plan = armed_plan(0.35, 99);
+        // Same call number, independent states: the restore fate must
+        // equal the miss fate of the salted call, and differ somewhere
+        // from the unsalted miss stream across a window of calls.
+        let mut s_restore = FaultState::new(plan, 4);
+        let mut s_salted = FaultState::new(plan, 4);
+        let mut s_miss = FaultState::new(plan, 4);
+        let mut any_diff = false;
+        for call in 0..64u64 {
+            let r = s_restore.on_restore(call, 0);
+            let m = s_salted.on_miss(call ^ RESTORE_STREAM_SALT, 0);
+            assert_eq!(r, m, "on_restore must be the salted miss stream");
+            if r != s_miss.on_miss(call, 0) {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff, "restore stream should diverge from miss stream");
+
+        // Disarmed plans stay clean on the restore path too.
+        let disarmed = FaultPlan::disarmed();
+        let mut s = FaultState::new(disarmed, 2);
+        assert_eq!(s.on_restore(7, 1), CallFate::clean_partial());
     }
 }

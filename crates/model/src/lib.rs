@@ -13,6 +13,9 @@
 //!   `X_control`, `X_decision`, `X_PRTR`, hit ratio `H`, `n_calls`);
 //! * [`frtr`] — total-time equations (1)/(2);
 //! * [`prtr`] — total-time equations (3)/(5) with hit/miss overlap;
+//! * [`preempt`] — equation (5) extended with context-save/restore
+//!   preemption overhead terms (`ν·(X_save + X_restore + X_PRTR +
+//!   X_control)` per call);
 //! * [`speedup`] — finite (eq. 6) and asymptotic (eq. 7) speedup;
 //! * [`bounds`] — the headline bounds (≤ 2× for `X_task ≥ 1`; `1 + 1/X_PRTR`
 //!   peak at `X_task = X_PRTR` for `H = 0`), suprema, crossovers;
@@ -50,6 +53,7 @@ pub mod frtr;
 pub mod hybrid;
 pub mod landscape;
 pub mod params;
+pub mod preempt;
 pub mod prtr;
 pub mod regimes;
 pub mod sensitivity;
@@ -59,4 +63,8 @@ pub mod validate;
 
 pub use error::ModelError;
 pub use params::{ModelParams, NormalizedTimes, TimingParams};
+pub use preempt::{
+    asymptotic_speedup_with_preemption, steady_state_per_call_with_preemption,
+    total_time_with_preemption, PreemptOverheads,
+};
 pub use speedup::{asymptotic_speedup, evaluate, speedup, OperatingPoint};

@@ -1,0 +1,186 @@
+//! Preemption overhead extension of the PRTR cost model — equation (5)
+//! with context-switch terms.
+//!
+//! The paper's bounds assume run-to-completion: once configured, a task
+//! owns its PRR until it finishes. A preemptible engine (deadline-driven
+//! scheduling, `hprc-sched`) breaks that assumption by checkpointing a
+//! running task's live context out over the configuration port and
+//! writing it back later. Both transfers are priced exactly like
+//! bitstream transfers, so they normalize by `T_FRTR` the same way
+//! `X_PRTR` does, and each preemption additionally forces the victim's
+//! configuration to be reloaded (one extra `X_PRTR`) and re-activated
+//! (one extra `X_control`) when it resumes.
+//!
+//! With `ν` preemptions per call on average, the steady-state per-call
+//! cost of equation (5) gains a linear overhead term:
+//!
+//! ```text
+//! X_preempt_per_call = X_control
+//!                    + M · max(X_task + X_decision, X_PRTR)
+//!                    + H · max(X_task, X_decision)
+//!                    + ν · (X_save + X_restore + X_PRTR + X_control)
+//! ```
+//!
+//! The term is a *bound*: it charges every preemption's save, restore,
+//! reload, and re-activation at full price, ignoring any overlap the
+//! scheduler may recover by hiding transfers under execution — so the
+//! measured effective speedup of a preemptive schedule must sit at or
+//! above the curve this module predicts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::ModelParams;
+use crate::{frtr, prtr};
+
+/// Preemption overhead parameters, normalized by `T_FRTR` like every
+/// other `X_*` quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreemptOverheads {
+    /// Mean preemptions per call, `ν ≥ 0`.
+    pub nu: f64,
+    /// Normalized context-readback (checkpoint) transfer time
+    /// `X_save = T_save / T_FRTR`.
+    pub x_save: f64,
+    /// Normalized context write-back transfer time
+    /// `X_restore = T_restore / T_FRTR`.
+    pub x_restore: f64,
+}
+
+impl PreemptOverheads {
+    /// No preemption: the extension degenerates to the base model.
+    pub fn none() -> Self {
+        PreemptOverheads {
+            nu: 0.0,
+            x_save: 0.0,
+            x_restore: 0.0,
+        }
+    }
+
+    /// The normalized per-call overhead
+    /// `ν·(X_save + X_restore + X_PRTR + X_control)`: each preemption
+    /// pays the checkpoint readback, the context write-back, the
+    /// victim's configuration reload, and one extra control/activation
+    /// on resume.
+    pub fn per_call_overhead(&self, p: &ModelParams) -> f64 {
+        self.nu * (self.x_save + self.x_restore + p.times.x_prtr + p.times.x_control)
+    }
+}
+
+/// Steady-state per-call normalized cost under preemption: the
+/// bracketed term of equation (5) plus the preemption overhead term.
+pub fn steady_state_per_call_with_preemption(p: &ModelParams, o: &PreemptOverheads) -> f64 {
+    prtr::steady_state_per_call_normalized(p) + o.per_call_overhead(p)
+}
+
+/// Total normalized execution time under preemption — equation (5)
+/// with the overhead term applied to every call.
+pub fn total_time_with_preemption(p: &ModelParams, o: &PreemptOverheads) -> f64 {
+    p.times.x_decision + p.n_calls as f64 * steady_state_per_call_with_preemption(p, o)
+}
+
+/// Asymptotic PRTR-over-FRTR speedup under preemption — equation (7)
+/// with the denominator inflated by the overhead term. This is the
+/// lower bound the effective speedup of a preemptive schedule is
+/// compared against: preemption buys deadline compliance at the price
+/// of raw throughput, and this curve quantifies the price.
+///
+/// Returns `f64::INFINITY` when the inflated denominator is still zero
+/// (only possible with `ν = 0` in the degenerate corner of the base
+/// model).
+pub fn asymptotic_speedup_with_preemption(p: &ModelParams, o: &PreemptOverheads) -> f64 {
+    let num = frtr::per_call_normalized(p);
+    let den = steady_state_per_call_with_preemption(p, o);
+    if den == 0.0 {
+        f64::INFINITY
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ModelParams, NormalizedTimes};
+    use crate::speedup::asymptotic_speedup;
+
+    fn params() -> ModelParams {
+        let times = NormalizedTimes {
+            x_task: 0.05,
+            x_control: 0.003,
+            x_decision: 0.001,
+            x_prtr: 0.012,
+        };
+        ModelParams::new(times, 0.5, 1000).unwrap()
+    }
+
+    #[test]
+    fn zero_overheads_reduce_to_the_base_model() {
+        let p = params();
+        let o = PreemptOverheads::none();
+        assert_eq!(
+            steady_state_per_call_with_preemption(&p, &o),
+            prtr::steady_state_per_call_normalized(&p)
+        );
+        assert_eq!(
+            total_time_with_preemption(&p, &o),
+            prtr::total_time_normalized(&p)
+        );
+        assert_eq!(
+            asymptotic_speedup_with_preemption(&p, &o),
+            asymptotic_speedup(&p)
+        );
+    }
+
+    #[test]
+    fn overhead_is_linear_in_nu() {
+        let p = params();
+        let unit = PreemptOverheads {
+            nu: 1.0,
+            x_save: 0.004,
+            x_restore: 0.004,
+        };
+        let tripled = PreemptOverheads { nu: 3.0, ..unit };
+        let base = prtr::steady_state_per_call_normalized(&p);
+        let d1 = steady_state_per_call_with_preemption(&p, &unit) - base;
+        let d3 = steady_state_per_call_with_preemption(&p, &tripled) - base;
+        assert!((d3 - 3.0 * d1).abs() < 1e-15);
+        // Per preemption: X_save + X_restore + X_PRTR + X_control.
+        assert!((d1 - (0.004 + 0.004 + 0.012 + 0.003)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn speedup_degrades_monotonically_in_nu() {
+        let p = params();
+        let mut prev = f64::INFINITY;
+        for k in 0..8 {
+            let o = PreemptOverheads {
+                nu: k as f64 * 0.25,
+                x_save: 0.002,
+                x_restore: 0.002,
+            };
+            let s = asymptotic_speedup_with_preemption(&p, &o);
+            assert!(s < prev, "speedup must strictly fall as ν grows");
+            assert!(s <= asymptotic_speedup(&p) + 1e-12);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn large_contexts_dominate_the_overhead() {
+        let p = params();
+        let small = PreemptOverheads {
+            nu: 1.0,
+            x_save: 1e-4,
+            x_restore: 1e-4,
+        };
+        let large = PreemptOverheads {
+            nu: 1.0,
+            x_save: 0.05,
+            x_restore: 0.05,
+        };
+        assert!(
+            asymptotic_speedup_with_preemption(&p, &large)
+                < asymptotic_speedup_with_preemption(&p, &small)
+        );
+    }
+}

@@ -106,7 +106,9 @@ pub enum JournalRecord {
         /// Destination record.
         to: SpanId,
         /// Edge kind: `hide`, `hit`, `activate`, `fault`, `retry`,
-        /// `escalate`.
+        /// `escalate`; preemptive schedules add `preempt` (execution →
+        /// context-save), `save` (context-save → host context buffer),
+        /// and `restore` (host context buffer → context write-back).
         kind: String,
     },
     /// A metric delta attributed to this point in the log.

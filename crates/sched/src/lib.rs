@@ -13,6 +13,10 @@
 //! * [`faulty`] — the same simulation with `hprc-fault` recovery state:
 //!   escalations wipe the cache, repeated escalations blacklist PRRs,
 //!   and seeded SEUs evict residents, so `H` degrades honestly;
+//! * [`preempt`] — the event-driven preemptible engine: checkpoint a
+//!   running task out of its PRR at PR-safe points (context readback
+//!   priced like a bitstream transfer), restore it later, under
+//!   strict-priority or EDF dispatch with frame deadlines;
 //! * [`traces`] — seeded workload generators (uniform, Zipf, phased,
 //!   looping pipelines).
 //!
@@ -35,11 +39,16 @@ pub mod cache;
 pub mod faulty;
 pub mod policies;
 pub mod policy;
+pub mod preempt;
 pub mod simulate;
 pub mod traces;
 
 pub use cache::{CacheStats, ConfigCache, TaskId};
 pub use faulty::{simulate_faulty, FaultyOutcome};
-pub use policy::Policy;
+pub use policy::{JobView, Policy};
+pub use preempt::{
+    simulate_preemptive, Edf, JobRecord, PreemptCosts, PreemptOutcome, PreemptStats, RtTask,
+    ScheduleSegment, StrictPriority, TaskState, Window,
+};
 pub use simulate::{simulate, CallOutcome, SimulationOutcome};
 pub use traces::TraceSpec;

@@ -6,8 +6,30 @@
 //! Each policy also carries its decision latency — the paper's `T_decision`
 //! (`T_setup`), "the time taken by the configuration caching algorithm to
 //! decide whether to configure or not to configure certain tasks".
+//!
+//! The preemptible engine ([`crate::preempt`]) generalizes the same trait
+//! with two defaulted hooks: a dispatch-order ranking over released jobs
+//! ([`Policy::ranks_above`]) and an opt-in to suspend running tasks at
+//! PR-safe points ([`Policy::preemptive`]). Every classic replacement
+//! policy keeps the defaults and behaves exactly as before — a FIFO,
+//! run-to-completion dispatcher.
 
 use crate::cache::{ConfigCache, TaskId};
+
+/// The engine-facing view of one released job, used by the dispatch
+/// ranking of the preemptible scheduler: enough for strict-priority
+/// (static `priority`) and EDF (absolute `deadline_ns`) orderings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobView {
+    /// The task this job is an instance (frame) of.
+    pub task: TaskId,
+    /// Static priority; lower numbers are more urgent.
+    pub priority: u32,
+    /// Absolute deadline on the simulation clock, nanoseconds.
+    pub deadline_ns: u64,
+    /// Release instant on the simulation clock, nanoseconds.
+    pub release_ns: u64,
+}
 
 /// A configuration replacement + prefetch policy.
 pub trait Policy {
@@ -44,6 +66,26 @@ pub trait Policy {
     /// configuration pre-fetching always misses tasks when needed and
     /// always reconfigures the called tasks", section 4.3).
     fn forces_miss(&self) -> bool {
+        false
+    }
+
+    /// Dispatch-order ranking for the preemptible engine: `true` when
+    /// job `a` should run in preference to job `b` — and, when
+    /// [`preemptive`](Policy::preemptive) allows it, may checkpoint a
+    /// running `b` out of its PRR. Must be a *strict* ordering (`false`
+    /// on ties); the engine breaks ties deterministically by release
+    /// time, task id, and frame. The default never reorders, which
+    /// turns the engine into a FIFO run-to-completion dispatcher.
+    fn ranks_above(&self, a: &JobView, b: &JobView) -> bool {
+        let _ = (a, b);
+        false
+    }
+
+    /// Whether the preemptible engine may suspend this policy's running
+    /// jobs at PR-safe points (checkpoint the PRR's live context,
+    /// reclaim the region, restore later). Run-to-completion policies
+    /// keep the default.
+    fn preemptive(&self) -> bool {
         false
     }
 }

@@ -83,7 +83,7 @@ pub struct CallTiming {
 
 impl CallTiming {
     /// The timing shifted `offset_ns` later.
-    fn shifted(self, offset_ns: u64) -> CallTiming {
+    pub(crate) fn shifted(self, offset_ns: u64) -> CallTiming {
         CallTiming {
             config_start: self.config_start.map(|t| SimTime(t.0 + offset_ns)),
             config_end: self.config_end.map(|t| SimTime(t.0 + offset_ns)),
@@ -157,28 +157,29 @@ struct RelState {
 }
 
 /// Where a `(key, state)` pair was last seen: enough to locate the
-/// candidate period's calls, events, and timings.
+/// candidate period's calls, events, and timings. Shared with the
+/// preemptive renderer ([`crate::preempt`]).
 #[derive(Debug, Clone, Copy)]
-struct SeenAt {
+pub(crate) struct SeenAt {
     /// Call index about to be processed when the pair was recorded.
-    i0: usize,
+    pub(crate) i0: usize,
     /// The time anchor at that point (`now` for FRTR, `prev_start` for
     /// PRTR); the per-period shift is `anchor_now − anchor_then`.
-    anchor: SimTime,
+    pub(crate) anchor: SimTime,
     /// `timeline.n_items()` at that point.
-    items_marker: usize,
+    pub(crate) items_marker: usize,
     /// `timings.len()` at that point.
-    timings_marker: usize,
+    pub(crate) timings_marker: usize,
     /// The journal position at that point (for
     /// [`hprc_obs::Journal::replay_cycle`]).
-    jmark: hprc_obs::JournalMark,
+    pub(crate) jmark: hprc_obs::JournalMark,
 }
 
 /// Key-compares forward from call `j`: how many whole periods of length
 /// `p` (the keys at `i0..i0+p`) repeat verbatim before the sequence
 /// diverges or ends. Runs in O(verified calls) and fails at the first
 /// mismatching key.
-fn verified_periods<K: PartialEq>(keys: &[K], i0: usize, p: usize, mut j: usize) -> u64 {
+pub(crate) fn verified_periods<K: PartialEq>(keys: &[K], i0: usize, p: usize, mut j: usize) -> u64 {
     let mut m = 0u64;
     while j + p <= keys.len() && (0..p).all(|k| keys[j + k] == keys[i0 + k]) {
         m += 1;
@@ -194,18 +195,20 @@ fn verified_periods<K: PartialEq>(keys: &[K], i0: usize, p: usize, mut j: usize)
 /// are memoized per `(prefix, name, slot)`; workload vocabularies are
 /// tiny, so the map stays a handful of entries.
 #[derive(Default)]
-struct LabelCache(HashMap<(u8, Symbol, usize), Symbol>);
+pub(crate) struct LabelCache(HashMap<(u8, Symbol, usize), Symbol>);
 
-const L_FULL: u8 = 0;
-const L_CTL: u8 = 1;
-const L_DEC: u8 = 2;
-const L_CFG: u8 = 3;
-const L_IN: u8 = 4;
-const L_OUT: u8 = 5;
-const L_RCV: u8 = 6;
+pub(crate) const L_FULL: u8 = 0;
+pub(crate) const L_CTL: u8 = 1;
+pub(crate) const L_DEC: u8 = 2;
+pub(crate) const L_CFG: u8 = 3;
+pub(crate) const L_IN: u8 = 4;
+pub(crate) const L_OUT: u8 = 5;
+pub(crate) const L_RCV: u8 = 6;
+pub(crate) const L_SAV: u8 = 7;
+pub(crate) const L_RES: u8 = 8;
 
 impl LabelCache {
-    fn get(&mut self, tag: u8, name: Symbol, slot: usize) -> Symbol {
+    pub(crate) fn get(&mut self, tag: u8, name: Symbol, slot: usize) -> Symbol {
         *self.0.entry((tag, name, slot)).or_insert_with(|| {
             Symbol::intern(&match tag {
                 L_FULL => format!("full:{name}"),
@@ -214,6 +217,8 @@ impl LabelCache {
                 L_CFG => format!("cfg:{name}@PRR{slot}"),
                 L_IN => format!("in:{name}"),
                 L_RCV => format!("rcv:{name}"),
+                L_SAV => format!("sav:{name}@PRR{slot}"),
+                L_RES => format!("res:{name}@PRR{slot}"),
                 _ => format!("out:{name}"),
             })
         })

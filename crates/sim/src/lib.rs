@@ -44,6 +44,7 @@ pub mod error;
 pub mod executor;
 pub mod icap;
 pub mod node;
+pub mod preempt;
 pub mod rtcore;
 pub mod task;
 pub mod time;
@@ -57,6 +58,7 @@ pub use executor::{
 };
 pub use icap::IcapPath;
 pub use node::NodeConfig;
+pub use preempt::{run_preemptive, run_preemptive_reference, PreemptSegment};
 pub use rtcore::{Fifo, MemoryBank, RtCore};
 pub use task::{PrtrCall, TaskCall};
 pub use time::{SimDuration, SimTime};

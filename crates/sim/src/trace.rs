@@ -87,6 +87,12 @@ pub enum EventKind {
     /// bitstream re-fetch after an injected fault (crate `hprc-fault`).
     /// Never appears in a fault-free run.
     Recovery,
+    /// Context-save readback: a preempted task's live PRR state pulled
+    /// back over the configuration port at a PR-safe point.
+    Preempt,
+    /// Context-restore write-back: a previously saved context pushed
+    /// back into a PRR before the task resumes.
+    Restore,
 }
 
 impl EventKind {
@@ -101,6 +107,8 @@ impl EventKind {
             EventKind::DataIn => 'i',
             EventKind::DataOut => 'o',
             EventKind::Recovery => 'r',
+            EventKind::Preempt => 's',
+            EventKind::Restore => 'R',
         }
     }
 
@@ -113,10 +121,14 @@ impl EventKind {
             // Recovery time is visible configuration-path stall, so it
             // lands in the Config bucket and the attribution identity
             // (exclusive buckets summing to the span) holds unchanged
-            // on faulty runs.
-            EventKind::FullConfig | EventKind::PartialConfig | EventKind::Recovery => {
-                ActivityClass::Config
-            }
+            // on faulty runs. Context save/restore transfers ride the
+            // same port and land in the same bucket, so the identity
+            // also holds on preemptive schedules.
+            EventKind::FullConfig
+            | EventKind::PartialConfig
+            | EventKind::Recovery
+            | EventKind::Preempt
+            | EventKind::Restore => ActivityClass::Config,
             EventKind::Decision => ActivityClass::Decision,
             EventKind::Control => ActivityClass::Control,
             EventKind::DataIn | EventKind::DataOut => ActivityClass::Data,
@@ -943,6 +955,33 @@ mod tests {
             SimTime(1_000),
         );
         assert!((tl.class_busy_s(ActivityClass::Config) - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn preempt_and_restore_events_class_as_config() {
+        // Context save/restore ride the configuration port, so the attr
+        // six-bucket identity keeps summing to the span on preemptive
+        // schedules without a new bucket.
+        assert_eq!(EventKind::Preempt.class(), ActivityClass::Config);
+        assert_eq!(EventKind::Restore.class(), ActivityClass::Config);
+        assert_eq!(EventKind::Preempt.glyph(), 's');
+        assert_eq!(EventKind::Restore.glyph(), 'R');
+        let mut tl = Timeline::default();
+        tl.push(
+            Lane::ConfigPort,
+            EventKind::Preempt,
+            "sav",
+            SimTime(0),
+            SimTime(1_000),
+        );
+        tl.push(
+            Lane::ConfigPort,
+            EventKind::Restore,
+            "res",
+            SimTime(1_000),
+            SimTime(2_500),
+        );
+        assert!((tl.class_busy_s(ActivityClass::Config) - 2.5e-6).abs() < 1e-15);
     }
 
     #[test]
