@@ -39,7 +39,7 @@ pub mod timing;
 
 pub use symbol::Symbol;
 
-use hprc_obs::{Journal, Registry};
+use hprc_obs::{Journal, Registry, RunBudget};
 
 /// Which calibration of the modeled platform a run uses.
 ///
@@ -82,6 +82,11 @@ pub struct ExecCtx {
     /// Parallelism budget for sweep runners (worker threads). Clamped
     /// to at least 1 by consumers; 1 means strictly serial.
     pub jobs: usize,
+    /// Deterministic run budget. [`RunBudget::unlimited`] (the default)
+    /// makes every budget hook a single branch; a limited budget cuts
+    /// off simulation at an exact logical sequence number and tallies
+    /// the refused work as would-have-run.
+    pub budget: RunBudget,
 }
 
 impl Default for ExecCtx {
@@ -92,6 +97,7 @@ impl Default for ExecCtx {
             seed: 0,
             calibration: Calibration::default(),
             jobs: 1,
+            budget: RunBudget::unlimited(),
         }
     }
 }
@@ -135,6 +141,13 @@ impl ExecCtx {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Replaces the run budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -182,6 +195,11 @@ impl ExecCtx {
             seed: self.seed,
             calibration: self.calibration,
             jobs: 1,
+            // Children and forks get a fresh unlimited budget: a shared
+            // budget charged from parallel workers would make exhaustion
+            // depend on the interleaving. Fleet-style fan-outs split the
+            // parent budget explicitly (RunBudget::split_events) instead.
+            budget: RunBudget::unlimited(),
         }
     }
 }
@@ -241,6 +259,20 @@ mod tests {
         let f = ctx.fork();
         assert_eq!(f.seed, 77);
         assert_eq!(f.jobs, 1);
+    }
+
+    #[test]
+    fn budgets_never_leak_into_children_or_forks() {
+        let ctx = ExecCtx::new().with_budget(RunBudget::events(3));
+        assert!(ctx.budget.is_limited());
+        // A shared budget across parallel children would tie exhaustion
+        // to worker interleaving, so derivation resets it.
+        assert!(!ctx.child(0).budget.is_limited());
+        assert!(!ctx.fork().budget.is_limited());
+        // Clones share the budget state (like the registry handle).
+        let clone = ctx.clone();
+        assert_eq!(clone.budget.admit(5), 3);
+        assert!(ctx.budget.exhausted());
     }
 
     #[test]

@@ -6,6 +6,7 @@ pub mod ext_decision;
 pub mod ext_defrag;
 pub mod ext_faults;
 pub mod ext_fit;
+pub mod ext_fleet;
 pub mod ext_flexible;
 pub mod ext_flows;
 pub mod ext_granularity;

@@ -174,6 +174,15 @@ fn summarize(path: &str) -> Result<String, String> {
             "  account events={} dropped={} bytes={} sim_ns={}\n",
             a["events"], a["dropped"], a["bytes"], a["sim_ns"]
         ));
+        // Budget-capped runs nest their deterministic accounting in the
+        // footer: what was charged, where the cutoff landed, and how
+        // much work the budget refused.
+        if let Some(b) = a.get("budget") {
+            out.push_str(&format!(
+                "  budget max_events={} charged_events={} cutoff_seq={} would_have_run={} runs_cut={}\n",
+                b["max_events"], b["charged_events"], b["cutoff_seq"], b["would_have_run"], b["runs_cut"]
+            ));
+        }
     }
     let mut names: Vec<(&String, &(u64, u64, u64))> = per_name.iter().collect();
     names.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(b.0)));
@@ -441,6 +450,28 @@ mod tests {
         assert!(text.contains("retry=1"), "{text}");
         assert!(text.contains("metric sched.calls"), "{text}");
         assert!(text.contains("account events="), "{text}");
+    }
+
+    #[test]
+    fn summarize_surfaces_the_budget_sub_line() {
+        let j = hprc_obs::Journal::new(5);
+        let run = j.enter("fleet.run", 0, 0);
+        j.exit(run, 10);
+        let budget = hprc_obs::RunBudget::events(2);
+        budget.try_charge(2, 0);
+        budget.try_charge(1, 0);
+        j.set_budget_account(budget.account().unwrap());
+        let dir = std::env::temp_dir().join("hprc-journal-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("budget.journal.jsonl");
+        std::fs::write(&path, j.to_jsonl("budgeted", 1)).unwrap();
+        let text = summarize(path.to_str().unwrap()).unwrap();
+        assert!(
+            text.contains(
+                "budget max_events=2 charged_events=2 cutoff_seq=2 would_have_run=1 runs_cut=1"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

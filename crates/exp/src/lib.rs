@@ -22,6 +22,7 @@
 
 pub mod bench;
 pub mod experiments;
+pub mod fleet;
 pub mod journal_cli;
 pub mod report;
 pub mod runner;
@@ -34,7 +35,7 @@ use hprc_ctx::ExecCtx;
 use report::Report;
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 23] = [
+pub const ALL_EXPERIMENTS: [&str; 24] = [
     "summary",
     "table1",
     "table2",
@@ -58,11 +59,12 @@ pub const ALL_EXPERIMENTS: [&str; 23] = [
     "ext-flexible",
     "ext-faults",
     "ext-preempt",
+    "ext-fleet",
 ];
 
 /// One-line description per experiment id, in [`ALL_EXPERIMENTS`] order
 /// (what `hprc-exp list` prints).
-pub const EXPERIMENT_DESCRIPTIONS: [(&str, &str); 23] = [
+pub const EXPERIMENT_DESCRIPTIONS: [(&str, &str); 24] = [
     (
         "summary",
         "Paper-vs-reproduced digest of every headline number",
@@ -122,6 +124,10 @@ pub const EXPERIMENT_DESCRIPTIONS: [(&str, &str); 23] = [
         "ext-preempt",
         "Preemptive execution via PR: deadlines, priority + EDF",
     ),
+    (
+        "ext-fleet",
+        "Fleet-scale orchestration: kills, racks, run budgets",
+    ),
 ];
 
 /// The one-line description for an experiment id, if known.
@@ -163,6 +169,7 @@ pub fn run_experiment(id: &str, ctx: &ExecCtx) -> Option<Report> {
         "ext-flexible" => experiments::ext_flexible::run(ctx),
         "ext-faults" => experiments::ext_faults::run(ctx),
         "ext-preempt" => experiments::ext_preempt::run(ctx),
+        "ext-fleet" => experiments::ext_fleet::run(ctx),
         "ext-icap" => experiments::ext_icap::run(ctx),
         _ => return None,
     })
@@ -307,6 +314,14 @@ pub fn chrome_trace(id: &str, ctx: &ExecCtx) -> Option<Vec<hprc_obs::ChromeEvent
                 .chrome_flow_events(1, Some("sim.run_preemptive"));
             assemble_trace(events, &[(1, "preemptive schedule")], flows)
         }
+        "ext-fleet" => {
+            // The cluster trace: the journal itself is the event source
+            // (orchestrator dispatches/spans + witness node journals),
+            // with dispatch flow arrows linking them.
+            let events = experiments::ext_fleet::chrome_trace(&journaled, &ctx.registry);
+            let flows = journaled.journal.chrome_flow_events(1, None);
+            assemble_trace(events, &[(1, "fleet cluster")], flows)
+        }
         _ => return None,
     })
 }
@@ -366,6 +381,9 @@ pub fn write_series(id: &str, dir: &Path, ctx: &ExecCtx) -> std::io::Result<()> 
                 "ext-preempt",
                 &experiments::ext_preempt::series(&quiet),
             )?;
+        }
+        "ext-fleet" => {
+            report::write_series_csv(dir, "ext-fleet", &experiments::ext_fleet::series(&quiet))?;
         }
         _ => {}
     }

@@ -459,6 +459,29 @@ impl FaultPlan {
         fate.forced_full = true;
         fate
     }
+
+    /// Whether a fleet-level chaos sweep kills simulated node `node`
+    /// mid-run, and if so at which of its `n_calls` calls (the node
+    /// serves calls `0..k` and is dead for the rest). Draws from its
+    /// own stream ([`NODE_KILL_SALT`]), so node kills never collide
+    /// with per-call configuration fates, and the uniforms are coupled
+    /// across `p_kill` exactly like [`FaultPlan::draw`]: raising the
+    /// kill probability only adds kills and can only move a kill
+    /// earlier — fleet availability degrades monotonically.
+    pub fn node_kill_call(&self, node: u64, n_calls: u64, p_kill: f64) -> Option<u64> {
+        if p_kill <= 0.0 || n_calls == 0 {
+            return None;
+        }
+        let mut h = splitmix64(self.seed ^ NODE_KILL_SALT.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h = splitmix64(h ^ node);
+        if u01(h) >= p_kill {
+            return None;
+        }
+        // Second draw from the same chain: the kill instant, scaled so
+        // a larger p_kill (same uniform) strikes no later.
+        let frac = (u01(splitmix64(h)) / p_kill).min(1.0);
+        Some(((frac * n_calls as f64) as u64).min(n_calls - 1))
+    }
 }
 
 /// Salt XORed into the call number for context-restore transfers
@@ -467,6 +490,12 @@ impl FaultPlan {
 /// call, attempt)` triple never collides between a configuration and
 /// a restore within one run.
 pub const RESTORE_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Stream salt for fleet node-kill draws
+/// ([`FaultPlan::node_kill_call`]): whole-node chaos events draw from
+/// their own stream so they never collide with per-call fates or
+/// restore transfers under the same plan seed.
+pub const NODE_KILL_SALT: u64 = 0x4E0D_E4B1_1100_0003;
 
 /// The mutable recovery state layered over a plan: per-PRR escalation
 /// counts and blacklist flags. Both the scheduler and the simulator
@@ -594,6 +623,37 @@ mod tests {
             .map(|c| plan.draw(FaultSite::IcapTimeout, c, 1))
             .collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn node_kills_are_deterministic_and_monotone_in_p_kill() {
+        let plan = armed_plan(0.1, 99);
+        let n_calls = 64u64;
+        let kills = |p: f64| -> Vec<(u64, Option<u64>)> {
+            (0..500u64)
+                .map(|node| (node, plan.node_kill_call(node, n_calls, p)))
+                .collect()
+        };
+        assert_eq!(kills(0.3), kills(0.3), "pure function of (seed, node)");
+        let (lo, hi) = (kills(0.1), kills(0.4));
+        let killed = |v: &[(u64, Option<u64>)]| v.iter().filter(|(_, k)| k.is_some()).count();
+        assert!(killed(&lo) > 0, "some nodes die at p=0.1");
+        assert!(killed(&lo) < 500, "not all nodes die at p=0.1");
+        assert!(killed(&hi) > killed(&lo), "raising p adds kills");
+        for ((_, a), (_, b)) in lo.iter().zip(&hi) {
+            if let Some(ka) = a {
+                let kb = b.expect("a node dead at p=0.1 stays dead at p=0.4");
+                assert!(kb <= *ka, "coupled uniforms: higher p kills no later");
+            }
+        }
+        for (_, k) in &hi {
+            if let Some(k) = k {
+                assert!(*k < n_calls);
+            }
+        }
+        // Degenerate inputs never kill.
+        assert_eq!(plan.node_kill_call(3, 64, 0.0), None);
+        assert_eq!(plan.node_kill_call(3, 0, 0.9), None);
     }
 
     #[test]

@@ -35,6 +35,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::budget::BudgetAccount;
 use crate::chrome::ChromeEvent;
 
 /// Journal schema identifier written into every JSONL header line.
@@ -151,6 +152,8 @@ struct State {
     max_t_ns: u64,
     records: Vec<JournalRecord>,
     stack: Vec<SpanId>,
+    /// Run-budget accounting attached for the JSONL footer, if any.
+    budget_account: Option<BudgetAccount>,
 }
 
 impl State {
@@ -197,6 +200,7 @@ impl Journal {
             max_t_ns: 0,
             records: Vec::new(),
             stack: Vec::new(),
+            budget_account: None,
         }))))
     }
 
@@ -214,6 +218,21 @@ impl Journal {
     /// Whether records are being collected.
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// Attaches a run-budget account to the JSONL footer. Journals
+    /// without one keep the exact pre-budget footer bytes, so golden
+    /// logs are unaffected; a replayed run re-derives the same account
+    /// from its ctx, so budgeted journals stay replayable too.
+    pub fn set_budget_account(&self, account: BudgetAccount) {
+        if let Some(cell) = &self.0 {
+            cell.lock().budget_account = Some(account);
+        }
+    }
+
+    /// The attached run-budget account, if any.
+    pub fn budget_account(&self) -> Option<BudgetAccount> {
+        self.0.as_ref().and_then(|c| c.lock().budget_account)
     }
 
     /// A journal for parallel shard `index`: live iff `self` is, with a
@@ -458,14 +477,16 @@ impl Journal {
     /// Serializes the journal as schema-versioned JSONL: a header line,
     /// one line per record, and a resource-accounting footer (`events`
     /// stored, `dropped` by the budget, `bytes` of everything above the
-    /// footer, and `sim_ns` — the latest simulated time touched).
+    /// footer, `sim_ns` — the latest simulated time touched — and, when
+    /// a [`BudgetAccount`] is attached, a nested `budget` object with
+    /// the run-budget caps, charges, would-have-run tally, and cutoff).
     pub fn to_jsonl(&self, experiment: &str, seed: u64) -> String {
-        let (records, would, max_t) = match &self.0 {
+        let (records, would, max_t, budget) = match &self.0 {
             Some(cell) => {
                 let s = cell.lock();
-                (s.records.clone(), s.would, s.max_t_ns)
+                (s.records.clone(), s.would, s.max_t_ns, s.budget_account)
             }
-            None => (Vec::new(), 0, 0),
+            None => (Vec::new(), 0, 0, None),
         };
         let mut out = String::new();
         let _ = writeln!(
@@ -512,11 +533,26 @@ impl Journal {
         }
         let stored = records.len() as u64;
         let bytes = out.len();
-        let _ = writeln!(
+        let _ = write!(
             out,
-            r#"{{"account":{{"events":{stored},"dropped":{},"bytes":{bytes},"sim_ns":{max_t}}}}}"#,
+            r#"{{"account":{{"events":{stored},"dropped":{},"bytes":{bytes},"sim_ns":{max_t}"#,
             would - stored
         );
+        if let Some(b) = budget {
+            let opt = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+            let _ = write!(
+                out,
+                r#","budget":{{"max_events":{},"max_sim_ns":{},"charged_events":{},"charged_sim_ns":{},"would_have_run":{},"cutoff_seq":{},"runs_cut":{}}}"#,
+                opt(b.max_events),
+                opt(b.max_sim_ns),
+                b.charged_events,
+                b.charged_sim_ns,
+                b.would_have_run,
+                opt(b.cutoff_seq),
+                b.runs_cut
+            );
+        }
+        out.push_str("}}\n");
         out
     }
 
@@ -603,6 +639,51 @@ impl Journal {
                     flow_idx,
                 ));
                 flow_idx += 1;
+            }
+        }
+        out
+    }
+
+    /// Exports the journal's spans and events as Chrome complete
+    /// events, in record order: each `Open` becomes an `X` event whose
+    /// duration runs to its matching `Close` (0 if never closed), and
+    /// each point `Event` becomes a zero-duration `X` at its timestamp.
+    /// This renders a journal directly as a trace without consulting a
+    /// timeline — the cluster-level view for fleet runs, where the
+    /// orchestrator journal *is* the source of truth.
+    pub fn chrome_span_events(&self, pid: u64) -> Vec<ChromeEvent> {
+        let records = self.records();
+        let mut close_ns: HashMap<SpanId, u64> = HashMap::new();
+        for rec in &records {
+            if let JournalRecord::Close { id, t_ns } = rec {
+                close_ns.entry(*id).or_insert(*t_ns);
+            }
+        }
+        let mut out = Vec::new();
+        for rec in &records {
+            match rec {
+                JournalRecord::Open {
+                    id,
+                    name,
+                    t_ns,
+                    tid,
+                    ..
+                } => {
+                    let end = close_ns.get(id).copied().unwrap_or(*t_ns).max(*t_ns);
+                    out.push(ChromeEvent::complete(
+                        name,
+                        t_ns / 1_000,
+                        (end - t_ns) / 1_000,
+                        pid,
+                        *tid,
+                    ));
+                }
+                JournalRecord::Event {
+                    name, t_ns, tid, ..
+                } => {
+                    out.push(ChromeEvent::complete(name, t_ns / 1_000, 0, pid, *tid));
+                }
+                _ => {}
             }
         }
         out
@@ -824,6 +905,73 @@ mod tests {
             footer.contains(&format!(r#""bytes":{body_len}"#)),
             "{footer}"
         );
+    }
+
+    #[test]
+    fn budget_account_lands_inside_the_footer_object() {
+        let j = Journal::new(2);
+        emit_call(&j, 50);
+        let plain = j.to_jsonl("x", 1);
+        let plain_footer = plain.lines().last().unwrap().to_string();
+        assert!(!plain_footer.contains("budget"));
+
+        j.set_budget_account(BudgetAccount {
+            max_events: Some(8),
+            max_sim_ns: None,
+            charged_events: 5,
+            charged_sim_ns: 900,
+            would_have_run: 3,
+            cutoff_seq: Some(6),
+            runs_cut: 1,
+        });
+        assert_eq!(j.budget_account().unwrap().charged_events, 5);
+        let text = j.to_jsonl("x", 1);
+        let footer = text.lines().last().unwrap();
+        assert!(
+            footer.contains(
+                r#""budget":{"max_events":8,"max_sim_ns":null,"charged_events":5,"charged_sim_ns":900,"would_have_run":3,"cutoff_seq":6,"runs_cut":1}"#
+            ),
+            "{footer}"
+        );
+        // The budget rides inside the account object; the record lines
+        // and their byte accounting are unchanged.
+        assert!(footer.starts_with(r#"{"account":{"events":"#));
+        assert!(footer.ends_with("}}"));
+        let body_len = text.len() - footer.len() - 1;
+        assert!(
+            footer.contains(&format!(r#""bytes":{body_len}"#)),
+            "{footer}"
+        );
+        assert_eq!(
+            plain.lines().count(),
+            text.lines().count(),
+            "budget adds no lines"
+        );
+    }
+
+    #[test]
+    fn chrome_span_events_render_opens_closes_and_instants() {
+        let j = Journal::new(13);
+        let run = j.enter("fleet.run", 0, 0);
+        let d = j.event("fleet.dispatch", run, 2_000, 0);
+        let node = j.open("fleet.node", run, 2_000, 3);
+        j.flow(d, node, "dispatch");
+        j.close(node, 9_000);
+        let dangling = j.open("unclosed", run, 4_000, 1);
+        assert!(dangling.is_some());
+        j.exit(run, 10_000);
+
+        let evs = j.chrome_span_events(7);
+        assert_eq!(evs.len(), 4, "flows are not span events");
+        assert_eq!(evs[0].name, "fleet.run");
+        assert_eq!((evs[0].ts, evs[0].dur), (0, 10));
+        assert_eq!(evs[1].name, "fleet.dispatch");
+        assert_eq!((evs[1].ts, evs[1].dur), (2, 0));
+        assert_eq!(evs[2].name, "fleet.node");
+        assert_eq!((evs[2].ts, evs[2].dur, evs[2].tid), (2, 7, 3));
+        assert_eq!(evs[3].name, "unclosed");
+        assert_eq!((evs[3].ts, evs[3].dur), (4, 0));
+        assert!(evs.iter().all(|e| e.ph == "X" && e.pid == 7));
     }
 
     #[test]

@@ -34,14 +34,18 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod chrome;
+pub mod fleet;
 pub mod journal;
 pub mod metrics;
 pub mod registry;
 pub mod shard;
 pub mod span;
 
+pub use budget::{BudgetAccount, RunBudget};
 pub use chrome::ChromeEvent;
+pub use fleet::FleetTopology;
 pub use journal::{Journal, JournalMark, JournalRecord, SpanId, JOURNAL_SCHEMA};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::{Registry, Snapshot};

@@ -144,6 +144,8 @@ pub struct HistogramSummary {
     pub p95: f64,
     /// 99th percentile, nearest-rank.
     pub p99: f64,
+    /// 99.9th percentile, nearest-rank.
+    pub p999: f64,
     /// Largest sample (0 when empty).
     pub max: f64,
     /// Sum of all samples.
@@ -173,6 +175,7 @@ impl HistogramSummary {
             p90: rank(0.90),
             p95: rank(0.95),
             p99: rank(0.99),
+            p999: rank(0.999),
             max: *sorted.last().expect("non-empty"),
             sum,
         }
@@ -211,6 +214,10 @@ mod tests {
         assert_eq!(s.p90, 90.0);
         assert_eq!(s.p95, 95.0);
         assert_eq!(s.p99, 99.0);
+        // On 100 samples p99.9 is the max: ceil(0.999 * 100) = 100.
+        assert_eq!(s.p999, 100.0);
+        let thousand: Vec<f64> = (1..=1000).map(f64::from).collect();
+        assert_eq!(HistogramSummary::from_samples(&thousand).p999, 999.0);
         // Nearest-rank on a non-divisible count: ceil(0.9 * 7) = 7.
         let odd: Vec<f64> = (1..=7).map(f64::from).collect();
         assert_eq!(HistogramSummary::from_samples(&odd).p90, 7.0);
@@ -226,6 +233,7 @@ mod tests {
         assert_eq!(s.p50, 2.5);
         assert_eq!(s.p90, 2.5);
         assert_eq!(s.p99, 2.5);
+        assert_eq!(s.p999, 2.5);
         assert_eq!(s.max, 2.5);
         assert_eq!(s.sum, 2.5);
     }
@@ -238,7 +246,7 @@ mod tests {
         let s = HistogramSummary::from_samples(&[1.0, 2.0, 3.0]);
         let json = s.to_json_value();
         for key in [
-            "count", "min", "mean", "p50", "p90", "p95", "p99", "max", "sum",
+            "count", "min", "mean", "p50", "p90", "p95", "p99", "p999", "max", "sum",
         ] {
             assert!(json.get(key).is_some(), "missing {key}");
         }

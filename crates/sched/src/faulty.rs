@@ -101,7 +101,7 @@ pub fn simulate_faulty(
 ) -> FaultyOutcome {
     if !plan.armed() {
         let base = simulate(trace, slots, policy, prefetch, ctx);
-        let fates = vec![CallFate::clean_partial(); trace.len()];
+        let fates = vec![CallFate::clean_partial(); base.outcomes.len()];
         return FaultyOutcome {
             base,
             fates,
@@ -116,6 +116,11 @@ pub fn simulate_faulty(
     let _span = registry.span("sched.simulate_faulty");
     let j = &ctx.journal;
     let js = j.enter("sched.simulate_faulty", 0, 0);
+
+    // Budget hook, mirroring `simulate`: one charged event per call,
+    // deterministic truncation of the refused tail.
+    let admitted = ctx.budget.admit(trace.len());
+    let trace = &trace[..admitted];
 
     let mut state = FaultState::new(*plan, slots);
     let mut cache = ConfigCache::new(slots);

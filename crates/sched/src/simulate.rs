@@ -91,7 +91,11 @@ pub fn simulate(
     let _span = registry.span("sched.simulate");
     let j = &ctx.journal;
     let js = j.enter("sched.simulate", 0, 0);
-    let outcome = simulate_inner(trace, slots, policy, prefetch);
+    // Budget hook: each call is one charged event. The refused tail is
+    // dropped deterministically (same cutoff sequence on every rerun)
+    // and tallied as would-have-run; an unlimited budget admits all.
+    let admitted = ctx.budget.admit(trace.len());
+    let outcome = simulate_inner(&trace[..admitted], slots, policy, prefetch);
     record_outcome(registry, policy.name(), &outcome);
     j.metric("sched.calls", outcome.stats.calls);
     j.metric("sched.hits", outcome.stats.hits);
@@ -249,6 +253,23 @@ mod tests {
         let trace = ids(&[0, 1, 2, 0, 1, 2, 0, 1, 2]);
         let out = simulate(&trace, 2, &mut Lru::new(), false, &dctx());
         assert_eq!(out.stats.hits, 0);
+    }
+
+    #[test]
+    fn event_budget_truncates_the_trace_deterministically() {
+        let trace = ids(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        let run = || {
+            let ctx = dctx().with_budget(hprc_obs::RunBudget::events(5));
+            let out = simulate(&trace, 2, &mut Lru::new(), false, &ctx);
+            (out.stats.calls, ctx.budget.cutoff_seq())
+        };
+        let (calls, cutoff) = run();
+        assert_eq!(calls, 5, "only the admitted prefix runs");
+        assert_eq!(cutoff, Some(6), "first refusal is charge 6");
+        assert_eq!(run(), (calls, cutoff), "same cutoff on every rerun");
+        // The admitted prefix behaves exactly like the shorter trace.
+        let whole = simulate(&trace[..5], 2, &mut Lru::new(), false, &dctx());
+        assert_eq!(whole.stats.hits, 3);
     }
 
     #[test]

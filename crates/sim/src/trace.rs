@@ -400,7 +400,10 @@ impl Timeline {
     /// [`Timeline::chrome_events`] that additionally records truncation
     /// to `registry` when the cap bites: bumps the
     /// `sim.trace.chrome_truncations` warning counter and adds the
-    /// number of dropped events to `sim.trace.chrome_truncated_events`.
+    /// number of dropped events to `sim.trace.chrome_truncated_events`
+    /// and to the cross-subsystem `obs.trace.truncated_events` counter
+    /// (the one the artifact writers surface in `<id>.metrics.json`,
+    /// shared with the fleet orchestrator's cluster-trace cap).
     pub fn chrome_events_recorded(
         &self,
         pid: u64,
@@ -433,6 +436,9 @@ impl Timeline {
             registry.counter("sim.trace.chrome_truncations").inc();
             registry
                 .counter("sim.trace.chrome_truncated_events")
+                .add(truncated);
+            registry
+                .counter("obs.trace.truncated_events")
                 .add(truncated);
         }
         out
@@ -929,6 +935,7 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counters["sim.trace.chrome_truncations"], 1);
         assert_eq!(snap.counters["sim.trace.chrome_truncated_events"], 7);
+        assert_eq!(snap.counters["obs.trace.truncated_events"], 7);
     }
 
     #[test]
@@ -940,6 +947,7 @@ mod tests {
         assert_eq!(evs.len(), 1);
         let snap = registry.snapshot();
         assert!(!snap.counters.contains_key("sim.trace.chrome_truncations"));
+        assert!(!snap.counters.contains_key("obs.trace.truncated_events"));
     }
 
     #[test]
