@@ -39,7 +39,7 @@ pub mod timing;
 
 pub use symbol::Symbol;
 
-use hprc_obs::{Journal, Registry, RunBudget};
+use hprc_obs::{DeltaCache, Journal, Registry, RunBudget};
 
 /// Which calibration of the modeled platform a run uses.
 ///
@@ -87,6 +87,12 @@ pub struct ExecCtx {
     /// off simulation at an exact logical sequence number and tallies
     /// the refused work as would-have-run.
     pub budget: RunBudget,
+    /// Delta-simulation skeleton cache. [`DeltaCache::disabled`] (the
+    /// default) makes every memoization hook a single branch; an
+    /// enabled cache lets sweeps replay memoized schedule prefixes and
+    /// whole executor runs instead of re-simulating from scratch, with
+    /// byte-identical results.
+    pub delta: DeltaCache,
 }
 
 impl Default for ExecCtx {
@@ -98,6 +104,7 @@ impl Default for ExecCtx {
             calibration: Calibration::default(),
             jobs: 1,
             budget: RunBudget::unlimited(),
+            delta: DeltaCache::disabled(),
         }
     }
 }
@@ -151,6 +158,13 @@ impl ExecCtx {
         self
     }
 
+    /// Replaces the delta-simulation skeleton cache.
+    #[must_use]
+    pub fn with_delta(mut self, delta: DeltaCache) -> Self {
+        self.delta = delta;
+        self
+    }
+
     /// The effective seed for a named RNG stream: `base ⊕ stream`.
     ///
     /// With the default base 0 this is the identity, so call sites that
@@ -200,6 +214,10 @@ impl ExecCtx {
             // depend on the interleaving. Fleet-style fan-outs split the
             // parent budget explicitly (RunBudget::split_events) instead.
             budget: RunBudget::unlimited(),
+            // The skeleton cache IS shared: replays are byte-identical
+            // to longhand runs, so parallel workers reusing each
+            // other's skeletons can never perturb results.
+            delta: self.delta.clone(),
         }
     }
 }
@@ -273,6 +291,19 @@ mod tests {
         let clone = ctx.clone();
         assert_eq!(clone.budget.admit(5), 3);
         assert!(ctx.budget.exhausted());
+    }
+
+    #[test]
+    fn delta_cache_is_shared_with_children_and_forks() {
+        let ctx = ExecCtx::new().with_delta(DeltaCache::new(1024));
+        assert!(ctx.delta.is_enabled());
+        let child = ctx.child(3);
+        child.delta.put(b"k".to_vec(), std::sync::Arc::new(5u8), 1);
+        // One shared store: the parent and a sibling both see it.
+        assert!(ctx.delta.get(b"k").is_some());
+        assert!(ctx.fork().delta.get(b"k").is_some());
+        // The default context keeps the cache disabled.
+        assert!(!ExecCtx::default().delta.is_enabled());
     }
 
     #[test]

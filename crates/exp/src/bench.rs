@@ -2,13 +2,22 @@
 //! experiment under an instrumented [`ExecCtx`] and writes a
 //! schema-stable `BENCH_<YYYYMMDD>.json` at the repository root.
 //!
-//! Each experiment runs `repeat` times against a fresh live registry;
-//! the entry records the nearest-rank p50/min/max wall time plus a
-//! registry-snapshot fingerprint (instrument counts and the counter
-//! total — a cheap determinism check across machines). A committed
-//! baseline (`BENCH_BASELINE.json`) plus a generous threshold turns the
-//! file into a CI regression gate: `hprc-exp bench --check
-//! BENCH_BASELINE.json --threshold 2.0`.
+//! Each experiment runs `repeat` times against a fresh live registry
+//! (the delta cache disabled, so the longhand path stays the thing the
+//! regression gate watches); the entry records the nearest-rank
+//! p50/min/max wall time plus a registry-snapshot fingerprint
+//! (instrument counts and the counter total — a cheap determinism
+//! check across machines). A committed baseline (`BENCH_BASELINE.json`)
+//! plus a generous threshold turns the file into a CI regression gate:
+//! `hprc-exp bench --check BENCH_BASELINE.json --threshold 2.0`.
+//!
+//! The report then times the **whole-sweep delta passes**: every
+//! experiment once more against one shared
+//! [`hprc_obs::DeltaCache`] — a cold pass that populates it and a warm
+//! pass that replays from it. Per entry, `cold_ms` / `warm_ms`; per
+//! report, `suite_cold_ms` / `suite_warm_ms` (each pass's end-to-end
+//! wall clock). `cold_ms / warm_ms` is the delta re-simulation speedup
+//! the artifact records.
 
 use std::path::Path;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -40,6 +49,10 @@ pub struct BenchEntry {
     /// Sum of all counter values — a determinism fingerprint that must
     /// not drift between runs or machines (unlike wall time).
     pub counter_total: u64,
+    /// Wall time of the cold delta pass (shared cache, first visit), ms.
+    pub cold_ms: f64,
+    /// Wall time of the warm delta pass (same cache, second visit), ms.
+    pub warm_ms: f64,
 }
 
 /// The `BENCH_<YYYYMMDD>.json` artifact.
@@ -57,13 +70,19 @@ pub struct BenchReport {
     pub jobs: usize,
     /// End-to-end wall time of the whole bench, ms.
     pub total_ms: f64,
+    /// Whole-sweep wall time of the cold delta pass (every experiment
+    /// once, shared empty cache), ms.
+    pub suite_cold_ms: f64,
+    /// Whole-sweep wall time of the warm delta pass (every experiment
+    /// again, same cache), ms.
+    pub suite_warm_ms: f64,
     /// Per-experiment records, in [`crate::ALL_EXPERIMENTS`] order.
     pub entries: Vec<BenchEntry>,
 }
 
 impl BenchReport {
     /// Current schema version of the bench artifact.
-    pub const SCHEMA_VERSION: u32 = 1;
+    pub const SCHEMA_VERSION: u32 = 2;
 
     /// Default artifact filename for this report's date.
     pub fn default_filename(&self) -> String {
@@ -71,12 +90,13 @@ impl BenchReport {
     }
 }
 
-/// Times every experiment: `repeat` repetitions each, fresh live
-/// registry per repetition (so snapshot fingerprints are per-run, not
-/// cumulative).
+/// Times every experiment: `repeat` instrumented longhand repetitions
+/// each (fresh live registry per repetition so snapshot fingerprints
+/// are per-run, not cumulative; delta cache disabled), then the two
+/// quiet whole-sweep delta passes against one shared cache.
 pub fn run_bench(repeat: usize, seed: u64, jobs: usize) -> BenchReport {
     let total = Stopwatch::start();
-    let entries = crate::ALL_EXPERIMENTS
+    let mut entries: Vec<BenchEntry> = crate::ALL_EXPERIMENTS
         .iter()
         .map(|id| {
             let mut last_registry = Registry::new();
@@ -100,9 +120,32 @@ pub fn run_bench(repeat: usize, seed: u64, jobs: usize) -> BenchReport {
                 histograms: snap.histograms.len(),
                 spans: snap.spans.len(),
                 counter_total: snap.counters.values().sum(),
+                cold_ms: 0.0,
+                warm_ms: 0.0,
             }
         })
         .collect();
+
+    // The delta passes: quiet contexts (results only — this is the
+    // mode sweep drivers and re-renders use), one shared cache. Pass
+    // one fills it, pass two replays from it.
+    let delta = hprc_obs::DeltaCache::new(hprc_obs::DEFAULT_DELTA_BYTES);
+    let mut pass = |field: fn(&mut BenchEntry) -> &mut f64| {
+        let sweep = Stopwatch::start();
+        for (i, id) in crate::ALL_EXPERIMENTS.iter().enumerate() {
+            let ctx = ExecCtx::default()
+                .with_seed(seed)
+                .with_jobs(jobs)
+                .with_delta(delta.clone());
+            let one = Stopwatch::start();
+            crate::run_experiment(id, &ctx).expect("known experiment id");
+            *field(&mut entries[i]) = one.elapsed_ms();
+        }
+        sweep.elapsed_ms()
+    };
+    let suite_cold_ms = pass(|e| &mut e.cold_ms);
+    let suite_warm_ms = pass(|e| &mut e.warm_ms);
+
     BenchReport {
         schema_version: BenchReport::SCHEMA_VERSION,
         date: utc_date_yyyymmdd(),
@@ -110,6 +153,8 @@ pub fn run_bench(repeat: usize, seed: u64, jobs: usize) -> BenchReport {
         seed,
         jobs,
         total_ms: total.elapsed_ms(),
+        suite_cold_ms,
+        suite_warm_ms,
         entries,
     }
 }
@@ -205,6 +250,8 @@ fn report_from_value(v: &serde_json::Value) -> Result<BenchReport, String> {
                 histograms: f("histograms")? as usize,
                 spans: f("spans")? as usize,
                 counter_total: f("counter_total")? as u64,
+                cold_ms: f("cold_ms")?,
+                warm_ms: f("warm_ms")?,
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -218,6 +265,8 @@ fn report_from_value(v: &serde_json::Value) -> Result<BenchReport, String> {
         seed: num("seed")? as u64,
         jobs: num("jobs")? as usize,
         total_ms: num("total_ms")?,
+        suite_cold_ms: num("suite_cold_ms")?,
+        suite_warm_ms: num("suite_warm_ms")?,
         entries,
     })
 }
@@ -260,6 +309,8 @@ mod tests {
             seed: 0,
             jobs: 1,
             total_ms: p50s.iter().map(|(_, p)| p).sum(),
+            suite_cold_ms: 10.0,
+            suite_warm_ms: 2.0,
             entries: p50s
                 .iter()
                 .map(|(id, p50)| BenchEntry {
@@ -272,6 +323,8 @@ mod tests {
                     histograms: 1,
                     spans: 1,
                     counter_total: 42,
+                    cold_ms: *p50,
+                    warm_ms: *p50 / 4.0,
                 })
                 .collect(),
         }
@@ -368,8 +421,19 @@ mod tests {
             // Every experiment records at least its own top-level span
             // (some, like table1, record nothing else).
             assert!(entry.spans >= 1, "{id} should record its span");
+            // Both delta passes actually ran.
+            assert!(entry.cold_ms > 0.0 && entry.warm_ms > 0.0, "{id}");
         }
         assert!(report.total_ms > 0.0);
+        assert!(report.suite_cold_ms > 0.0 && report.suite_warm_ms > 0.0);
+        // The warm whole-sweep pass replays from the cache; it must not
+        // be slower than the cold pass by more than scheduling noise.
+        assert!(
+            report.suite_warm_ms < report.suite_cold_ms * 1.5,
+            "warm {} vs cold {}",
+            report.suite_warm_ms,
+            report.suite_cold_ms
+        );
         assert!(compare(&report, &report, 2.0).is_empty());
     }
 }

@@ -271,6 +271,7 @@ pub fn run_fleet(
             budget: budgets
                 .as_ref()
                 .map_or_else(RunBudget::unlimited, |b| b[i].clone()),
+            delta: ctx.delta.clone(),
         })
         .collect();
 

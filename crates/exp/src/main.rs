@@ -40,6 +40,9 @@ fn usage() -> String {
          --jobs N     worker threads (default: available cores); results are\n\
          \x20            byte-identical at any N, only wall-clock time changes\n\
          --seed S     base RNG seed XOR-ed into every workload stream (default: 0)\n\
+         --no-delta   disable the delta re-simulation cache (memoized schedule\n\
+         \x20            skeletons + whole-run replay); artifacts are byte-identical\n\
+         \x20            either way, only wall-clock time changes\n\
          \n\
          list: print every experiment id with a one-line description.\n\
          \n\
@@ -127,8 +130,16 @@ fn bench_main(args: impl Iterator<Item = String>) -> ExitCode {
     let report = hprc_exp::bench::run_bench(repeat, seed, jobs);
     for e in &report.entries {
         println!(
-            "{:<16} p50 {:>8.2} ms  (min {:>8.2}, max {:>8.2}, spans {})",
-            e.id, e.p50_ms, e.min_ms, e.max_ms, e.spans
+            "{:<16} p50 {:>8.2} ms  (min {:>8.2}, max {:>8.2}, spans {})  \
+             delta cold {:>8.2} ms / warm {:>8.2} ms ({:.1}x)",
+            e.id,
+            e.p50_ms,
+            e.min_ms,
+            e.max_ms,
+            e.spans,
+            e.cold_ms,
+            e.warm_ms,
+            e.cold_ms / e.warm_ms.max(1e-9)
         );
     }
     println!(
@@ -136,6 +147,12 @@ fn bench_main(args: impl Iterator<Item = String>) -> ExitCode {
         report.total_ms,
         report.entries.len(),
         report.repeat
+    );
+    println!(
+        "delta whole-sweep: cold {:.1} ms, warm {:.1} ms ({:.1}x)",
+        report.suite_cold_ms,
+        report.suite_warm_ms,
+        report.suite_cold_ms / report.suite_warm_ms.max(1e-9)
     );
 
     let path = out_file.unwrap_or_else(|| PathBuf::from(report.default_filename()));
@@ -218,6 +235,7 @@ fn main() -> ExitCode {
     let mut trace_dir: Option<PathBuf> = None;
     let mut jobs: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut seed: u64 = 0;
+    let mut use_delta = true;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     if std::env::args().nth(1).as_deref() == Some("bench") {
@@ -262,6 +280,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--no-delta" => use_delta = false,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -300,6 +319,14 @@ fn main() -> ExitCode {
     // runner when only one does. Each experiment gets its own registry
     // so metrics files don't bleed into each other.
     let inner_jobs = if ids.len() == 1 { jobs } else { 1 };
+    // One process-wide delta cache (unless --no-delta): skeleton and
+    // report replays are byte-identical to longhand runs, so sharing it
+    // across experiments and worker threads never perturbs artifacts.
+    let delta = if use_delta {
+        hprc_obs::DeltaCache::new(hprc_obs::DEFAULT_DELTA_BYTES)
+    } else {
+        hprc_obs::DeltaCache::disabled()
+    };
     let contexts: Vec<ExecCtx> = ids
         .iter()
         .map(|id| {
@@ -316,6 +343,7 @@ fn main() -> ExitCode {
                 })
                 .with_seed(seed)
                 .with_jobs(inner_jobs)
+                .with_delta(delta.clone())
         })
         .collect();
 

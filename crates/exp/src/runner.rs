@@ -41,6 +41,18 @@ where
     T: Send,
     F: Fn(usize, &ExecCtx) -> T + Sync,
 {
+    // Single-point fan-outs skip the shard-and-merge machinery: the
+    // child still gets index 0's derived seed and journal salt (so a
+    // 1-point sweep reproduces the first point of an n-point sweep
+    // byte-for-byte), but records straight into the parent registry —
+    // merging one shard in order is the identity.
+    if n == 1 {
+        let child = ctx.child(0).with_registry(ctx.registry.clone());
+        let out = vec![f(0, &child)];
+        ctx.journal.merge_from(&child.journal);
+        return out;
+    }
+
     let jobs = ctx.effective_jobs().min(n.max(1));
     let shards = ShardedRegistry::new(&ctx.registry, n);
     let children: Vec<ExecCtx> = (0..n)
@@ -129,6 +141,20 @@ mod tests {
         let ctx = ExecCtx::default().with_seed(100).with_jobs(2);
         let seeds = par_indexed(4, &ctx, |_, child| child.seed_for(0));
         assert_eq!(seeds, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn single_point_fast_path_records_into_parent() {
+        let reg = Registry::new();
+        let ctx = ExecCtx::default().with_registry(reg.clone()).with_jobs(4);
+        let out = par_indexed(1, &ctx, |i, child| {
+            child.registry.counter("runner.test.single").add(3);
+            (i, child.seed_for(5))
+        });
+        // The child still derives index 0's seed (identity for base 0)
+        // and its metrics land in the parent registry without a merge.
+        assert_eq!(out, vec![(0, 5)]);
+        assert_eq!(reg.snapshot().counters["runner.test.single"], 3);
     }
 
     #[test]

@@ -129,10 +129,11 @@ fn bench_check_fails_on_schema_drift() {
     // A baseline whose experiment set doesn't match: must fail the gate.
     std::fs::write(
         &baseline,
-        r#"{"schema_version":1,"date":"20260101","repeat":1,"seed":0,"jobs":1,
-            "total_ms":1.0,"entries":[{"id":"only-one","p50_ms":1.0,"min_ms":1.0,
+        r#"{"schema_version":2,"date":"20260101","repeat":1,"seed":0,"jobs":1,
+            "total_ms":1.0,"suite_cold_ms":1.0,"suite_warm_ms":1.0,
+            "entries":[{"id":"only-one","p50_ms":1.0,"min_ms":1.0,
             "max_ms":1.0,"counters":0,"gauges":0,"histograms":0,"spans":1,
-            "counter_total":0}]}"#,
+            "counter_total":0,"cold_ms":1.0,"warm_ms":1.0}]}"#,
     )
     .unwrap();
     let out = Command::new(exe())

@@ -36,6 +36,7 @@
 
 pub mod budget;
 pub mod chrome;
+pub mod delta;
 pub mod fleet;
 pub mod journal;
 pub mod metrics;
@@ -45,6 +46,7 @@ pub mod span;
 
 pub use budget::{BudgetAccount, RunBudget};
 pub use chrome::ChromeEvent;
+pub use delta::{DeltaAccount, DeltaCache, DEFAULT_DELTA_BYTES};
 pub use fleet::FleetTopology;
 pub use journal::{Journal, JournalMark, JournalRecord, SpanId, JOURNAL_SCHEMA};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};

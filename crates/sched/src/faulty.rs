@@ -76,6 +76,177 @@ fn first_usable(state: &FaultState, slots: usize) -> usize {
     (0..slots).find(|&s| !state.is_blacklisted(s)).unwrap_or(0)
 }
 
+/// The resumable core of a fault-injecting simulation — the faulty
+/// sibling of [`CleanSim`](crate::simulate::CleanSim). The delta layer
+/// snapshots and restores it mid-trace (swapping in the sweep point's
+/// own plan via [`FaultState::set_plan`]); the plain path drives it
+/// start to finish.
+pub(crate) struct FaultySim {
+    pub(crate) slots: usize,
+    pub(crate) state: FaultState,
+    pub(crate) cache: ConfigCache,
+    pub(crate) stats: CacheStats,
+    pub(crate) outcomes: Vec<CallOutcome>,
+    pub(crate) fates: Vec<CallFate>,
+    pub(crate) speculative: HashSet<TaskId>,
+    pub(crate) seu_invalidations: u64,
+    pub(crate) escalation_wipes: u64,
+    pub(crate) dropped: u64,
+}
+
+impl FaultySim {
+    pub(crate) fn new(plan: FaultPlan, slots: usize) -> Self {
+        FaultySim {
+            slots,
+            state: FaultState::new(plan, slots),
+            cache: ConfigCache::new(slots),
+            stats: CacheStats::default(),
+            outcomes: Vec::new(),
+            fates: Vec::new(),
+            speculative: HashSet::new(),
+            seu_invalidations: 0,
+            escalation_wipes: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Processes call `i` of the trace (task `task`).
+    pub(crate) fn step(&mut self, i: usize, task: TaskId, policy: &mut dyn Policy, prefetch: bool) {
+        let slots = self.slots;
+        self.stats.calls += 1;
+        let resident_slot = self.cache.slot_of(task);
+        let (outcome, fate) = match resident_slot {
+            Some(slot) if !policy.forces_miss() => {
+                self.stats.hits += 1;
+                if self.speculative.remove(&task) {
+                    self.stats.useful_prefetches += 1;
+                }
+                (CallOutcome::Hit { slot }, CallFate::clean_partial())
+            }
+            _ => {
+                self.stats.misses += 1;
+                self.speculative.remove(&task);
+                // Demand slot choice, redirected away from retired PRRs.
+                // With every PRR blacklisted the chain is forced full;
+                // slot 0 is the conventional (unusable) target, and the
+                // simulator's own FaultState derives the same fate from
+                // it.
+                let slot = if self.state.all_blacklisted() {
+                    0
+                } else {
+                    let chosen = resident_slot
+                        .or_else(|| first_empty_usable(&self.cache, &self.state))
+                        .unwrap_or_else(|| policy.choose_victim(&self.cache, task, i));
+                    if self.state.is_blacklisted(chosen) {
+                        first_usable(&self.state, slots)
+                    } else {
+                        chosen
+                    }
+                };
+                let fate = self.state.on_miss(i as u64, slot);
+                let mut evicted = None;
+                if fate.escalated || fate.forced_full {
+                    // The full bitstream overwrote the whole device.
+                    self.cache.clear();
+                    self.speculative.clear();
+                    self.escalation_wipes += 1;
+                    if fate.dropped {
+                        self.dropped += 1;
+                    } else if !self.state.is_blacklisted(slot) {
+                        self.cache.load(slot, task);
+                        policy.on_load(task, slot, i);
+                    }
+                } else {
+                    evicted = self.cache.load(slot, task);
+                    if let Some(e) = evicted {
+                        self.speculative.remove(&e);
+                    }
+                    policy.on_load(task, slot, i);
+                }
+                (
+                    CallOutcome::Miss {
+                        slot,
+                        evicted: evicted.filter(|&e| e != task),
+                    },
+                    fate,
+                )
+            }
+        };
+        let slot = match outcome {
+            CallOutcome::Hit { slot } | CallOutcome::Miss { slot, .. } => slot,
+        };
+        policy.on_access(task, slot, i);
+        self.outcomes.push(outcome);
+        self.fates.push(fate);
+
+        // SEU sweep: seeded upsets silently corrupt resident slots; the
+        // eviction is how the (detected-on-next-use) corruption becomes
+        // a forced miss downstream.
+        for s in 0..slots {
+            if self.cache.occupant(s).is_some() && self.state.seu_strikes(i as u64, s) {
+                if let Some(e) = self.cache.clear_slot(s) {
+                    self.speculative.remove(&e);
+                }
+                self.seu_invalidations += 1;
+            }
+        }
+
+        if prefetch && !self.state.all_blacklisted() {
+            if let Some(pred) = policy.predict_next(task) {
+                if pred != task && !self.cache.contains(pred) {
+                    let target = first_empty_usable(&self.cache, &self.state)
+                        .unwrap_or_else(|| policy.choose_victim(&self.cache, pred, i));
+                    let target = if self.state.is_blacklisted(target) {
+                        first_usable(&self.state, slots)
+                    } else {
+                        target
+                    };
+                    // Never evict the task that is executing right now.
+                    if Some(target) != self.cache.slot_of(task) {
+                        if let Some(e) = self.cache.load(target, pred) {
+                            self.speculative.remove(&e);
+                        }
+                        policy.on_load(pred, target, i);
+                        self.stats.prefetch_loads += 1;
+                        self.speculative.insert(pred);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn finish(self) -> FaultyOutcome {
+        FaultyOutcome {
+            base: SimulationOutcome {
+                stats: self.stats,
+                outcomes: self.outcomes,
+            },
+            fates: self.fates,
+            seu_invalidations: self.seu_invalidations,
+            escalation_wipes: self.escalation_wipes,
+            blacklisted_slots: self.state.blacklisted_slots(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+pub(crate) fn simulate_faulty_inner(
+    trace: &[TaskId],
+    slots: usize,
+    policy: &mut dyn Policy,
+    prefetch: bool,
+    plan: &FaultPlan,
+) -> FaultyOutcome {
+    let mut sim = FaultySim::new(*plan, slots);
+    sim.outcomes.reserve(trace.len());
+    sim.fates.reserve(trace.len());
+    policy.observe_trace(trace);
+    for (i, &task) in trace.iter().enumerate() {
+        sim.step(i, task, policy, prefetch);
+    }
+    sim.finish()
+}
+
 /// Runs `trace` through a cache of `slots` PRRs under `policy` with the
 /// fault plan armed. A disarmed (or all-zero) plan delegates to
 /// [`simulate`] and is observably identical to it — same outcome, same
@@ -122,149 +293,37 @@ pub fn simulate_faulty(
     let admitted = ctx.budget.admit(trace.len());
     let trace = &trace[..admitted];
 
-    let mut state = FaultState::new(*plan, slots);
-    let mut cache = ConfigCache::new(slots);
-    policy.observe_trace(trace);
-    let mut stats = CacheStats::default();
-    let mut outcomes = Vec::with_capacity(trace.len());
-    let mut fates = Vec::with_capacity(trace.len());
-    let mut speculative: HashSet<TaskId> = HashSet::new();
-    let mut seu_invalidations = 0u64;
-    let mut escalation_wipes = 0u64;
-    let mut dropped = 0u64;
+    // Delta path: memoized skeletons replay shared prefixes of earlier
+    // runs (with the first plan disagreement bounding the replay). All
+    // recording below derives from the outcome alone, so the swap is
+    // invisible to every artifact — including instrumented runs.
+    let out = if ctx.delta.is_enabled() {
+        crate::delta::simulate_faulty_delta(trace, slots, policy, prefetch, plan, &ctx.delta)
+    } else {
+        simulate_faulty_inner(trace, slots, policy, prefetch, plan)
+    };
 
-    for (i, &task) in trace.iter().enumerate() {
-        stats.calls += 1;
-        let resident_slot = cache.slot_of(task);
-        let (outcome, fate) = match resident_slot {
-            Some(slot) if !policy.forces_miss() => {
-                stats.hits += 1;
-                if speculative.remove(&task) {
-                    stats.useful_prefetches += 1;
-                }
-                (CallOutcome::Hit { slot }, CallFate::clean_partial())
-            }
-            _ => {
-                stats.misses += 1;
-                speculative.remove(&task);
-                // Demand slot choice, redirected away from retired PRRs.
-                // With every PRR blacklisted the chain is forced full;
-                // slot 0 is the conventional (unusable) target, and the
-                // simulator's own FaultState derives the same fate from
-                // it.
-                let slot = if state.all_blacklisted() {
-                    0
-                } else {
-                    let chosen = resident_slot
-                        .or_else(|| first_empty_usable(&cache, &state))
-                        .unwrap_or_else(|| policy.choose_victim(&cache, task, i));
-                    if state.is_blacklisted(chosen) {
-                        first_usable(&state, slots)
-                    } else {
-                        chosen
-                    }
-                };
-                let fate = state.on_miss(i as u64, slot);
-                let mut evicted = None;
-                if fate.escalated || fate.forced_full {
-                    // The full bitstream overwrote the whole device.
-                    cache.clear();
-                    speculative.clear();
-                    escalation_wipes += 1;
-                    if fate.dropped {
-                        dropped += 1;
-                    } else if !state.is_blacklisted(slot) {
-                        cache.load(slot, task);
-                        policy.on_load(task, slot, i);
-                    }
-                } else {
-                    evicted = cache.load(slot, task);
-                    if let Some(e) = evicted {
-                        speculative.remove(&e);
-                    }
-                    policy.on_load(task, slot, i);
-                }
-                (
-                    CallOutcome::Miss {
-                        slot,
-                        evicted: evicted.filter(|&e| e != task),
-                    },
-                    fate,
-                )
-            }
-        };
-        let slot = match outcome {
-            CallOutcome::Hit { slot } | CallOutcome::Miss { slot, .. } => slot,
-        };
-        policy.on_access(task, slot, i);
-        outcomes.push(outcome);
-        fates.push(fate);
-
-        // SEU sweep: seeded upsets silently corrupt resident slots; the
-        // eviction is how the (detected-on-next-use) corruption becomes
-        // a forced miss downstream.
-        for s in 0..slots {
-            if cache.occupant(s).is_some() && state.seu_strikes(i as u64, s) {
-                if let Some(e) = cache.clear_slot(s) {
-                    speculative.remove(&e);
-                }
-                seu_invalidations += 1;
-            }
-        }
-
-        if prefetch && !state.all_blacklisted() {
-            if let Some(pred) = policy.predict_next(task) {
-                if pred != task && !cache.contains(pred) {
-                    let target = first_empty_usable(&cache, &state)
-                        .unwrap_or_else(|| policy.choose_victim(&cache, pred, i));
-                    let target = if state.is_blacklisted(target) {
-                        first_usable(&state, slots)
-                    } else {
-                        target
-                    };
-                    // Never evict the task that is executing right now.
-                    if Some(target) != cache.slot_of(task) {
-                        if let Some(e) = cache.load(target, pred) {
-                            speculative.remove(&e);
-                        }
-                        policy.on_load(pred, target, i);
-                        stats.prefetch_loads += 1;
-                        speculative.insert(pred);
-                    }
-                }
-            }
-        }
-    }
-
-    let base = SimulationOutcome { stats, outcomes };
-    record_outcome(registry, policy.name(), &base);
+    record_outcome(registry, policy.name(), &out.base);
     if registry.is_enabled() {
         registry
             .counter("sched.fault.seu_invalidations")
-            .add(seu_invalidations);
+            .add(out.seu_invalidations);
         registry
             .counter("sched.fault.escalation_wipes")
-            .add(escalation_wipes);
-        registry.counter("sched.fault.dropped").add(dropped);
+            .add(out.escalation_wipes);
+        registry.counter("sched.fault.dropped").add(out.dropped);
         registry
             .gauge("sched.fault.blacklisted_slots")
-            .set(state.blacklisted_slots() as f64);
+            .set(out.blacklisted_slots as f64);
     }
-    j.metric("sched.calls", base.stats.calls);
-    j.metric("sched.hits", base.stats.hits);
-    j.metric("sched.misses", base.stats.misses);
-    j.metric("sched.fault.seu_invalidations", seu_invalidations);
-    j.metric("sched.fault.escalation_wipes", escalation_wipes);
-    j.metric("sched.fault.dropped", dropped);
+    j.metric("sched.calls", out.base.stats.calls);
+    j.metric("sched.hits", out.base.stats.hits);
+    j.metric("sched.misses", out.base.stats.misses);
+    j.metric("sched.fault.seu_invalidations", out.seu_invalidations);
+    j.metric("sched.fault.escalation_wipes", out.escalation_wipes);
+    j.metric("sched.fault.dropped", out.dropped);
     j.exit(js, 0);
-    FaultyOutcome {
-        base,
-        fates,
-        seu_invalidations,
-        escalation_wipes,
-        blacklisted_slots: state.blacklisted_slots(),
-        dropped,
-    }
+    out
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub(crate) mod delta;
 pub mod faulty;
 pub mod policies;
 pub mod policy;

@@ -3,6 +3,7 @@
 
 use crate::cache::{ConfigCache, TaskId};
 use crate::policy::Policy;
+use hprc_obs::delta::bytes as dbytes;
 
 /// Forces a (re-)configuration on every call: `H = 0`, `M = 1`,
 /// `T_decision = 0` — exactly the setup measured on Cray XD1 (section 4.3).
@@ -33,6 +34,24 @@ impl Policy for AlwaysMiss {
     fn on_access(&mut self, _task: TaskId, _slot: usize, _index: usize) {}
 
     fn forces_miss(&self) -> bool {
+        true
+    }
+
+    fn delta_state(&self) -> Option<Vec<u8>> {
+        let mut v = Vec::with_capacity(8);
+        dbytes::put_u64(&mut v, self.next_slot as u64);
+        Some(v)
+    }
+
+    fn delta_restore(&mut self, state: &[u8]) -> bool {
+        let mut pos = 0;
+        let Some(next) = dbytes::get_u64(state, &mut pos) else {
+            return false;
+        };
+        if pos != state.len() {
+            return false;
+        }
+        self.next_slot = next as usize;
         true
     }
 }

@@ -15,6 +15,7 @@ use std::collections::{HashMap, VecDeque};
 use crate::cache::{ConfigCache, TaskId};
 use crate::policies::Lru;
 use crate::policy::Policy;
+use hprc_obs::delta::bytes as dbytes;
 
 /// Association-rule predictor with LRU replacement.
 #[derive(Debug, Clone)]
@@ -131,6 +132,124 @@ impl Policy for AssociationRule {
             // Deterministic argmax: confidence, then lowest task id.
             .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0 .0.cmp(&a.0 .0)))
             .map(|(t, _)| t)
+    }
+
+    fn delta_state(&self) -> Option<Vec<u8>> {
+        let mut v = Vec::new();
+        // Configuration first (window/threshold/latency distinguish
+        // instances in cache keys), then mutable state canonically.
+        dbytes::put_u64(&mut v, self.window as u64);
+        dbytes::put_f64(&mut v, self.min_confidence);
+        dbytes::put_f64(&mut v, self.decision_latency_s);
+        dbytes::put_u64(&mut v, self.recent.len() as u64);
+        for &t in &self.recent {
+            dbytes::put_u64(&mut v, t.0 as u64);
+        }
+        let mut occ: Vec<(TaskId, u64)> = self.occurrences.iter().map(|(t, c)| (*t, *c)).collect();
+        occ.sort_unstable();
+        dbytes::put_u64(&mut v, occ.len() as u64);
+        for (t, c) in occ {
+            dbytes::put_u64(&mut v, t.0 as u64);
+            dbytes::put_u64(&mut v, c);
+        }
+        let mut ants: Vec<&TaskId> = self.support.keys().collect();
+        ants.sort_unstable();
+        dbytes::put_u64(&mut v, ants.len() as u64);
+        for ant in ants {
+            dbytes::put_u64(&mut v, ant.0 as u64);
+            let mut rows: Vec<(TaskId, u64)> =
+                self.support[ant].iter().map(|(t, c)| (*t, *c)).collect();
+            rows.sort_unstable();
+            dbytes::put_u64(&mut v, rows.len() as u64);
+            for (t, c) in rows {
+                dbytes::put_u64(&mut v, t.0 as u64);
+                dbytes::put_u64(&mut v, c);
+            }
+        }
+        dbytes::put_slice(&mut v, &self.lru.delta_state()?);
+        Some(v)
+    }
+
+    fn delta_restore(&mut self, state: &[u8]) -> bool {
+        let mut pos = 0;
+        let (Some(window), Some(min_confidence), Some(latency)) = (
+            dbytes::get_u64(state, &mut pos),
+            dbytes::get_f64(state, &mut pos),
+            dbytes::get_f64(state, &mut pos),
+        ) else {
+            return false;
+        };
+        if window == 0 || !(0.0..=1.0).contains(&min_confidence) {
+            return false;
+        }
+        let Some(n_recent) = dbytes::get_u64(state, &mut pos) else {
+            return false;
+        };
+        let mut recent = VecDeque::with_capacity(n_recent as usize);
+        for _ in 0..n_recent {
+            match dbytes::get_u64(state, &mut pos) {
+                Some(t) => recent.push_back(TaskId(t as usize)),
+                None => return false,
+            }
+        }
+        let Some(n_occ) = dbytes::get_u64(state, &mut pos) else {
+            return false;
+        };
+        let mut occurrences = HashMap::with_capacity(n_occ as usize);
+        for _ in 0..n_occ {
+            let (Some(t), Some(c)) = (
+                dbytes::get_u64(state, &mut pos),
+                dbytes::get_u64(state, &mut pos),
+            ) else {
+                return false;
+            };
+            occurrences.insert(TaskId(t as usize), c);
+        }
+        let Some(n_ants) = dbytes::get_u64(state, &mut pos) else {
+            return false;
+        };
+        let mut support: HashMap<TaskId, HashMap<TaskId, u64>> = HashMap::new();
+        for _ in 0..n_ants {
+            let (Some(ant), Some(n_rows)) = (
+                dbytes::get_u64(state, &mut pos),
+                dbytes::get_u64(state, &mut pos),
+            ) else {
+                return false;
+            };
+            let mut rows = HashMap::with_capacity(n_rows as usize);
+            for _ in 0..n_rows {
+                let (Some(t), Some(c)) = (
+                    dbytes::get_u64(state, &mut pos),
+                    dbytes::get_u64(state, &mut pos),
+                ) else {
+                    return false;
+                };
+                rows.insert(TaskId(t as usize), c);
+            }
+            support.insert(TaskId(ant as usize), rows);
+        }
+        let Some(lru_len) = dbytes::get_u64(state, &mut pos) else {
+            return false;
+        };
+        let Some(lru_bytes) = state.get(pos..pos + lru_len as usize) else {
+            return false;
+        };
+        let mut lru = Lru::new();
+        if !lru.delta_restore(lru_bytes) {
+            return false;
+        }
+        pos += lru_len as usize;
+        if pos != state.len() {
+            return false;
+        }
+        self.window = window as usize;
+        self.min_confidence = min_confidence;
+        self.decision_latency_s = latency;
+        self.recent = recent;
+        self.occurrences = occurrences;
+        self.support = support;
+        self.lru = lru;
+        true
     }
 }
 

@@ -53,6 +53,23 @@ impl Policy for Belady {
     }
 
     fn on_access(&mut self, _task: TaskId, _slot: usize, _index: usize) {}
+
+    fn delta_state(&self) -> Option<Vec<u8>> {
+        // All of Belady's state is rebuilt by `observe_trace`, which
+        // the restore path always replays first — nothing to encode.
+        Some(Vec::new())
+    }
+
+    fn delta_restore(&mut self, state: &[u8]) -> bool {
+        state.is_empty()
+    }
+
+    fn delta_prefix_safe(&self) -> bool {
+        // Clairvoyant: victim choices consult *future* occurrences, so
+        // a memoized prefix is invalid under any different future. A
+        // skeleton may only be reused when the whole trace matches.
+        false
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use crate::cache::{ConfigCache, TaskId};
 use crate::policy::Policy;
+use hprc_obs::delta::bytes as dbytes;
 
 /// Evicts the slot whose configuration was loaded longest ago. Hits do not
 /// refresh a slot's position — only reloads do.
@@ -37,6 +38,34 @@ impl Policy for Fifo {
     fn on_load(&mut self, _task: TaskId, slot: usize, _index: usize) {
         self.load_order.retain(|&s| s != slot);
         self.load_order.push_back(slot);
+    }
+
+    fn delta_state(&self) -> Option<Vec<u8>> {
+        let mut v = Vec::with_capacity(8 + 8 * self.load_order.len());
+        dbytes::put_u64(&mut v, self.load_order.len() as u64);
+        for &s in &self.load_order {
+            dbytes::put_u64(&mut v, s as u64);
+        }
+        Some(v)
+    }
+
+    fn delta_restore(&mut self, state: &[u8]) -> bool {
+        let mut pos = 0;
+        let Some(n) = dbytes::get_u64(state, &mut pos) else {
+            return false;
+        };
+        let mut order = VecDeque::with_capacity(n as usize);
+        for _ in 0..n {
+            match dbytes::get_u64(state, &mut pos) {
+                Some(s) => order.push_back(s as usize),
+                None => return false,
+            }
+        }
+        if pos != state.len() {
+            return false;
+        }
+        self.load_order = order;
+        true
     }
 }
 

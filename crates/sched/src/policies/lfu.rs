@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use crate::cache::{ConfigCache, TaskId};
 use crate::policy::Policy;
+use hprc_obs::delta::bytes as dbytes;
 
 /// Evicts the resident configuration with the fewest lifetime accesses.
 /// Ties break toward the lowest slot index.
@@ -37,6 +38,42 @@ impl Policy for Lfu {
 
     fn on_access(&mut self, task: TaskId, _slot: usize, _index: usize) {
         *self.counts.entry(task).or_insert(0) += 1;
+    }
+
+    fn delta_state(&self) -> Option<Vec<u8>> {
+        // Canonical order: sorted by task id (HashMap iteration order
+        // must never leak into cache keys).
+        let mut entries: Vec<(TaskId, u64)> = self.counts.iter().map(|(t, c)| (*t, *c)).collect();
+        entries.sort_unstable();
+        let mut v = Vec::with_capacity(8 + 16 * entries.len());
+        dbytes::put_u64(&mut v, entries.len() as u64);
+        for (t, c) in entries {
+            dbytes::put_u64(&mut v, t.0 as u64);
+            dbytes::put_u64(&mut v, c);
+        }
+        Some(v)
+    }
+
+    fn delta_restore(&mut self, state: &[u8]) -> bool {
+        let mut pos = 0;
+        let Some(n) = dbytes::get_u64(state, &mut pos) else {
+            return false;
+        };
+        let mut counts = HashMap::with_capacity(n as usize);
+        for _ in 0..n {
+            let (Some(t), Some(c)) = (
+                dbytes::get_u64(state, &mut pos),
+                dbytes::get_u64(state, &mut pos),
+            ) else {
+                return false;
+            };
+            counts.insert(TaskId(t as usize), c);
+        }
+        if pos != state.len() {
+            return false;
+        }
+        self.counts = counts;
+        true
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::cache::{ConfigCache, TaskId};
 use crate::policy::Policy;
+use hprc_obs::delta::bytes as dbytes;
 
 /// Evicts the slot whose configuration was *accessed* longest ago.
 #[derive(Debug, Default, Clone)]
@@ -39,6 +40,39 @@ impl Policy for Lru {
         self.ensure(slot + 1);
         self.clock += 1;
         self.last_access[slot] = self.clock;
+    }
+
+    fn delta_state(&self) -> Option<Vec<u8>> {
+        let mut v = Vec::with_capacity(16 + 8 * self.last_access.len());
+        dbytes::put_u64(&mut v, self.clock);
+        dbytes::put_u64(&mut v, self.last_access.len() as u64);
+        for &t in &self.last_access {
+            dbytes::put_u64(&mut v, t);
+        }
+        Some(v)
+    }
+
+    fn delta_restore(&mut self, state: &[u8]) -> bool {
+        let mut pos = 0;
+        let (Some(clock), Some(n)) = (
+            dbytes::get_u64(state, &mut pos),
+            dbytes::get_u64(state, &mut pos),
+        ) else {
+            return false;
+        };
+        let mut last = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            match dbytes::get_u64(state, &mut pos) {
+                Some(t) => last.push(t),
+                None => return false,
+            }
+        }
+        if pos != state.len() {
+            return false;
+        }
+        self.clock = clock;
+        self.last_access = last;
+        true
     }
 }
 

@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use crate::cache::{ConfigCache, TaskId};
 use crate::policies::Lru;
 use crate::policy::Policy;
+use hprc_obs::delta::bytes as dbytes;
 
 /// Learns the task-call transition matrix online; predicts the most
 /// frequent successor of the current task as a prefetch hint, and replaces
@@ -68,6 +69,93 @@ impl Policy for Markov {
                 .max_by_key(|(t, c)| (**c, std::cmp::Reverse(t.0)))
                 .map(|(t, _)| *t)
         })
+    }
+
+    fn delta_state(&self) -> Option<Vec<u8>> {
+        let mut v = Vec::new();
+        // Configuration first so differently-tuned instances never
+        // share a cache key, then mutable state in canonical order.
+        dbytes::put_f64(&mut v, self.decision_latency_s);
+        match self.previous {
+            Some(t) => {
+                dbytes::put_u64(&mut v, 1);
+                dbytes::put_u64(&mut v, t.0 as u64);
+            }
+            None => dbytes::put_u64(&mut v, 0),
+        }
+        dbytes::put_slice(&mut v, &self.lru.delta_state()?);
+        let mut ants: Vec<&TaskId> = self.transitions.keys().collect();
+        ants.sort_unstable();
+        dbytes::put_u64(&mut v, ants.len() as u64);
+        for ant in ants {
+            dbytes::put_u64(&mut v, ant.0 as u64);
+            let succ = &self.transitions[ant];
+            let mut rows: Vec<(TaskId, u64)> = succ.iter().map(|(t, c)| (*t, *c)).collect();
+            rows.sort_unstable();
+            dbytes::put_u64(&mut v, rows.len() as u64);
+            for (t, c) in rows {
+                dbytes::put_u64(&mut v, t.0 as u64);
+                dbytes::put_u64(&mut v, c);
+            }
+        }
+        Some(v)
+    }
+
+    fn delta_restore(&mut self, state: &[u8]) -> bool {
+        let mut pos = 0;
+        let Some(latency) = dbytes::get_f64(state, &mut pos) else {
+            return false;
+        };
+        let previous = match dbytes::get_u64(state, &mut pos) {
+            Some(0) => None,
+            Some(1) => match dbytes::get_u64(state, &mut pos) {
+                Some(t) => Some(TaskId(t as usize)),
+                None => return false,
+            },
+            _ => return false,
+        };
+        let Some(lru_len) = dbytes::get_u64(state, &mut pos) else {
+            return false;
+        };
+        let Some(lru_bytes) = state.get(pos..pos + lru_len as usize) else {
+            return false;
+        };
+        let mut lru = Lru::new();
+        if !lru.delta_restore(lru_bytes) {
+            return false;
+        }
+        pos += lru_len as usize;
+        let Some(n_ants) = dbytes::get_u64(state, &mut pos) else {
+            return false;
+        };
+        let mut transitions: HashMap<TaskId, HashMap<TaskId, u64>> = HashMap::new();
+        for _ in 0..n_ants {
+            let (Some(ant), Some(n_succ)) = (
+                dbytes::get_u64(state, &mut pos),
+                dbytes::get_u64(state, &mut pos),
+            ) else {
+                return false;
+            };
+            let mut succ = HashMap::with_capacity(n_succ as usize);
+            for _ in 0..n_succ {
+                let (Some(t), Some(c)) = (
+                    dbytes::get_u64(state, &mut pos),
+                    dbytes::get_u64(state, &mut pos),
+                ) else {
+                    return false;
+                };
+                succ.insert(TaskId(t as usize), c);
+            }
+            transitions.insert(TaskId(ant as usize), succ);
+        }
+        if pos != state.len() {
+            return false;
+        }
+        self.decision_latency_s = latency;
+        self.previous = previous;
+        self.lru = lru;
+        self.transitions = transitions;
+        true
     }
 }
 

@@ -5,6 +5,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::cache::{ConfigCache, TaskId};
 use crate::policy::Policy;
+use hprc_obs::delta::bytes as dbytes;
 
 /// Evicts a uniformly random slot (deterministic per seed).
 #[derive(Debug, Clone)]
@@ -31,6 +32,37 @@ impl Policy for RandomPolicy {
     }
 
     fn on_access(&mut self, _task: TaskId, _slot: usize, _index: usize) {}
+
+    fn delta_state(&self) -> Option<Vec<u8>> {
+        // The generator's raw state words capture its exact position
+        // in the draw sequence — restoring them resumes it.
+        let mut v = Vec::with_capacity(32);
+        for w in self.rng.state_words() {
+            dbytes::put_u64(&mut v, w);
+        }
+        Some(v)
+    }
+
+    fn delta_restore(&mut self, state: &[u8]) -> bool {
+        let mut pos = 0;
+        let mut words = [0u64; 4];
+        for w in &mut words {
+            match dbytes::get_u64(state, &mut pos) {
+                Some(x) => *w = x,
+                None => return false,
+            }
+        }
+        if pos != state.len() {
+            return false;
+        }
+        match ChaCha8Rng::from_state_words(words) {
+            Some(rng) => {
+                self.rng = rng;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]

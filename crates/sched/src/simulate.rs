@@ -95,7 +95,15 @@ pub fn simulate(
     // dropped deterministically (same cutoff sequence on every rerun)
     // and tallied as would-have-run; an unlimited budget admits all.
     let admitted = ctx.budget.admit(trace.len());
-    let outcome = simulate_inner(&trace[..admitted], slots, policy, prefetch);
+    // Delta path: memoized skeletons replay shared prefixes of earlier
+    // runs. Replays are byte-identical to longhand simulation, and all
+    // recording below derives from the outcome alone, so the swap is
+    // invisible to every artifact — including instrumented runs.
+    let outcome = if ctx.delta.is_enabled() {
+        crate::delta::simulate_clean_delta(&trace[..admitted], slots, policy, prefetch, &ctx.delta)
+    } else {
+        simulate_inner(&trace[..admitted], slots, policy, prefetch)
+    };
     record_outcome(registry, policy.name(), &outcome);
     j.metric("sched.calls", outcome.stats.calls);
     j.metric("sched.hits", outcome.stats.hits);
@@ -146,40 +154,50 @@ pub(crate) fn record_outcome(
         .set(outcome.hit_ratio());
 }
 
-fn simulate_inner(
-    trace: &[TaskId],
-    slots: usize,
-    policy: &mut dyn Policy,
-    prefetch: bool,
-) -> SimulationOutcome {
-    let mut cache = ConfigCache::new(slots);
-    policy.observe_trace(trace);
-    let mut stats = CacheStats::default();
-    let mut outcomes = Vec::with_capacity(trace.len());
-    let mut speculative: HashSet<TaskId> = HashSet::new();
+/// The resumable core of a clean simulation: all mutable run state in
+/// one struct, advanced one call at a time. The delta layer
+/// ([`crate::delta`]) snapshots and restores it mid-trace; the plain
+/// path just drives it start to finish.
+pub(crate) struct CleanSim {
+    pub(crate) cache: ConfigCache,
+    pub(crate) stats: CacheStats,
+    pub(crate) outcomes: Vec<CallOutcome>,
+    pub(crate) speculative: HashSet<TaskId>,
+}
 
-    for (i, &task) in trace.iter().enumerate() {
-        stats.calls += 1;
-        let resident_slot = cache.slot_of(task);
+impl CleanSim {
+    pub(crate) fn new(slots: usize) -> Self {
+        CleanSim {
+            cache: ConfigCache::new(slots),
+            stats: CacheStats::default(),
+            outcomes: Vec::new(),
+            speculative: HashSet::new(),
+        }
+    }
+
+    /// Processes call `i` of the trace (task `task`).
+    pub(crate) fn step(&mut self, i: usize, task: TaskId, policy: &mut dyn Policy, prefetch: bool) {
+        self.stats.calls += 1;
+        let resident_slot = self.cache.slot_of(task);
         let outcome = match resident_slot {
             Some(slot) if !policy.forces_miss() => {
-                stats.hits += 1;
-                if speculative.remove(&task) {
-                    stats.useful_prefetches += 1;
+                self.stats.hits += 1;
+                if self.speculative.remove(&task) {
+                    self.stats.useful_prefetches += 1;
                 }
                 CallOutcome::Hit { slot }
             }
             _ => {
-                stats.misses += 1;
+                self.stats.misses += 1;
                 // A forced miss on a resident task reconfigures in place.
                 let slot = resident_slot
-                    .or_else(|| cache.empty_slot())
-                    .unwrap_or_else(|| policy.choose_victim(&cache, task, i));
-                let evicted = cache.load(slot, task);
+                    .or_else(|| self.cache.empty_slot())
+                    .unwrap_or_else(|| policy.choose_victim(&self.cache, task, i));
+                let evicted = self.cache.load(slot, task);
                 if let Some(e) = evicted {
-                    speculative.remove(&e);
+                    self.speculative.remove(&e);
                 }
-                speculative.remove(&task);
+                self.speculative.remove(&task);
                 policy.on_load(task, slot, i);
                 CallOutcome::Miss {
                     slot,
@@ -191,29 +209,50 @@ fn simulate_inner(
             CallOutcome::Hit { slot } | CallOutcome::Miss { slot, .. } => slot,
         };
         policy.on_access(task, slot, i);
-        outcomes.push(outcome);
+        self.outcomes.push(outcome);
 
         if prefetch {
             if let Some(pred) = policy.predict_next(task) {
-                if pred != task && !cache.contains(pred) {
-                    let target = cache
+                if pred != task && !self.cache.contains(pred) {
+                    let target = self
+                        .cache
                         .empty_slot()
-                        .unwrap_or_else(|| policy.choose_victim(&cache, pred, i));
+                        .unwrap_or_else(|| policy.choose_victim(&self.cache, pred, i));
                     // Never evict the task that is executing right now.
-                    if Some(target) != cache.slot_of(task) {
-                        if let Some(e) = cache.load(target, pred) {
-                            speculative.remove(&e);
+                    if Some(target) != self.cache.slot_of(task) {
+                        if let Some(e) = self.cache.load(target, pred) {
+                            self.speculative.remove(&e);
                         }
                         policy.on_load(pred, target, i);
-                        stats.prefetch_loads += 1;
-                        speculative.insert(pred);
+                        self.stats.prefetch_loads += 1;
+                        self.speculative.insert(pred);
                     }
                 }
             }
         }
     }
 
-    SimulationOutcome { stats, outcomes }
+    pub(crate) fn finish(self) -> SimulationOutcome {
+        SimulationOutcome {
+            stats: self.stats,
+            outcomes: self.outcomes,
+        }
+    }
+}
+
+pub(crate) fn simulate_inner(
+    trace: &[TaskId],
+    slots: usize,
+    policy: &mut dyn Policy,
+    prefetch: bool,
+) -> SimulationOutcome {
+    let mut sim = CleanSim::new(slots);
+    sim.outcomes.reserve(trace.len());
+    policy.observe_trace(trace);
+    for (i, &task) in trace.iter().enumerate() {
+        sim.step(i, task, policy, prefetch);
+    }
+    sim.finish()
 }
 
 #[cfg(test)]

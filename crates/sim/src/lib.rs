@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod cray_api;
+pub(crate) mod delta;
 pub mod engine;
 pub mod error;
 pub mod executor;

@@ -69,6 +69,26 @@ macro_rules! chacha_rng {
             }
         }
 
+        impl $name {
+            /// The raw generator state, for checkpoint/restore. (The
+            /// upstream crate exposes `get_seed`/`get_word_pos` for
+            /// this; the xoshiro stand-in checkpoints its four state
+            /// words directly.)
+            pub fn state_words(&self) -> [u64; 4] {
+                self.core.s
+            }
+
+            /// Restores a generator from [`state_words`]($name::state_words).
+            /// Returns `None` for the all-zero state, which no live
+            /// generator can be in (xoshiro's one forbidden point).
+            pub fn from_state_words(s: [u64; 4]) -> Option<Self> {
+                if s == [0, 0, 0, 0] {
+                    return None;
+                }
+                Some($name { core: Core { s } })
+            }
+        }
+
         impl RngCore for $name {
             fn next_u64(&mut self) -> u64 {
                 self.core.next_u64()
