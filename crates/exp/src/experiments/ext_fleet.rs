@@ -19,7 +19,7 @@ use hprc_ctx::ExecCtx;
 use hprc_obs::FleetTopology;
 use serde::Serialize;
 
-use crate::fleet::{run_fleet, FleetRun, FleetSpec};
+use crate::fleet::{run_fleet, FleetError, FleetRun, FleetSpec};
 use crate::report::Report;
 use crate::table::{Align, TextTable};
 
@@ -79,7 +79,7 @@ fn throughput(run: &FleetRun) -> f64 {
 /// summary gauges `exp.ext_fleet.min_availability` and
 /// `exp.ext_fleet.min_rack_h` ride along, and the budget fleet attaches
 /// its folded [`hprc_obs::BudgetAccount`] to the journal footer.
-pub fn run(ctx: &ExecCtx) -> Report {
+pub fn run(ctx: &ExecCtx) -> Result<Report, FleetError> {
     let _span = ctx.registry.span("exp.ext_fleet");
     let topo = FleetTopology::new(NODES, RACK_SIZE);
     // Nodes are the parallel axis inside each fleet, so the sweep
@@ -88,7 +88,7 @@ pub fn run(ctx: &ExecCtx) -> Report {
         .iter()
         .enumerate()
         .map(|(i, &rate)| run_fleet(&spec(rate), i as u64, None, ctx))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     let base_throughput = throughput(&runs[0]);
     let rows: Vec<Row> = RATES
@@ -120,8 +120,10 @@ pub fn run(ctx: &ExecCtx) -> Report {
         RATES.len() as u64,
         Some(budget_events),
         ctx,
-    );
-    let account = budget_run.account.expect("budgeted fleet has an account");
+    )?;
+    let account = budget_run
+        .account
+        .ok_or(FleetError::MissingAccount { node: 0 })?;
 
     if ctx.registry.is_enabled() {
         let min_avail = rows.iter().map(|r| r.availability).fold(1.0, f64::min);
@@ -185,12 +187,12 @@ pub fn run(ctx: &ExecCtx) -> Report {
         runs_cut = account.runs_cut,
     );
 
-    Report::new(
+    Ok(Report::new(
         "ext-fleet",
         "E-fleet — Fleet-scale orchestration: kills, rack aggregation, run budgets",
         body,
         &rows,
-    )
+    ))
 }
 
 /// The Chrome trace artifact: the mid-sweep fleet's cluster journal
@@ -203,8 +205,8 @@ pub fn run(ctx: &ExecCtx) -> Report {
 pub fn chrome_trace(
     run_ctx: &ExecCtx,
     registry: &hprc_obs::Registry,
-) -> Vec<hprc_obs::ChromeEvent> {
-    run_fleet(&spec(TRACE_RATE), 0, None, run_ctx);
+) -> Result<Vec<hprc_obs::ChromeEvent>, FleetError> {
+    run_fleet(&spec(TRACE_RATE), 0, None, run_ctx)?;
     let all = run_ctx.journal.chrome_span_events(1);
     let total = all.len();
     let mut out: Vec<hprc_obs::ChromeEvent> = all;
@@ -223,20 +225,23 @@ pub fn chrome_trace(
             .counter("obs.trace.truncated_events")
             .add(truncated);
     }
-    out
+    Ok(out)
 }
+
+/// Labelled `(x, y)` series, as rendered into the CSV artifact.
+pub type Series = Vec<(String, Vec<(f64, f64)>)>;
 
 /// CSV series: availability, throughput ratio, and minimum per-rack H
 /// vs chaos rate.
-pub fn series(ctx: &ExecCtx) -> Vec<(String, Vec<(f64, f64)>)> {
+pub fn series(ctx: &ExecCtx) -> Result<Series, FleetError> {
     let topo = FleetTopology::new(NODES, RACK_SIZE);
     let runs: Vec<FleetRun> = RATES
         .iter()
         .enumerate()
         .map(|(i, &rate)| run_fleet(&spec(rate), i as u64, None, ctx))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let base_throughput = throughput(&runs[0]);
-    vec![
+    Ok(vec![
         (
             "availability".into(),
             RATES
@@ -269,7 +274,7 @@ pub fn series(ctx: &ExecCtx) -> Vec<(String, Vec<(f64, f64)>)> {
                 })
                 .collect(),
         ),
-    ]
+    ])
 }
 
 #[cfg(test)]
@@ -280,7 +285,7 @@ mod tests {
     #[test]
     fn chaos_degrades_availability_monotonically() {
         let ctx = ExecCtx::default().with_seed(11);
-        let report = run(&ctx);
+        let report = run(&ctx).unwrap();
         let rows = report.json.as_array().expect("rows").clone();
         let avail: Vec<f64> = rows
             .iter()
@@ -303,7 +308,7 @@ mod tests {
             .with_registry(Registry::new())
             .with_journal(Journal::new(crate::journal_salt("ext-fleet", 3)))
             .with_seed(3);
-        run(&ctx);
+        run(&ctx).unwrap();
         let snap = ctx.registry.snapshot();
         // 3 sweep fleets + 1 budget fleet, 1024 nodes each.
         assert_eq!(snap.counters["fleet.nodes"], 4 * NODES as u64);
@@ -326,7 +331,7 @@ mod tests {
                 .with_journal(Journal::new(crate::journal_salt("ext-fleet", 7)))
                 .with_seed(7)
                 .with_jobs(jobs);
-            let report = run(&ctx);
+            let report = run(&ctx).unwrap();
             (
                 report.json.to_string(),
                 ctx.journal.to_jsonl("ext-fleet", 7),
@@ -348,7 +353,7 @@ mod tests {
             .with_journal(Journal::new(0x0C0A_1D0E))
             .with_seed(0);
         let registry = Registry::new();
-        let events = chrome_trace(&journaled, &registry);
+        let events = chrome_trace(&journaled, &registry).unwrap();
         // 1024 dispatches + 1024 node spans alone exceed the cap, so
         // the marker and the counter are unconditional at this scale.
         assert_eq!(events.len(), MAX_FLEET_TRACE_EVENTS + 1);

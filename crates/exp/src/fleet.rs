@@ -41,6 +41,39 @@ use std::sync::Mutex;
 
 use crate::scenario::prtr_calls;
 
+/// Why a fleet run could not complete. Orchestrator failures propagate
+/// as errors (non-zero exit with a message) instead of panicking the
+/// whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// A node's PRTR simulation rejected its inputs.
+    Node {
+        /// Node index within the fleet.
+        node: usize,
+        /// The simulator's error rendering.
+        error: String,
+    },
+    /// A split budget slice had no account to fold — the budget
+    /// accounting invariant was violated.
+    MissingAccount {
+        /// Node index whose budget slice had no account.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Node { node, error } => write!(f, "node {node}: {error}"),
+            FleetError::MissingAccount { node } => {
+                write!(f, "node {node}: split budget slice has no account")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
 /// Parent-context stream tags for the fleet's seed bases (distinct
 /// from `ext-faults`' `0x5EED_FA01` / `0xFA17` streams).
 const FLEET_TRACE_STREAM: u64 = 0x5EED_F1EE_7001;
@@ -157,7 +190,7 @@ fn run_node(
     base_plan_seed: u64,
     kill_plan: &FaultPlan,
     child: &ExecCtx,
-) -> NodeOutcome {
+) -> Result<NodeOutcome, FleetError> {
     let node_cfg = NodeConfig::xd1_measured(&Floorplan::xd1_dual_prr());
     let trace_seed = splitmix64(base_trace_seed ^ i as u64);
     let plan_seed = splitmix64(base_plan_seed ^ i as u64);
@@ -179,7 +212,7 @@ fn run_node(
     if live == 0 {
         // Killed before the first call: nothing ran, nothing charged.
         child.journal.exit(js, 0);
-        return NodeOutcome {
+        return Ok(NodeOutcome {
             node: i,
             rack: topo.rack_of(i),
             offered: spec.len as u64,
@@ -191,7 +224,7 @@ fn run_node(
             cut_at: child.budget.cutoff_seq(),
             hit_ratio: 0.0,
             end_ns: 0,
-        };
+        });
     }
     let mut policy = Markov::new();
     let sched = hprc_sched::simulate_faulty(
@@ -203,10 +236,13 @@ fn run_node(
         child,
     );
     let calls = prtr_calls(&node_cfg, &trace[..live], &sched.base, node_cfg.t_prtr_s());
-    let prtr = run_prtr_faulty(&node_cfg, &calls, &plan, child).expect("fleet PRTR run");
+    let prtr = run_prtr_faulty(&node_cfg, &calls, &plan, child).map_err(|e| FleetError::Node {
+        node: i,
+        error: e.to_string(),
+    })?;
     child.journal.exit(js, prtr.total.0);
 
-    NodeOutcome {
+    Ok(NodeOutcome {
         node: i,
         rack: topo.rack_of(i),
         offered: spec.len as u64,
@@ -218,7 +254,7 @@ fn run_node(
         cut_at: child.budget.cutoff_seq(),
         hit_ratio: sched.base.hit_ratio(),
         end_ns: prtr.total.0,
-    }
+    })
 }
 
 /// Runs one fleet: fans the nodes out across `ctx.jobs` workers,
@@ -240,7 +276,7 @@ pub fn run_fleet(
     stream: u64,
     budget_events: Option<u64>,
     ctx: &ExecCtx,
-) -> FleetRun {
+) -> Result<FleetRun, FleetError> {
     let topo = FleetTopology::new(spec.nodes, spec.rack_size);
     let n = spec.nodes;
     let base_trace_seed = ctx.seed_for(FLEET_TRACE_STREAM);
@@ -276,7 +312,7 @@ pub fn run_fleet(
         .collect();
 
     let jobs = ctx.effective_jobs().min(n.max(1));
-    let mut outcomes: Vec<Option<NodeOutcome>> = if jobs <= 1 {
+    let mut slots: Vec<Option<Result<NodeOutcome, FleetError>>> = if jobs <= 1 {
         children
             .iter()
             .enumerate()
@@ -293,7 +329,7 @@ pub fn run_fleet(
             })
             .collect()
     } else {
-        let mut slots: Vec<Option<NodeOutcome>> = Vec::with_capacity(n);
+        let mut slots: Vec<Option<Result<NodeOutcome, FleetError>>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         let slots = Mutex::new(slots);
         let next = AtomicUsize::new(0);
@@ -323,10 +359,12 @@ pub fn run_fleet(
         .expect("fleet scope");
         slots.into_inner().expect("fleet slots lock")
     };
-    let outcomes: Vec<NodeOutcome> = outcomes
+    // The lowest-index node error wins deterministically (slots are
+    // drained in index order), regardless of worker interleaving.
+    let outcomes: Vec<NodeOutcome> = slots
         .iter_mut()
         .map(|slot| slot.take().expect("every node completed"))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     // Hierarchical node → rack → cluster merge, index-ordered at both
     // levels (== the flat merge, by associativity; pinned by proptests).
@@ -358,14 +396,17 @@ pub fn run_fleet(
 
     // Fold per-node budget slices into the cluster account, in index
     // order, and surface it in the journal footer.
-    let account = budgets.map(|bs| {
-        let mut total = BudgetAccount::default();
-        for b in &bs {
-            total.absorb(&b.account().expect("split budgets are limited"));
+    let account = match budgets {
+        Some(bs) => {
+            let mut total = BudgetAccount::default();
+            for (node, b) in bs.iter().enumerate() {
+                total.absorb(&b.account().ok_or(FleetError::MissingAccount { node })?);
+            }
+            ctx.journal.set_budget_account(total);
+            Some(total)
         }
-        ctx.journal.set_budget_account(total);
-        total
-    });
+        None => None,
+    };
 
     let run = FleetRun {
         outcomes,
@@ -391,7 +432,7 @@ pub fn run_fleet(
                 .add(a.runs_cut);
         }
     }
-    run
+    Ok(run)
 }
 
 #[cfg(test)]
@@ -417,7 +458,7 @@ mod tests {
                 .with_journal(Journal::new(77))
                 .with_seed(5)
                 .with_jobs(jobs);
-            let run = run_fleet(&small(), 0, None, &ctx);
+            let run = run_fleet(&small(), 0, None, &ctx).unwrap();
             (
                 format!("{:?}", run.outcomes),
                 ctx.journal.to_jsonl("fleet", 5),
@@ -443,8 +484,9 @@ mod tests {
             0,
             None,
             &ctx,
-        );
-        let chaotic = run_fleet(&small(), 1, None, &ctx);
+        )
+        .unwrap();
+        let chaotic = run_fleet(&small(), 1, None, &ctx).unwrap();
         assert_eq!(clean.killed_nodes(), 0);
         assert!(chaotic.killed_nodes() > 0, "p_kill=0.2 over 24 nodes");
         assert!(chaotic.availability() < clean.availability());
@@ -466,7 +508,7 @@ mod tests {
         let total = (spec.nodes * spec.len / 2) as u64; // half the work
         let run_once = || {
             let ctx = ExecCtx::default().with_seed(9);
-            let run = run_fleet(&spec, 0, Some(total), &ctx);
+            let run = run_fleet(&spec, 0, Some(total), &ctx).unwrap();
             let cuts: Vec<Option<u64>> = run.outcomes.iter().map(|o| o.cut_at).collect();
             (cuts, run.account.unwrap())
         };
@@ -487,7 +529,7 @@ mod tests {
         let ctx = ExecCtx::default()
             .with_journal(Journal::new(3))
             .with_seed(1);
-        run_fleet(&small(), 0, None, &ctx);
+        run_fleet(&small(), 0, None, &ctx).unwrap();
         let topo = FleetTopology::new(24, 8);
         let recs = ctx.journal.records();
         let dispatches = recs

@@ -275,8 +275,8 @@ fn diff(path_a: &str, path_b: &str) -> Result<bool, String> {
 fn replay_check(path: &str, jobs: usize) -> Result<bool, String> {
     let text = read(path)?;
     let p = parse(&text)?;
-    let regenerated = hprc_exp_journal_regen(&p.experiment, p.seed, jobs)
-        .ok_or_else(|| format!("{path}: unknown experiment {:?}", p.experiment))?;
+    let regenerated =
+        hprc_exp_journal_regen(&p.experiment, p.seed, jobs).map_err(|e| format!("{path}: {e}"))?;
     match first_divergence(&text, &regenerated) {
         None => {
             println!(
@@ -296,7 +296,7 @@ fn replay_check(path: &str, jobs: usize) -> Result<bool, String> {
 
 // Thin indirection so the analysis half stays unit-testable without
 // re-running experiments.
-fn hprc_exp_journal_regen(id: &str, seed: u64, jobs: usize) -> Option<String> {
+fn hprc_exp_journal_regen(id: &str, seed: u64, jobs: usize) -> Result<String, crate::ExpError> {
     crate::run_journaled(id, seed, jobs)
 }
 

@@ -24,15 +24,58 @@ pub mod bench;
 pub mod experiments;
 pub mod fleet;
 pub mod journal_cli;
+pub mod recover;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod table;
 
+use std::fmt;
 use std::path::Path;
 
 use hprc_ctx::ExecCtx;
 use report::Report;
+
+/// Why an experiment (or one of its side-artifacts) could not be
+/// produced. The harness surfaces these as non-zero exits with a
+/// message instead of panicking mid-sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpError {
+    /// The id is not in [`ALL_EXPERIMENTS`].
+    UnknownId(String),
+    /// The fleet orchestrator failed (a node simulation rejected its
+    /// inputs or the budget accounting was inconsistent).
+    Fleet(fleet::FleetError),
+    /// A payload would not serialize to JSON.
+    Serialize(String),
+    /// An experiment worker panicked; the message is the panic payload.
+    Panicked(String),
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::UnknownId(id) => write!(f, "unknown experiment: {id}"),
+            ExpError::Fleet(e) => write!(f, "fleet orchestrator: {e}"),
+            ExpError::Serialize(e) => write!(f, "serialization: {e}"),
+            ExpError::Panicked(msg) => write!(f, "experiment panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+impl From<fleet::FleetError> for ExpError {
+    fn from(e: fleet::FleetError) -> ExpError {
+        ExpError::Fleet(e)
+    }
+}
+
+impl From<serde_json::Error> for ExpError {
+    fn from(e: serde_json::Error) -> ExpError {
+        ExpError::Serialize(e.to_string())
+    }
+}
 
 /// All experiment ids, in presentation order.
 pub const ALL_EXPERIMENTS: [&str; 24] = [
@@ -145,8 +188,8 @@ pub fn describe(id: &str) -> Option<&'static str> {
 /// derive from `ctx.seed`, and sweeps fan out across `ctx.jobs` worker
 /// threads (deterministically — results are identical at any budget).
 /// `ExecCtx::default()` is the plain serial, uninstrumented run.
-pub fn run_experiment(id: &str, ctx: &ExecCtx) -> Option<Report> {
-    Some(match id {
+pub fn run_experiment(id: &str, ctx: &ExecCtx) -> Result<Report, ExpError> {
+    Ok(match id {
         "summary" => experiments::summary::run(ctx),
         "table1" => experiments::table1::run(ctx),
         "table2" => experiments::table2::run(ctx),
@@ -169,9 +212,9 @@ pub fn run_experiment(id: &str, ctx: &ExecCtx) -> Option<Report> {
         "ext-flexible" => experiments::ext_flexible::run(ctx),
         "ext-faults" => experiments::ext_faults::run(ctx),
         "ext-preempt" => experiments::ext_preempt::run(ctx),
-        "ext-fleet" => experiments::ext_fleet::run(ctx),
+        "ext-fleet" => experiments::ext_fleet::run(ctx)?,
         "ext-icap" => experiments::ext_icap::run(ctx),
-        _ => return None,
+        _ => return Err(ExpError::UnknownId(id.to_string())),
     })
 }
 
@@ -209,15 +252,15 @@ pub fn journal_salt(id: &str, seed: u64) -> u64 {
 /// Re-runs experiment `id` under a live journal and returns the JSONL
 /// journal text — the exact bytes `--trace` writes to
 /// `<id>.journal.jsonl` for the same `(id, seed)`, at any `jobs`
-/// budget. `None` for an unknown id.
-pub fn run_journaled(id: &str, seed: u64, jobs: usize) -> Option<String> {
+/// budget. Errors for an unknown id or a failed run.
+pub fn run_journaled(id: &str, seed: u64, jobs: usize) -> Result<String, ExpError> {
     let ctx = ExecCtx::default()
         .with_registry(hprc_obs::Registry::new())
         .with_journal(hprc_obs::Journal::new(journal_salt(id, seed)))
         .with_seed(seed)
         .with_jobs(jobs);
     run_experiment(id, &ctx)?;
-    Some(ctx.journal.to_jsonl(id, seed))
+    Ok(ctx.journal.to_jsonl(id, seed))
 }
 
 /// Chrome lane name for a thread row (`Lane::chrome_tid` inverse).
@@ -260,8 +303,11 @@ fn assemble_trace(
 /// opens with `ph:"M"` metadata naming its process/thread rows; the
 /// single-timeline traces additionally carry the journal's causal
 /// links (decision→configure→execute, fault→retry) as Chrome flow
-/// arrows (`ph:"s"`/`"f"`).
-pub fn chrome_trace(id: &str, ctx: &ExecCtx) -> Option<Vec<hprc_obs::ChromeEvent>> {
+/// arrows (`ph:"s"`/`"f"`). `Ok(None)` for experiments without one.
+pub fn chrome_trace(
+    id: &str,
+    ctx: &ExecCtx,
+) -> Result<Option<Vec<hprc_obs::ChromeEvent>>, ExpError> {
     let quiet = quiet(ctx);
     // Flow-bearing traces re-run under a fresh fixed-salt journal so
     // the causal links can be exported; the fixed salt (not the run
@@ -270,7 +316,7 @@ pub fn chrome_trace(id: &str, ctx: &ExecCtx) -> Option<Vec<hprc_obs::ChromeEvent
         journal: hprc_obs::Journal::new(TRACE_FLOW_SALT),
         ..quiet.clone()
     };
-    Some(match id {
+    Ok(Some(match id {
         "fig9a" => {
             let events = experiments::fig9::peak_timeline(
                 experiments::fig9::Panel::Estimated,
@@ -318,12 +364,12 @@ pub fn chrome_trace(id: &str, ctx: &ExecCtx) -> Option<Vec<hprc_obs::ChromeEvent
             // The cluster trace: the journal itself is the event source
             // (orchestrator dispatches/spans + witness node journals),
             // with dispatch flow arrows linking them.
-            let events = experiments::ext_fleet::chrome_trace(&journaled, &ctx.registry);
+            let events = experiments::ext_fleet::chrome_trace(&journaled, &ctx.registry)?;
             let flows = journaled.journal.chrome_flow_events(1, None);
             assemble_trace(events, &[(1, "fleet cluster")], flows)
         }
-        _ => return None,
-    })
+        _ => return Ok(None),
+    }))
 }
 
 /// A representative wall-clock attribution for experiments that have
@@ -348,46 +394,34 @@ pub fn attribution(id: &str, ctx: &ExecCtx) -> Option<hprc_attr::AttributionRepo
     })
 }
 
-/// Writes an experiment's CSV side-artifacts (curve series), if it has any.
-pub fn write_series(id: &str, dir: &Path, ctx: &ExecCtx) -> std::io::Result<()> {
+/// The CSV side-artifact (curve series) text for an experiment, if it
+/// has one — the exact bytes `write_series` seals to `<id>.csv`.
+pub fn series_text(id: &str, ctx: &ExecCtx) -> Result<Option<String>, ExpError> {
     let quiet = quiet(ctx);
-    match id {
-        "fig5" => {
-            report::write_series_csv(dir, "fig5", &experiments::fig5::series())?;
+    let series = match id {
+        "fig5" => experiments::fig5::series(),
+        "fig9a" => experiments::fig9::series(experiments::fig9::Panel::Estimated, &quiet),
+        "fig9b" => experiments::fig9::series(experiments::fig9::Panel::Measured, &quiet),
+        "ext-landscape" => experiments::ext_landscape::series(),
+        "ext-faults" => experiments::ext_faults::series(&quiet),
+        "ext-preempt" => experiments::ext_preempt::series(&quiet),
+        "ext-fleet" => experiments::ext_fleet::series(&quiet)?,
+        _ => return Ok(None),
+    };
+    Ok(Some(report::series_csv_text(&series)))
+}
+
+/// Writes (seals) an experiment's CSV side-artifacts, if it has any.
+pub fn write_series(id: &str, dir: &Path, ctx: &ExecCtx) -> std::io::Result<()> {
+    match series_text(id, ctx) {
+        Ok(Some(csv)) => {
+            std::fs::create_dir_all(dir)?;
+            hprc_obs::artifact::seal(&dir.join(format!("{id}.csv")), csv.as_bytes())?;
+            Ok(())
         }
-        "fig9a" => {
-            report::write_series_csv(
-                dir,
-                "fig9a",
-                &experiments::fig9::series(experiments::fig9::Panel::Estimated, &quiet),
-            )?;
-        }
-        "fig9b" => {
-            report::write_series_csv(
-                dir,
-                "fig9b",
-                &experiments::fig9::series(experiments::fig9::Panel::Measured, &quiet),
-            )?;
-        }
-        "ext-landscape" => {
-            report::write_series_csv(dir, "ext-landscape", &experiments::ext_landscape::series())?;
-        }
-        "ext-faults" => {
-            report::write_series_csv(dir, "ext-faults", &experiments::ext_faults::series(&quiet))?;
-        }
-        "ext-preempt" => {
-            report::write_series_csv(
-                dir,
-                "ext-preempt",
-                &experiments::ext_preempt::series(&quiet),
-            )?;
-        }
-        "ext-fleet" => {
-            report::write_series_csv(dir, "ext-fleet", &experiments::ext_fleet::series(&quiet))?;
-        }
-        _ => {}
+        Ok(None) => Ok(()),
+        Err(e) => Err(std::io::Error::other(e.to_string())),
     }
-    Ok(())
 }
 
 #[cfg(test)]

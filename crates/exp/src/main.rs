@@ -15,18 +15,28 @@
 //! summaries, spans) plus — for experiments with a representative
 //! timeline — `<id>.trace.json` in Chrome trace-event format, loadable
 //! in Perfetto or `chrome://tracing`.
+//!
+//! Every run is crash-safe: a write-ahead manifest
+//! (`<run-id>.manifest.jsonl` under `--out`) records intent, per-point
+//! commits, and per-artifact CRC32 seals before the corresponding side
+//! effects; all artifacts are written atomically (tmp + fsync + rename)
+//! with `.crc` sidecars. After an interruption — including one injected
+//! deterministically with `--crash-at SEQ` — `hprc-exp resume RUN_ID`
+//! salvages verified points and re-executes only the rest, with final
+//! artifacts byte-identical to an uninterrupted run.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use hprc_ctx::ExecCtx;
+use hprc_obs::manifest::Manifest;
 use hprc_obs::Registry;
 
 fn usage() -> String {
     format!(
-        "usage: hprc-exp [--out DIR] [--trace DIR] [--jobs N] [--seed S] [all | id...]\n\
+        "usage: hprc-exp [--out DIR] [--trace DIR] [--jobs N] [--seed S]\n\
+         \x20               [--run-id ID] [--crash-at SEQ] [all | id...]\n\
+         \x20      hprc-exp resume RUN_ID [--out DIR] [--trace DIR] [--jobs N]\n\
          \x20      hprc-exp list\n\
          \x20      hprc-exp bench [--repeat K] [--out-file PATH] [--check BASELINE]\n\
          \x20                     [--update-baseline] [--threshold X] [--jobs N] [--seed S]\n\
@@ -43,6 +53,14 @@ fn usage() -> String {
          --no-delta   disable the delta re-simulation cache (memoized schedule\n\
          \x20            skeletons + whole-run replay); artifacts are byte-identical\n\
          \x20            either way, only wall-clock time changes\n\
+         --run-id ID  name of this run's write-ahead manifest, written to\n\
+         \x20            DIR/ID.manifest.jsonl (default: run)\n\
+         --crash-at SEQ  abort the process the instant manifest entry SEQ is\n\
+         \x20            durable (fault injection; env HPRC_CRASH_AT works too)\n\
+         \n\
+         resume: read DIR/RUN_ID.manifest.jsonl, verify every sealed artifact by\n\
+         CRC32, salvage the sweep points whose artifacts are all clean, and\n\
+         re-execute only the remainder (see hprc-exp resume --help).\n\
          \n\
          list: print every experiment id with a one-line description.\n\
          \n\
@@ -164,7 +182,9 @@ fn bench_main(args: impl Iterator<Item = String>) -> ExitCode {
         }
     };
     let json = json + "\n";
-    if let Err(e) = std::fs::write(&path, &json) {
+    // Atomic writes: an interrupted bench can never leave a truncated
+    // report — or, worse, a truncated committed baseline.
+    if let Err(e) = hprc_obs::artifact::write_atomic(&path, json.as_bytes()) {
         eprintln!("error: could not write {}: {e}", path.display());
         return ExitCode::FAILURE;
     }
@@ -172,7 +192,7 @@ fn bench_main(args: impl Iterator<Item = String>) -> ExitCode {
 
     if update_baseline {
         let baseline_path = PathBuf::from("BENCH_BASELINE.json");
-        if let Err(e) = std::fs::write(&baseline_path, &json) {
+        if let Err(e) = hprc_obs::artifact::write_atomic(&baseline_path, json.as_bytes()) {
             eprintln!("error: could not write {}: {e}", baseline_path.display());
             return ExitCode::FAILURE;
         }
@@ -202,53 +222,27 @@ fn bench_main(args: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn write_trace_artifacts(
-    id: &str,
-    registry: &Registry,
-    ctx: &ExecCtx,
-    dir: &Path,
-) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    // The trace export records its own accounting (e.g. truncation
-    // warnings) into the live registry, so it must run before the
-    // metrics snapshot for those counters to land in <id>.metrics.json.
-    if let Some(events) = hprc_exp::chrome_trace(id, ctx) {
-        let trace = serde_json::to_string(&events)?;
-        std::fs::write(dir.join(format!("{id}.trace.json")), trace)?;
-    }
-    if let Some(attr) = hprc_exp::attribution(id, ctx) {
-        let json = serde_json::to_string_pretty(&attr)?;
-        std::fs::write(dir.join(format!("{id}.attr.json")), json)?;
-    }
-    let snapshot = registry.snapshot();
-    let metrics = serde_json::to_string_pretty(&snapshot)?;
-    std::fs::write(dir.join(format!("{id}.metrics.json")), metrics)?;
-    std::fs::write(
-        dir.join(format!("{id}.journal.jsonl")),
-        ctx.journal.to_jsonl(id, ctx.seed),
-    )?;
-    Ok(())
-}
-
 fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut trace_dir: Option<PathBuf> = None;
     let mut jobs: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut seed: u64 = 0;
     let mut use_delta = true;
+    let mut run_id = String::from("run");
+    let mut crash_at: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    if std::env::args().nth(1).as_deref() == Some("bench") {
-        return bench_main(args.skip(1));
-    }
-    if std::env::args().nth(1).as_deref() == Some("journal") {
-        return hprc_exp::journal_cli::journal_main(args.skip(1));
-    }
-    if std::env::args().nth(1).as_deref() == Some("list") {
-        for (id, description) in hprc_exp::EXPERIMENT_DESCRIPTIONS {
-            println!("{id:<16} {description}");
+    match std::env::args().nth(1).as_deref() {
+        Some("bench") => return bench_main(args.skip(1)),
+        Some("journal") => return hprc_exp::journal_cli::journal_main(args.skip(1)),
+        Some("resume") => return hprc_exp::recover::resume_main(args.skip(1)),
+        Some("list") => {
+            for (id, description) in hprc_exp::EXPERIMENT_DESCRIPTIONS {
+                println!("{id:<16} {description}");
+            }
+            return ExitCode::SUCCESS;
         }
-        return ExitCode::SUCCESS;
+        _ => {}
     }
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -281,6 +275,20 @@ fn main() -> ExitCode {
                 }
             },
             "--no-delta" => use_delta = false,
+            "--run-id" => match args.next() {
+                Some(r) if !r.is_empty() && !r.contains('/') => run_id = r,
+                _ => {
+                    eprintln!("--run-id requires a non-empty name without '/'");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--crash-at" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => crash_at = Some(s),
+                None => {
+                    eprintln!("--crash-at requires an unsigned integer\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -291,6 +299,15 @@ fn main() -> ExitCode {
             }
             other => ids.push(other.to_string()),
         }
+    }
+    if crash_at.is_none() {
+        crash_at = match hprc_exp::recover::crash_at_from_env() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = hprc_exp::ALL_EXPERIMENTS
@@ -347,67 +364,63 @@ fn main() -> ExitCode {
         })
         .collect();
 
-    // Deterministic fan-out across experiments: workers pull indices
-    // from a dispenser; reports are reassembled and written in id
-    // order, so output and artifacts don't depend on the budget.
-    let n = ids.len();
-    let workers = jobs.min(n).max(1);
-    let mut reports: Vec<Option<hprc_exp::report::Report>> = Vec::with_capacity(n);
-    reports.resize_with(n, || None);
-    if workers <= 1 {
-        for (i, id) in ids.iter().enumerate() {
-            reports[i] = hprc_exp::run_experiment(id, &contexts[i]);
+    // The write-ahead manifest precedes every side effect: the intent
+    // entry is durable before the first experiment runs, each artifact
+    // is sealed (atomic write + CRC sidecar) before its manifest entry,
+    // and a point-complete only lands once every seal did. After any
+    // interruption `hprc-exp resume <run-id>` picks up from here.
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: could not create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: could not create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
         }
-    } else {
-        let slots = Mutex::new(std::mem::take(&mut reports));
-        let next = AtomicUsize::new(0);
-        let (ids, contexts) = (&ids, &contexts);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let report = hprc_exp::run_experiment(&ids[i], &contexts[i]);
-                    slots.lock().expect("report slots lock")[i] = report;
-                });
-            }
-        })
-        .expect("experiment scope");
-        reports = slots.into_inner().expect("report slots lock");
+    }
+    let mpath = hprc_exp::recover::manifest_path(&out_dir, &run_id);
+    let mut manifest = match Manifest::create(&mpath, crash_at) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: could not create {}: {e}", mpath.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = manifest.intent(&run_id, &ids, seed, trace_dir.is_some()) {
+        eprintln!("error: could not write {}: {e}", mpath.display());
+        return ExitCode::FAILURE;
     }
 
-    // Artifact-write failures are reported per file but don't abort the
-    // remaining experiments; any failure makes the exit code non-zero.
-    let mut write_errors = 0usize;
-    for ((id, ctx), report) in ids.iter().zip(&contexts).zip(reports) {
-        let Some(report) = report else {
-            eprintln!("unknown experiment: {id} (try --help)");
+    // Workers compute experiments in parallel; commits (render, seal,
+    // manifest) happen on this thread in id order, so output, artifacts
+    // and manifest seqs don't depend on the budget.
+    let workers = jobs.min(ids.len()).max(1);
+    let failures = match hprc_exp::recover::run_and_commit(
+        &ids,
+        &contexts,
+        workers,
+        &out_dir,
+        trace_dir.as_deref(),
+        &mut manifest,
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", mpath.display());
             return ExitCode::FAILURE;
-        };
-        println!("{}\n", report.render());
-        if let Err(e) = report.write_json(&out_dir) {
-            eprintln!("error: could not write {id}.json: {e}");
-            write_errors += 1;
         }
-        if let Err(e) = hprc_exp::write_series(id, &out_dir, ctx) {
-            eprintln!("error: could not write {id} series: {e}");
-            write_errors += 1;
-        }
-        if let Some(dir) = &trace_dir {
-            if let Err(e) = write_trace_artifacts(id, &ctx.registry, ctx, dir) {
-                eprintln!("error: could not write {id} trace artifacts: {e}");
-                write_errors += 1;
-            }
-        }
-    }
+    };
+
     println!("artifacts written to {}/", out_dir.display());
     if let Some(dir) = &trace_dir {
         println!("metrics + traces written to {}/", dir.display());
     }
-    if write_errors > 0 {
-        eprintln!("{write_errors} artifact(s) could not be written");
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed; fix and `hprc-exp resume {run_id}`");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = manifest.run_complete() {
+        eprintln!("error: could not write {}: {e}", mpath.display());
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -42,17 +42,35 @@ impl Report {
         format!("{}\n{}\n\n{}", self.title, bar, self.body)
     }
 
-    /// Writes `<dir>/<id>.json` (creating `dir`) and returns the path.
+    /// The exact bytes [`Report::write_json`] persists.
+    pub fn json_text(&self) -> String {
+        serde_json::to_string_pretty(&self.json).expect("report payload serializes")
+    }
+
+    /// Atomically writes and seals `<dir>/<id>.json` (creating `dir`,
+    /// plus a `<id>.json.crc` sidecar) and returns the path.
     pub fn write_json(&self, dir: &Path) -> io::Result<PathBuf> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(&path, serde_json::to_string_pretty(&self.json)?)?;
+        hprc_obs::artifact::seal(&path, self.json_text().as_bytes())?;
         Ok(path)
     }
 }
 
-/// Writes `(x, y)` series as a CSV file `<dir>/<id>.csv` with one column
-/// per labelled curve (long format: `label,x,y`).
+/// Renders `(x, y)` series as CSV text, one row per labelled point
+/// (long format: `label,x,y`).
+pub fn series_csv_text(series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = String::from("label,x,y\n");
+    for (label, points) in series {
+        for (x, y) in points {
+            out.push_str(&format!("{label},{x},{y}\n"));
+        }
+    }
+    out
+}
+
+/// Atomically writes and seals `(x, y)` series as `<dir>/<id>.csv`
+/// (long format: `label,x,y`, plus a `.crc` sidecar).
 pub fn write_series_csv(
     dir: &Path,
     id: &str,
@@ -60,13 +78,7 @@ pub fn write_series_csv(
 ) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{id}.csv"));
-    let mut out = String::from("label,x,y\n");
-    for (label, points) in series {
-        for (x, y) in points {
-            out.push_str(&format!("{label},{x},{y}\n"));
-        }
-    }
-    fs::write(&path, out)?;
+    hprc_obs::artifact::seal(&path, series_csv_text(series).as_bytes())?;
     Ok(path)
 }
 

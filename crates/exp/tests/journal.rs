@@ -28,7 +28,7 @@ fn journal_is_jobs_invariant() {
 
 #[test]
 fn run_journaled_rejects_unknown_ids() {
-    assert!(hprc_exp::run_journaled("no-such-experiment", 0, 1).is_none());
+    assert!(hprc_exp::run_journaled("no-such-experiment", 0, 1).is_err());
 }
 
 #[test]

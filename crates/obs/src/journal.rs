@@ -754,8 +754,9 @@ fn write_span_line(
 }
 
 /// Minimal JSON string escaper (names are short identifiers; this
-/// matches serde_json's escaping for the characters it handles).
-fn esc(s: &str) -> String {
+/// matches serde_json's escaping for the characters it handles). Shared
+/// with the run-manifest writer, which hand-rolls JSONL the same way.
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
